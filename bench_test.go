@@ -1,0 +1,385 @@
+package insitu_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"insitu/internal/analysis/mdkernels"
+	"insitu/internal/comm"
+	"insitu/internal/core"
+	"insitu/internal/experiments"
+	"insitu/internal/iosim"
+	"insitu/internal/sim/amr"
+	"insitu/internal/sim/md"
+)
+
+// Each benchmark regenerates one table or figure of the paper; the
+// per-iteration work is the full experiment, so -benchtime=1x gives a single
+// regeneration pass. Shape assertions live in internal/experiments tests —
+// here the artifact is the data itself (printed once per run via b.Log).
+
+func BenchmarkTable4(b *testing.B) {
+	cfg := experiments.Table4Config{Atoms: []int{3000, 8000}, Steps: 30, OutputEvery: 10}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable4(rows))
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable5(rows))
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable6(rows))
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable7(rows))
+		}
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatTable8(rows))
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	cfg := experiments.Figure2Config{Sizes: []int{1500, 3000, 6000}, StepsPerSample: 3}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFigure2(r))
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure4(3000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFigure4(rows))
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatFigure5(rows))
+		}
+	}
+}
+
+// BenchmarkSolver times one compact-model solve of the Table-5 instance
+// (paper: CPLEX 12.6.1 took 0.17-1.36 s per instance).
+func BenchmarkSolver(b *testing.B) {
+	specs := experiments.WaterIonsSpecs(16384)
+	res := core.Resources{Steps: 1000, TimeThreshold: 129.35, MemThreshold: 12 << 30}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(specs, res, core.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverFull times the paper's verbatim time-indexed formulation at
+// a small step count (the ablation for the compact reformulation).
+func BenchmarkSolverFull(b *testing.B) {
+	specs := []core.AnalysisSpec{
+		{Name: "p", CT: 1, OT: 0.5, MinInterval: 3},
+		{Name: "q", CT: 2, OT: 0.25, MinInterval: 4},
+	}
+	res := core.Resources{Steps: 12, TimeThreshold: 7}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveFull(specs, res, core.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGreedyVsMILP reports the objective gap between the greedy
+// baseline and the exact MILP on the Table-5 instance.
+func BenchmarkAblationGreedyVsMILP(b *testing.B) {
+	specs := experiments.WaterIonsSpecs(16384)
+	res := core.Resources{Steps: 1000, TimeThreshold: 64.69, MemThreshold: 12 << 30}
+	for i := 0; i < b.N; i++ {
+		g, err := core.GreedySolve(specs, res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := core.Solve(specs, res, core.SolveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("greedy objective %.1f vs MILP %.1f (gap %.1f%%)",
+				g.Objective, m.Objective, (m.Objective-g.Objective)/m.Objective*100)
+		}
+	}
+}
+
+// BenchmarkMDStep measures the LAMMPS-substitute step cost at two sizes so
+// the linear scaling the performance model assumes is visible.
+func BenchmarkMDStep(b *testing.B) {
+	for _, atoms := range []int{2000, 8000} {
+		b.Run(fmt.Sprintf("atoms=%d", atoms), func(b *testing.B) {
+			sys, err := md.NewWaterIons(md.Config{NAtoms: atoms, Seed: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Step(0.002)
+			}
+		})
+	}
+}
+
+// BenchmarkAMRStep measures the FLASH-substitute step cost.
+func BenchmarkAMRStep(b *testing.B) {
+	g, err := amr.NewSedov(amr.Config{BlocksX: 3, NB: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.StepCFL()
+	}
+}
+
+// BenchmarkRDFKernel measures one in-situ RDF analysis step.
+func BenchmarkRDFKernel(b *testing.B) {
+	sys, err := md.NewWaterIons(md.Config{NAtoms: 4000, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := mdkernels.NewHydroniumRDF(sys, mdkernels.RDFConfig{Ranks: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := k.Setup(); err != nil {
+		b.Fatal(err)
+	}
+	sys.PrepareNeighbors()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Analyze(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllreduce measures the message-passing substrate's collective.
+func BenchmarkAllreduce(b *testing.B) {
+	w, err := comm.NewWorld(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := w.Run(func(r *comm.Rank) error {
+			_, err := r.Allreduce(buf, comm.Sum)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistributedMDStep measures one slab-decomposed distributed MD
+// step (halo exchange + migration + forces + integration) at 3 ranks.
+func BenchmarkDistributedMDStep(b *testing.B) {
+	sys, err := md.NewWaterIons(md.Config{NAtoms: 1500, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := md.RunDistributed(sys, 3, 1, 0.002); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacement times the in-situ/co-analysis placement MILP.
+func BenchmarkPlacement(b *testing.B) {
+	base := experiments.WaterIonsSpecs(16384)
+	specs := make([]core.PlacementSpec, len(base))
+	for i, a := range base {
+		specs[i] = core.PlacementSpec{AnalysisSpec: a, TransferBytes: 1 << 30}
+	}
+	res := core.PlacementResources{
+		Resources:      core.Resources{Steps: 1000, TimeThreshold: 64.69, MemThreshold: 12 << 30},
+		NetBandwidth:   2e9,
+		StageMemTotal:  64 << 30,
+		StageTimeTotal: 2000,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolvePlacement(specs, res, core.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLexicographic times the priority-class solver on the Table-8
+// instance.
+func BenchmarkLexicographic(b *testing.B) {
+	specs := experiments.FlashSpecs()
+	specs[0].Weight, specs[1].Weight, specs[2].Weight = 2, 1, 2
+	res := core.Resources{Steps: 1000, TimeThreshold: 43.5, MemThreshold: 12 << 30}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveLexicographic(specs, res, core.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBurstBuffer measures the NVRAM burst-buffer write path.
+func BenchmarkBurstBuffer(b *testing.B) {
+	bb := iosim.NewBurstBuffer(1 << 41)
+	for i := 0; i < b.N; i++ {
+		bb.SustainedOutputTime(91<<30, 10, 500*time.Second, 32768)
+	}
+}
+
+// BenchmarkAMRRefine measures the global prolongation operator.
+func BenchmarkAMRRefine(b *testing.B) {
+	g, err := amr.NewSedov(amr.Config{BlocksX: 2, NB: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.RefineGlobally(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMemorySweep regenerates the mth ablation.
+func BenchmarkAblationMemorySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MemorySweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatMemorySweep(rows))
+		}
+	}
+}
+
+// BenchmarkCouplingValidation runs the full measure-solve-execute loop on
+// the real mini-app.
+func BenchmarkCouplingValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v, err := experiments.ValidateCoupling(2000, 40, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatCouplingValidation(v))
+		}
+	}
+}
+
+// BenchmarkAMRCheckpoint measures serializing the FLASH-style mesh state
+// (what Table 7's 91 GB outputs are, at laptop scale).
+func BenchmarkAMRCheckpoint(b *testing.B) {
+	g, err := amr.NewSedov(amr.Config{BlocksX: 3, NB: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Run(3)
+	b.SetBytes(g.CheckpointBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.WriteCheckpoint(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpeedHistogram measures the descriptive-statistics class kernel.
+func BenchmarkSpeedHistogram(b *testing.B) {
+	sys, err := md.NewWaterIons(md.Config{NAtoms: 4000, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := mdkernels.NewSpeedHistogram(sys, 64, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := k.Setup(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Analyze(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyAll regenerates and attests every scheduling experiment.
+func BenchmarkVerifyAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		checks, err := experiments.VerifyAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.FormatChecks(checks))
+		}
+	}
+}

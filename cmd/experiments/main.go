@@ -1,0 +1,167 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints them to stdout.
+//
+// Usage:
+//
+//	experiments [-only table5] [-quick] [-verify]
+//
+// -only selects a single experiment (table4..table8, figure2, figure4,
+// figure5, ablations, moldable, solver); the default runs everything.
+// -quick shrinks the measured (laptop-scale) experiments so the full suite
+// finishes in seconds. -verify checks the scheduling experiments against the
+// paper's published rows and exits nonzero on any mismatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"insitu/internal/core"
+	"insitu/internal/experiments"
+	"insitu/internal/machine"
+	"insitu/internal/moldable"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (table4..table8, figure2, figure4, figure5, ablations, moldable, solver)")
+	quick := flag.Bool("quick", false, "shrink measured experiments for a fast pass")
+	verify := flag.Bool("verify", false, "check the scheduling experiments against the paper's published values and exit")
+	flag.Parse()
+
+	if *verify {
+		checks, err := experiments.VerifyAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: verify: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatChecks(checks))
+		for _, c := range checks {
+			if !c.Pass {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	run := func(name string) bool { return *only == "" || *only == name }
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if run("table4") {
+		cfg := experiments.Table4Config{}
+		if *quick {
+			cfg = experiments.Table4Config{Atoms: []int{3000, 8000}, Steps: 30, OutputEvery: 10}
+		}
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			fail("table4", err)
+		}
+		fmt.Println(experiments.FormatTable4(rows))
+	}
+	if run("table5") {
+		rows, err := experiments.Table5()
+		if err != nil {
+			fail("table5", err)
+		}
+		fmt.Println(experiments.FormatTable5(rows))
+	}
+	if run("table6") {
+		rows, err := experiments.Table6()
+		if err != nil {
+			fail("table6", err)
+		}
+		fmt.Println(experiments.FormatTable6(rows))
+	}
+	if run("table7") {
+		rows, err := experiments.Table7()
+		if err != nil {
+			fail("table7", err)
+		}
+		nvram, err := experiments.Table7NVRAM()
+		if err != nil {
+			fail("table7-nvram", err)
+		}
+		rows = append(rows, nvram)
+		out := experiments.FormatTable7(rows)
+		fmt.Println(out + "(last row: outputs redirected to an NVRAM burst buffer, §5.3.5 what-if)")
+		fmt.Println()
+	}
+	if run("table8") {
+		rows, err := experiments.Table8()
+		if err != nil {
+			fail("table8", err)
+		}
+		fmt.Println(experiments.FormatTable8(rows))
+	}
+	if run("figure2") {
+		cfg := experiments.Figure2Config{}
+		if *quick {
+			cfg = experiments.Figure2Config{Sizes: []int{1500, 3000, 6000}, StepsPerSample: 4}
+		}
+		r, err := experiments.Figure2(cfg)
+		if err != nil {
+			fail("figure2", err)
+		}
+		fmt.Println(experiments.FormatFigure2(r))
+	}
+	if run("figure4") {
+		atoms := 4000
+		if *quick {
+			atoms = 3000
+		}
+		rows, err := experiments.Figure4(atoms)
+		if err != nil {
+			fail("figure4", err)
+		}
+		fmt.Println(experiments.FormatFigure4(rows))
+	}
+	if run("figure5") {
+		rows, err := experiments.Figure5()
+		if err != nil {
+			fail("figure5", err)
+		}
+		fmt.Println(experiments.FormatFigure5(rows))
+	}
+	if run("ablations") {
+		rows, err := experiments.MemorySweep()
+		if err != nil {
+			fail("ablations", err)
+		}
+		fmt.Println(experiments.FormatMemorySweep(rows))
+		v, err := experiments.ValidateCoupling(0, 0, 0)
+		if err != nil {
+			fail("coupling-validation", err)
+		}
+		fmt.Println(experiments.FormatCouplingValidation(v))
+	}
+	if run("moldable") {
+		var cands []moldable.Candidate
+		for _, ranks := range []int{2048, 4096, 8192, 16384, 32768} {
+			all := experiments.WaterIonsSpecs(ranks)
+			cands = append(cands, moldable.Candidate{
+				Ranks:         ranks,
+				SimSecPerStep: experiments.WaterIonsSimSecPerStep(ranks),
+				Specs:         []core.AnalysisSpec{all[0], all[1], all[3]},
+			})
+		}
+		cfg := moldable.Config{Steps: 1000, ThresholdPct: 10, MemThreshold: 12 << 30}
+		for _, obj := range []moldable.Objective{moldable.MaxScience, moldable.MaxSciencePerNodeHour, moldable.MinRuntime} {
+			advice, err := moldable.Advise(machine.Mira(), cands, cfg, obj)
+			if err != nil {
+				fail("moldable", err)
+			}
+			fmt.Print(advice.String())
+			fmt.Println()
+		}
+	}
+	if run("solver") {
+		min, max, err := experiments.SolverRuntime()
+		if err != nil {
+			fail("solver", err)
+		}
+		fmt.Printf("Solver runtime across Tables 5-6 instances: %v - %v (paper: 0.17 s - 1.36 s with CPLEX 12.6.1)\n", min, max)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("2, 1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != [3]float64{2, 1, 2} {
+		t.Fatalf("weights = %v", w)
+	}
+	if _, err := parseWeights("1,2"); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if _, err := parseWeights("a,b,c"); err == nil {
+		t.Fatal("expected number error")
+	}
+}
+
+func TestRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline too heavy for -short")
+	}
+	if err := run(2, 6, 10, 20, 5, 2, "1,1,1", false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Command insitu-sched solves the in-situ analysis scheduling problem for a
+// JSON problem description and prints the recommended schedule.
+//
+// Usage:
+//
+//	insitu-sched [-full] [-coupling] [-json] problem.json
+//
+// The input file holds the Table-1 parameters of each analysis plus the
+// resource envelope:
+//
+//	{
+//	  "resources": {
+//	    "steps": 1000,
+//	    "time_threshold_sec": 64.7,
+//	    "mem_threshold_bytes": 12884901888,
+//	    "bandwidth_bytes_per_sec": 4536000000
+//	  },
+//	  "analyses": [
+//	    {"name": "A1", "ct_sec": 0.065, "ot_sec": 0.005,
+//	     "fm_bytes": 67108864, "min_interval": 100, "weight": 1}
+//	  ]
+//	}
+//
+// -full selects the time-indexed formulation (small step counts only),
+// -coupling prints Figure-1 style coupling strings, and -json emits the
+// recommendation as JSON instead of text.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"insitu/internal/core"
+)
+
+type inputAnalysis struct {
+	Name        string  `json:"name"`
+	FTSec       float64 `json:"ft_sec"`
+	ITSec       float64 `json:"it_sec"`
+	CTSec       float64 `json:"ct_sec"`
+	OTSec       float64 `json:"ot_sec"`
+	FMBytes     int64   `json:"fm_bytes"`
+	IMBytes     int64   `json:"im_bytes"`
+	CMBytes     int64   `json:"cm_bytes"`
+	OMBytes     int64   `json:"om_bytes"`
+	Weight      float64 `json:"weight"`
+	MinInterval int     `json:"min_interval"`
+}
+
+type inputResources struct {
+	Steps     int     `json:"steps"`
+	TimeSec   float64 `json:"time_threshold_sec"`
+	MemBytes  int64   `json:"mem_threshold_bytes"`
+	Bandwidth float64 `json:"bandwidth_bytes_per_sec"`
+}
+
+type input struct {
+	Resources inputResources  `json:"resources"`
+	Analyses  []inputAnalysis `json:"analyses"`
+}
+
+func main() {
+	full := flag.Bool("full", false, "use the time-indexed formulation (equations 2-9 verbatim; small step counts only)")
+	coupling := flag.Bool("coupling", false, "print Figure-1 style coupling strings")
+	asJSON := flag.Bool("json", false, "emit the recommendation as JSON")
+	exportLP := flag.String("export-lp", "", "write the model in CPLEX LP format to this file (for cross-checking with external solvers)")
+	sensitivity := flag.Bool("sensitivity", false, "report the threshold at which each analysis gains one more step")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-export-lp model.lp] [-sensitivity] problem.json")
+		os.Exit(2)
+	}
+
+	specs, res, err := loadProblem(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *exportLP != "" {
+		f, err := os.Create(*exportLP)
+		if err != nil {
+			fatal(err)
+		}
+		exporter := core.ExportLP
+		if *full {
+			exporter = func(w io.Writer, s []core.AnalysisSpec, r core.Resources, _ core.SolveOptions) error {
+				return core.ExportFullLP(w, s, r)
+			}
+		}
+		if err := exporter(f, specs, res, core.SolveOptions{}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *exportLP)
+	}
+
+	solve := core.Solve
+	if *full {
+		solve = core.SolveFull
+	}
+	rec, err := solve(specs, res, core.SolveOptions{})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(rec.String())
+	fmt.Printf("threshold utilization: %.1f%%\n", rec.Utilization(res)*100)
+	if *sensitivity {
+		out, err := core.AnalyzeThresholdSensitivity(specs, res, core.SolveOptions{}, core.SensitivityOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nthreshold sensitivity (smallest budget buying one more step):")
+		for _, s := range out {
+			if math.IsInf(s.NextThreshold, 1) {
+				fmt.Printf("  %-24s count=%-4d saturated (interval bound)\n", s.Name, s.CurrentCount)
+				continue
+			}
+			fmt.Printf("  %-24s count=%-4d next at %.3fs (+%.3fs)\n",
+				s.Name, s.CurrentCount, s.NextThreshold, s.NextThreshold-res.TimeThreshold)
+		}
+	}
+	if *coupling {
+		fmt.Printf("\nschedule timeline ('.' sim, 'A' analysis, 'O' analysis+output):\n%s",
+			rec.GanttString(res, 100))
+		for _, s := range rec.Schedules {
+			if !s.Enabled {
+				continue
+			}
+			fmt.Printf("\n%s:\n%s\n", s.Name, core.CouplingString(res, s, 0))
+		}
+	}
+}
+
+// loadProblem parses the JSON problem description into solver inputs.
+func loadProblem(path string) ([]core.AnalysisSpec, core.Resources, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, core.Resources{}, err
+	}
+	var in input
+	if err := json.Unmarshal(raw, &in); err != nil {
+		return nil, core.Resources{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	specs := make([]core.AnalysisSpec, len(in.Analyses))
+	for i, a := range in.Analyses {
+		specs[i] = core.AnalysisSpec{
+			Name: a.Name,
+			FT:   a.FTSec, IT: a.ITSec, CT: a.CTSec, OT: a.OTSec,
+			FM: a.FMBytes, IM: a.IMBytes, CM: a.CMBytes, OM: a.OMBytes,
+			Weight:      a.Weight,
+			MinInterval: a.MinInterval,
+		}
+	}
+	res := core.Resources{
+		Steps:         in.Resources.Steps,
+		TimeThreshold: in.Resources.TimeSec,
+		MemThreshold:  in.Resources.MemBytes,
+		Bandwidth:     in.Resources.Bandwidth,
+	}
+	return specs, res, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "insitu-sched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"insitu/internal/core"
+)
+
+func writeProblem(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadProblem(t *testing.T) {
+	path := writeProblem(t, `{
+	  "resources": {
+	    "steps": 1000,
+	    "time_threshold_sec": 64.69,
+	    "mem_threshold_bytes": 1073741824,
+	    "bandwidth_bytes_per_sec": 4500000000
+	  },
+	  "analyses": [
+	    {"name": "A1", "ct_sec": 0.065, "ot_sec": 0.005, "fm_bytes": 1024,
+	     "min_interval": 100, "weight": 2},
+	    {"name": "A4", "ct_sec": 25.85, "im_bytes": 64, "om_bytes": 4096,
+	     "min_interval": 100}
+	  ]
+	}`)
+	specs, res, err := loadProblem(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	if specs[0].Name != "A1" || specs[0].CT != 0.065 || specs[0].Weight != 2 || specs[0].FM != 1024 {
+		t.Fatalf("spec A1 = %+v", specs[0])
+	}
+	if specs[1].IM != 64 || specs[1].OM != 4096 || specs[1].MinInterval != 100 {
+		t.Fatalf("spec A4 = %+v", specs[1])
+	}
+	if res.Steps != 1000 || res.TimeThreshold != 64.69 || res.MemThreshold != 1<<30 || res.Bandwidth != 4.5e9 {
+		t.Fatalf("resources = %+v", res)
+	}
+	// The loaded problem must actually solve.
+	rec, err := core.Solve(specs, res, core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schedule("A1").Count != 10 {
+		t.Fatalf("A1 count = %d", rec.Schedule("A1").Count)
+	}
+}
+
+func TestLoadProblemErrors(t *testing.T) {
+	if _, _, err := loadProblem(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected read error")
+	}
+	path := writeProblem(t, `{not json`)
+	if _, _, err := loadProblem(path); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

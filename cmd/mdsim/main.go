@@ -1,0 +1,171 @@
+// Command mdsim runs the molecular-dynamics mini-app with optimally
+// scheduled in-situ analyses: it profiles the analysis kernels against the
+// live simulation (§4), solves the scheduling MILP (§3.2), executes the
+// recommended schedule (§5), and reports predicted vs executed analysis
+// time.
+//
+// Usage:
+//
+//	mdsim [-system water|rhodopsin] [-atoms 4000] [-steps 200]
+//	      [-threshold-pct 10] [-interval 20] [-ranks 4] [-out results.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"insitu/internal/analysis"
+	"insitu/internal/analysis/mdkernels"
+	"insitu/internal/core"
+	"insitu/internal/coupling"
+	"insitu/internal/sim/md"
+)
+
+func main() {
+	system := flag.String("system", "water", "system to simulate: water (A1-A4) or rhodopsin (R1-R3)")
+	atoms := flag.Int("atoms", 4000, "number of particles")
+	steps := flag.Int("steps", 200, "simulation steps")
+	thresholdPct := flag.Float64("threshold-pct", 10, "in-situ analysis threshold as % of simulation time")
+	interval := flag.Int("interval", 20, "minimum interval between analysis steps")
+	ranks := flag.Int("ranks", 4, "analysis reduction ranks")
+	outPath := flag.String("out", "", "write analysis output to this file (default: discard)")
+	render := flag.Bool("render", false, "print a Figure-3 style ASCII snapshot before running")
+	flag.Parse()
+
+	if *render {
+		sys, err := buildSystem(*system, *atoms)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			os.Exit(1)
+		}
+		fmt.Print(sys.RenderSlice(72, 28, sys.Box[1]/4))
+	}
+	if err := run(*system, *atoms, *steps, *thresholdPct, *interval, *ranks, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "mdsim:", err)
+		os.Exit(1)
+	}
+}
+
+func buildSystem(system string, atoms int) (*md.System, error) {
+	cfg := md.Config{NAtoms: atoms, Seed: 1}
+	switch system {
+	case "water":
+		return md.NewWaterIons(cfg)
+	case "rhodopsin":
+		return md.NewRhodopsin(cfg)
+	}
+	return nil, fmt.Errorf("unknown system %q", system)
+}
+
+func run(system string, atoms, steps int, thresholdPct float64, interval, ranks int, outPath string) error {
+	cfg := md.Config{NAtoms: atoms, Seed: 1}
+	var sys *md.System
+	var err error
+	var kernels []analysis.Kernel
+	mk := func(k analysis.Kernel, e error) error {
+		if e != nil {
+			return e
+		}
+		kernels = append(kernels, k)
+		return nil
+	}
+	switch system {
+	case "water":
+		sys, err = md.NewWaterIons(cfg)
+		if err != nil {
+			return err
+		}
+		if err := mk(mdkernels.NewHydroniumRDF(sys, mdkernels.RDFConfig{Ranks: ranks})); err != nil {
+			return err
+		}
+		if err := mk(mdkernels.NewIonRDF(sys, mdkernels.RDFConfig{Ranks: ranks})); err != nil {
+			return err
+		}
+		if err := mk(mdkernels.NewVACF(sys, ranks)); err != nil {
+			return err
+		}
+		if err := mk(mdkernels.NewMSD(sys, ranks)); err != nil {
+			return err
+		}
+		if err := mk(mdkernels.NewStats(sys, ranks)); err != nil {
+			return err
+		}
+		if err := mk(mdkernels.NewSpeedHistogram(sys, 64, 4, ranks)); err != nil {
+			return err
+		}
+	case "rhodopsin":
+		sys, err = md.NewRhodopsin(cfg)
+		if err != nil {
+			return err
+		}
+		if err := mk(mdkernels.NewGyration(sys, ranks)); err != nil {
+			return err
+		}
+		if err := mk(mdkernels.NewMembraneHist(sys, mdkernels.HistConfig{Ranks: ranks})); err != nil {
+			return err
+		}
+		if err := mk(mdkernels.NewProteinHist(sys, mdkernels.HistConfig{Ranks: ranks})); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+
+	step := func() { sys.Step(0.002) }
+
+	// Estimate the simulation time per step to derive the threshold.
+	t0 := time.Now()
+	probe := 5
+	for i := 0; i < probe; i++ {
+		step()
+	}
+	simPerStep := time.Since(t0).Seconds() / float64(probe)
+	res := core.Resources{
+		Steps:         steps,
+		TimeThreshold: core.PercentThreshold(simPerStep, steps, thresholdPct),
+		MemThreshold:  1 << 32,
+	}
+	fmt.Printf("system=%s atoms=%d steps=%d sim=%.4fs/step threshold=%.3fs (%.0f%%)\n",
+		system, sys.N, steps, simPerStep, res.TimeThreshold, thresholdPct)
+
+	rec, specs, err := coupling.MeasureAndSolve(kernels, step, 4, interval, res)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nmeasured analysis profiles:")
+	for _, s := range specs {
+		fmt.Printf("  %-24s ct=%.5fs ot=%.5fs fm=%d im=%d\n", s.Name, s.CT, s.OT, s.FM, s.IM)
+	}
+	fmt.Println("\nrecommended schedule:")
+	fmt.Print(rec.String())
+
+	var out io.Writer = io.Discard
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	byName := map[string]analysis.Kernel{}
+	for _, k := range kernels {
+		byName[k.Name()] = k
+	}
+	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Output: out}
+	rep, err := runner.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nexecuted: sim=%v analyses=%v (%.1f%% of threshold)\n",
+		rep.SimTime, rep.AnalysisTime, rep.Utilization(res)*100)
+	for _, kr := range rep.Kernels {
+		fmt.Printf("  %-24s analyses=%d outputs=%d total=%v out_bytes=%d\n",
+			kr.Name, kr.Analyses, kr.Outputs, kr.Total(), kr.OutBytes)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Co-analysis placement example (the paper's §6 future work, implemented in
+// core.SolvePlacement): each analysis may run in-situ — consuming the
+// simulation-site time budget — or on dedicated staging nodes, paying only a
+// network transfer of its input at the simulation site. Expensive analyses
+// with compact inputs offload; cheap analyses, and those whose inputs are
+// the whole simulation state, stay in-situ.
+//
+// Run with:
+//
+//	go run ./examples/coanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insitu/internal/core"
+)
+
+func main() {
+	specs := []core.PlacementSpec{
+		{
+			// A cheap descriptive statistic: always best in-situ.
+			AnalysisSpec:  core.AnalysisSpec{Name: "statistics", CT: 0.05, MinInterval: 100},
+			TransferBytes: 512 << 20,
+		},
+		{
+			// Expensive topological analysis over a reduced feature set:
+			// 40 s of compute but only 2 GiB of input — a classic offload.
+			AnalysisSpec:  core.AnalysisSpec{Name: "topology", CT: 40, FM: 8 << 30, MinInterval: 100},
+			TransferBytes: 2 << 30,
+		},
+		{
+			// Visualization needs the full field every time: the transfer
+			// (100 GiB) costs more than rendering in place.
+			AnalysisSpec:  core.AnalysisSpec{Name: "render", CT: 2.0, MinInterval: 100},
+			TransferBytes: 100 << 30,
+		},
+	}
+	res := core.PlacementResources{
+		Resources: core.Resources{
+			Steps:         1000,
+			TimeThreshold: 30, // seconds at the simulation site
+			MemThreshold:  16 << 30,
+		},
+		NetBandwidth:   2e9, // 2 GB/s to the staging nodes
+		StageMemTotal:  64 << 30,
+		StageTimeTotal: 600,
+	}
+
+	rec, err := core.SolvePlacement(specs, res, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("objective %.0f; simulation site %.1fs of %.1fs, staging %.1fs of %.1fs\n\n",
+		rec.Objective, rec.SimSiteTime, res.TimeThreshold, rec.StageTime, res.StageTimeTotal)
+	for _, s := range rec.Schedules {
+		if !s.Enabled {
+			fmt.Printf("%-12s dropped (fits nowhere)\n", s.Name)
+			continue
+		}
+		fmt.Printf("%-12s %-12s frequency %-3d sim-site %.2fs staging %.2fs\n",
+			s.Name, s.Site, s.Count, s.SimSiteTime, s.StageTime)
+	}
+	fmt.Println("\nCompare with in-situ-only scheduling:")
+	inSituOnly := make([]core.AnalysisSpec, len(specs))
+	for i, p := range specs {
+		inSituOnly[i] = p.AnalysisSpec
+	}
+	base, err := core.Solve(inSituOnly, res.Resources, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range base.Schedules {
+		fmt.Printf("%-12s in-situ only: frequency %d\n", s.Name, s.Count)
+	}
+}

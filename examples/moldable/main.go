@@ -1,0 +1,84 @@
+// Moldable-jobs example (the Figure-5 scenario): the job scheduler may run
+// the same 100M-atom simulation on anywhere from 2048 to 32768 ranks. As the
+// rank count grows, the simulation gets faster, the 10% analysis budget
+// shrinks with it, and the scheduler automatically throttles the
+// non-scalable MSD analysis while keeping the scalable RDFs at full
+// frequency.
+//
+// Run with:
+//
+//	go run ./examples/moldable
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"insitu/internal/core"
+	"insitu/internal/machine"
+	"insitu/internal/moldable"
+)
+
+func main() {
+	mira := machine.Mira()
+	// Published per-step times of the 100M-atom water+ions run (§5.3.3).
+	simSec := map[int]float64{2048: 4.16, 4096: 2.12, 8192: 1.08, 16384: 0.61, 32768: 0.40}
+
+	fmt.Println("ranks  nodes  diameter  threshold(s)  A1  A2  A4   A4-bar")
+	for _, ranks := range []int{2048, 4096, 8192, 16384, 32768} {
+		part, err := mira.PartitionForRanks(ranks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Analysis profiles: RDFs strong-scale ~1/ranks from the 16384-rank
+		// baseline; MSD does not scale (§5.3.3).
+		scale := 16384.0 / float64(ranks)
+		specs := []core.AnalysisSpec{
+			{Name: "A1", CT: 0.0653 * scale, OT: 0.005 * scale, MinInterval: 100},
+			{Name: "A2", CT: 0.0653 * scale, OT: 0.005 * scale, MinInterval: 100},
+			{Name: "A4", CT: 25.85, OT: 0.05, FM: 4 << 30, MinInterval: 100},
+		}
+		res := core.Resources{
+			Steps:         1000,
+			TimeThreshold: core.PercentThreshold(simSec[ranks], 1000, 10),
+			MemThreshold:  part.TotalMemory() / 64, // a slice of the partition memory
+		}
+		rec, err := core.Solve(specs, res, core.SolveOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a4 := rec.Schedule("A4").Count
+		fmt.Printf("%-6d %-6d %-9d %-13.1f %-3d %-3d %-3d  %s\n",
+			ranks, part.Nodes, part.Diameter(), res.TimeThreshold,
+			rec.Schedule("A1").Count, rec.Schedule("A2").Count, a4,
+			strings.Repeat("#", a4))
+	}
+	fmt.Println("\nA1/A2 stay at the maximum frequency on every partition;")
+	fmt.Println("the non-scaling A4 decays as the budget shrinks — Figure 5's shape.")
+
+	// The moldable advisor ranks the candidate sizes for the scheduler.
+	var cands []moldable.Candidate
+	for _, ranks := range []int{2048, 4096, 8192, 16384, 32768} {
+		scale := 16384.0 / float64(ranks)
+		cands = append(cands, moldable.Candidate{
+			Ranks:         ranks,
+			SimSecPerStep: simSec[ranks],
+			Specs: []core.AnalysisSpec{
+				{Name: "A1", CT: 0.0653 * scale, OT: 0.005 * scale, MinInterval: 100},
+				{Name: "A2", CT: 0.0653 * scale, OT: 0.005 * scale, MinInterval: 100},
+				{Name: "A4", CT: 25.85, OT: 0.05, FM: 4 << 30, MinInterval: 100},
+			},
+		})
+	}
+	cfg := moldable.Config{Steps: 1000, ThresholdPct: 10, MemThreshold: 12 << 30}
+	for _, obj := range []moldable.Objective{moldable.MaxScience, moldable.MaxSciencePerNodeHour, moldable.MinRuntime} {
+		advice, err := moldable.Advise(mira, cands, cfg, obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(advice.String())
+		fmt.Printf("-> pick %d ranks\n", advice.Best.Ranks)
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: describe your analyses, describe your resources, solve, and
+// read back the recommended in-situ schedule.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"insitu/internal/core"
+)
+
+func main() {
+	// Two analyses with Table-1 style parameters: a cheap histogram and an
+	// expensive temporal analysis that buffers data every step (im) and
+	// flushes it at output steps.
+	specs := []core.AnalysisSpec{
+		{
+			Name:        "histogram",
+			CT:          0.02, // 20 ms per analysis step
+			OT:          0.005,
+			FM:          8 << 20,
+			CM:          1 << 20,
+			OM:          1 << 20,
+			MinInterval: 10,
+		},
+		{
+			Name:        "trajectory-msd",
+			CT:          0.5,
+			OT:          0.1,
+			FM:          256 << 20,
+			IM:          4 << 20, // buffers 4 MiB per simulation step
+			CM:          32 << 20,
+			OM:          16 << 20,
+			MinInterval: 10,
+		},
+	}
+
+	// The envelope: 500 simulation steps, 3 seconds of total analysis time
+	// (e.g. 10% of a 30-second run), 1.5 GiB of memory for analyses.
+	res := core.Resources{
+		Steps:         500,
+		TimeThreshold: 3.0,
+		MemThreshold:  3 << 29,
+	}
+
+	rec, err := core.Solve(specs, res, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Recommended in-situ schedule:")
+	fmt.Print(rec.String())
+	fmt.Printf("threshold utilization: %.1f%%\n\n", rec.Utilization(res)*100)
+
+	for _, s := range rec.Schedules {
+		if !s.Enabled {
+			fmt.Printf("%s: not schedulable within the envelope\n", s.Name)
+			continue
+		}
+		fmt.Printf("%s: analyze at steps %v\n", s.Name, s.AnalysisSteps)
+		fmt.Printf("%s: output  at steps %v\n", s.Name, s.OutputSteps)
+	}
+
+	// The Figure-1 coupling string for the first enabled schedule, over a
+	// shorter horizon so it fits a terminal line.
+	small := core.Resources{Steps: 40, TimeThreshold: 0.4}
+	recSmall, err := core.Solve(specs, small, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range recSmall.Schedules {
+		if s.Enabled {
+			fmt.Printf("\ncoupling (40 steps, sim output every 10): %s\n",
+				core.CouplingString(small, s, 10))
+			break
+		}
+	}
+}

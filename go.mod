@@ -1,0 +1,3 @@
+module insitu
+
+go 1.22

@@ -1,0 +1,171 @@
+package mdkernels
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"insitu/internal/comm"
+	"insitu/internal/sim/md"
+)
+
+// SpeedHistogram accumulates the distribution of particle speeds — another
+// §2.2 descriptive statistic, and a physics check: an equilibrated liquid
+// must follow the Maxwell-Boltzmann distribution
+//
+//	f(v) dv ∝ v^2 exp(-m v^2 / (2T)) dv.
+//
+// Each rank bins a stripe of particles; the histograms combine with
+// Allreduce.
+type SpeedHistogram struct {
+	sys   *md.System
+	bins  int
+	vmax  float64
+	ranks int
+	world *comm.World
+
+	hist    []float64
+	samples int
+}
+
+// NewSpeedHistogram builds the kernel; vmax 0 defaults to 4 (about 4 sigma
+// of a T*=1 distribution for unit mass).
+func NewSpeedHistogram(sys *md.System, bins int, vmax float64, ranks int) (*SpeedHistogram, error) {
+	if bins <= 0 {
+		bins = 64
+	}
+	if vmax <= 0 {
+		vmax = 4
+	}
+	if ranks == 0 {
+		ranks = 4
+	}
+	w, err := comm.NewWorld(ranks)
+	if err != nil {
+		return nil, err
+	}
+	return &SpeedHistogram{sys: sys, bins: bins, vmax: vmax, ranks: ranks, world: w}, nil
+}
+
+// Name implements analysis.Kernel.
+func (k *SpeedHistogram) Name() string { return "speed histogram" }
+
+// Setup allocates the fixed histogram.
+func (k *SpeedHistogram) Setup() (int64, error) {
+	k.hist = make([]float64, k.bins)
+	k.samples = 0
+	return int64(k.bins) * 8, nil
+}
+
+// PreStep is a no-op.
+func (k *SpeedHistogram) PreStep(step int) (int64, error) { return 0, nil }
+
+// Analyze bins all particle speeds and reduces across ranks.
+func (k *SpeedHistogram) Analyze(step int) (int64, error) {
+	var reduced []float64
+	err := k.world.Run(func(r *comm.Rank) error {
+		mine := make([]float64, k.bins)
+		for i := r.ID(); i < k.sys.N; i += r.Size() {
+			v := math.Sqrt(k.sys.Vel[i].Norm2())
+			b := int(v / k.vmax * float64(k.bins))
+			if b >= k.bins {
+				b = k.bins - 1
+			}
+			mine[b]++
+		}
+		out, err := r.Allreduce(mine, comm.Sum)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			reduced = out
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for b := range k.hist {
+		k.hist[b] += reduced[b]
+	}
+	k.samples++
+	return int64(k.ranks*k.bins) * 8, nil
+}
+
+// Output writes the normalized distribution with the Maxwell-Boltzmann
+// reference at the system temperature, then resets.
+func (k *SpeedHistogram) Output(dst io.Writer) (int64, error) {
+	var written int64
+	temp := k.sys.Temperature()
+	n, err := fmt.Fprintf(dst, "# speed histogram samples=%d T=%.4f (columns: v, f(v), maxwell-boltzmann)\n",
+		k.samples, temp)
+	if err != nil {
+		return written, err
+	}
+	written += int64(n)
+	total := 0.0
+	for _, c := range k.hist {
+		total += c
+	}
+	dv := k.vmax / float64(k.bins)
+	for b := 0; b < k.bins; b++ {
+		v := (float64(b) + 0.5) * dv
+		f := 0.0
+		if total > 0 {
+			f = k.hist[b] / total / dv
+		}
+		n, err := fmt.Fprintf(dst, "%.4f %.6f %.6f\n", v, f, MaxwellBoltzmann(v, 1, temp))
+		if err != nil {
+			return written, err
+		}
+		written += int64(n)
+	}
+	k.Free()
+	return written, nil
+}
+
+// Free resets the accumulated histogram.
+func (k *SpeedHistogram) Free() {
+	for b := range k.hist {
+		k.hist[b] = 0
+	}
+	k.samples = 0
+}
+
+// Distribution returns the normalized density f(v) per bin (for tests).
+func (k *SpeedHistogram) Distribution() []float64 {
+	total := 0.0
+	for _, c := range k.hist {
+		total += c
+	}
+	dv := k.vmax / float64(k.bins)
+	out := make([]float64, k.bins)
+	if total == 0 {
+		return out
+	}
+	for b := range out {
+		out[b] = k.hist[b] / total / dv
+	}
+	return out
+}
+
+// BinCenters returns the speed at each bin center.
+func (k *SpeedHistogram) BinCenters() []float64 {
+	dv := k.vmax / float64(k.bins)
+	out := make([]float64, k.bins)
+	for b := range out {
+		out[b] = (float64(b) + 0.5) * dv
+	}
+	return out
+}
+
+// MaxwellBoltzmann returns the equilibrium speed density f(v) for mass m at
+// reduced temperature T.
+func MaxwellBoltzmann(v, m, temp float64) float64 {
+	if temp <= 0 {
+		return 0
+	}
+	a := m / (2 * temp)
+	norm := 4 * math.Pi * math.Pow(m/(2*math.Pi*temp), 1.5)
+	return norm * v * v * math.Exp(-a*v*v)
+}

@@ -1,0 +1,124 @@
+package mdkernels
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"insitu/internal/comm"
+	"insitu/internal/sim/md"
+)
+
+// Stats computes descriptive statistics of the simulation state — the
+// first of the three analysis classes in Bennett et al. that the paper's
+// related work (§2.2) describes being run in-situ: per-step temperature,
+// pressure, kinetic/potential energy, and the min/max/mean speed across
+// particles, reduced across ranks.
+type Stats struct {
+	sys   *md.System
+	ranks int
+	world *comm.World
+
+	series [][6]float64 // T, P, KE, minV, maxV, meanV per analysis step
+}
+
+// NewStats builds a descriptive-statistics kernel.
+func NewStats(sys *md.System, ranks int) (*Stats, error) {
+	if ranks == 0 {
+		ranks = 4
+	}
+	w, err := comm.NewWorld(ranks)
+	if err != nil {
+		return nil, err
+	}
+	return &Stats{sys: sys, ranks: ranks, world: w}, nil
+}
+
+// Name implements analysis.Kernel.
+func (k *Stats) Name() string { return "stats" }
+
+// Setup is trivial: statistics read simulation memory directly.
+func (k *Stats) Setup() (int64, error) { return 0, nil }
+
+// PreStep is a no-op.
+func (k *Stats) PreStep(step int) (int64, error) { return 0, nil }
+
+// Analyze reduces sums, min and max across rank stripes.
+func (k *Stats) Analyze(step int) (int64, error) {
+	var row [6]float64
+	err := k.world.Run(func(r *comm.Rank) error {
+		// local: ke, sumSpeed, count
+		sums := []float64{0, 0, 0}
+		mn := []float64{math.Inf(1)}
+		mx := []float64{math.Inf(-1)}
+		for i := r.ID(); i < k.sys.N; i += r.Size() {
+			m := k.sys.Params[k.sys.Type[i]].Mass
+			v2 := k.sys.Vel[i].Norm2()
+			speed := math.Sqrt(v2)
+			sums[0] += 0.5 * m * v2
+			sums[1] += speed
+			sums[2]++
+			if speed < mn[0] {
+				mn[0] = speed
+			}
+			if speed > mx[0] {
+				mx[0] = speed
+			}
+		}
+		sumOut, err := r.Allreduce(sums, comm.Sum)
+		if err != nil {
+			return err
+		}
+		mnOut, err := r.Allreduce(mn, comm.Min)
+		if err != nil {
+			return err
+		}
+		mxOut, err := r.Allreduce(mx, comm.Max)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			n := sumOut[2]
+			row = [6]float64{
+				2 * sumOut[0] / (3 * n), // temperature
+				k.sys.Pressure(),
+				sumOut[0],
+				mnOut[0],
+				mxOut[0],
+				sumOut[1] / n,
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	k.series = append(k.series, row)
+	return int64(k.ranks) * 5 * 8, nil
+}
+
+// Output writes the statistics time series and clears it.
+func (k *Stats) Output(dst io.Writer) (int64, error) {
+	var written int64
+	n, err := fmt.Fprintf(dst, "# stats: T P KE vmin vmax vmean\n")
+	if err != nil {
+		return written, err
+	}
+	written += int64(n)
+	for i, row := range k.series {
+		n, err := fmt.Fprintf(dst, "%d %.6f %.6f %.4f %.6f %.6f %.6f\n",
+			i, row[0], row[1], row[2], row[3], row[4], row[5])
+		if err != nil {
+			return written, err
+		}
+		written += int64(n)
+	}
+	k.Free()
+	return written, nil
+}
+
+// Free clears the series.
+func (k *Stats) Free() { k.series = nil }
+
+// Series exposes the accumulated rows (for tests).
+func (k *Stats) Series() [][6]float64 { return k.series }

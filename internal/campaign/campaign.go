@@ -1,0 +1,256 @@
+// Package campaign is the front door of the library: it strings together
+// the full workflow of the paper for one science campaign — profile the
+// analysis kernels against the live simulation (§4), solve the scheduling
+// MILP under the chosen threshold policy (§3.2), execute the recommended
+// schedule (§5), and report predicted-versus-executed overhead. Downstream
+// codes embed their simulation behind the Simulation interface and their
+// analyses behind analysis.Kernel; everything else is configuration.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"insitu/internal/analysis"
+	"insitu/internal/core"
+	"insitu/internal/coupling"
+	"insitu/internal/iosim"
+	"insitu/internal/machine"
+)
+
+// Simulation is the minimal contract a simulation code implements to join a
+// campaign.
+type Simulation interface {
+	// Name identifies the application.
+	Name() string
+	// Step advances one simulation time step.
+	Step()
+	// MemoryBytes estimates the simulation's resident state, used to derive
+	// the memory available for analyses.
+	MemoryBytes() int64
+}
+
+// SimFunc adapts a name, step closure and memory estimate to Simulation.
+type SimFunc struct {
+	AppName  string
+	StepFn   func()
+	MemBytes int64
+}
+
+// Name implements Simulation.
+func (s SimFunc) Name() string { return s.AppName }
+
+// Step implements Simulation.
+func (s SimFunc) Step() { s.StepFn() }
+
+// MemoryBytes implements Simulation.
+func (s SimFunc) MemoryBytes() int64 { return s.MemBytes }
+
+// Config describes a campaign.
+type Config struct {
+	Machine *machine.Machine // defaults to machine.Laptop()
+	Sim     Simulation
+	Kernels []analysis.Kernel
+
+	// Steps is the production run length.
+	Steps int
+	// MinInterval is the itv applied to every analysis (a science choice).
+	MinInterval int
+
+	// ThresholdPercent sets the analysis budget as a percentage of the
+	// simulation time (§5.3.2); TotalThreshold sets it in absolute seconds
+	// (§5.3.4). Exactly one must be positive.
+	ThresholdPercent float64
+	TotalThreshold   float64
+
+	// MemBudget is the memory available for analyses; 0 derives it from the
+	// machine's per-node memory minus the simulation footprint.
+	MemBudget int64
+
+	// Storage supplies ot = om/bw for kernels that only report output
+	// volume; defaults to iosim.SustainedGPFS().
+	Storage *iosim.Target
+
+	// Weights prioritizes analyses by kernel name (others default to 1).
+	Weights map[string]float64
+	// Lexicographic treats the weights as strict priority classes.
+	Lexicographic bool
+
+	// ProbeSteps is how many simulation steps the profiling pass advances
+	// per kernel (default 4).
+	ProbeSteps int
+	// Output receives analysis output during execution (default discard).
+	Output io.Writer
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Sim == nil {
+		return c, fmt.Errorf("campaign: needs a simulation")
+	}
+	if len(c.Kernels) == 0 {
+		return c, fmt.Errorf("campaign: needs at least one analysis kernel")
+	}
+	if c.Steps <= 0 {
+		return c, fmt.Errorf("campaign: needs Steps > 0")
+	}
+	if (c.ThresholdPercent > 0) == (c.TotalThreshold > 0) {
+		return c, fmt.Errorf("campaign: set exactly one of ThresholdPercent and TotalThreshold")
+	}
+	if c.Machine == nil {
+		c.Machine = machine.Laptop()
+	}
+	if c.Storage == nil {
+		c.Storage = iosim.SustainedGPFS()
+	}
+	if c.MinInterval <= 0 {
+		c.MinInterval = 1
+	}
+	if c.ProbeSteps <= 0 {
+		c.ProbeSteps = 4
+	}
+	return c, nil
+}
+
+// Plan is the result of the profiling and solving phase.
+type Plan struct {
+	Specs         []core.AnalysisSpec
+	Resources     core.Resources
+	Rec           *core.Recommendation
+	SimSecPerStep float64
+}
+
+// Outcome is the result of executing a plan.
+type Outcome struct {
+	Plan   *Plan
+	Report *coupling.Report
+	// WithinThreshold reports whether the executed analysis time stayed
+	// inside the budget.
+	WithinThreshold bool
+}
+
+// Campaign drives one simulation-plus-analyses run.
+type Campaign struct {
+	cfg Config
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Campaign, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{cfg: c}, nil
+}
+
+// Plan profiles every kernel against the live simulation, derives the
+// resource envelope, and solves for the optimal schedule.
+func (c *Campaign) Plan() (*Plan, error) {
+	cfg := c.cfg
+
+	// Probe the simulation speed.
+	t0 := time.Now()
+	probe := 5
+	for i := 0; i < probe; i++ {
+		cfg.Sim.Step()
+	}
+	simPerStep := time.Since(t0).Seconds() / float64(probe)
+
+	// Profile kernels.
+	var specs []core.AnalysisSpec
+	for _, k := range cfg.Kernels {
+		interval := cfg.ProbeSteps / 2
+		if interval < 1 {
+			interval = 1
+		}
+		costs, err := analysis.Measure(k, cfg.Sim.Step, cfg.ProbeSteps, interval)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: profiling %s: %w", k.Name(), err)
+		}
+		spec := coupling.SpecFromCosts(costs, cfg.MinInterval)
+		if w, ok := cfg.Weights[spec.Name]; ok {
+			spec.Weight = w
+		}
+		specs = append(specs, spec)
+	}
+
+	// Resource envelope.
+	threshold := cfg.TotalThreshold
+	if cfg.ThresholdPercent > 0 {
+		threshold = core.PercentThreshold(simPerStep, cfg.Steps, cfg.ThresholdPercent)
+	}
+	mem := cfg.MemBudget
+	if mem <= 0 {
+		mem = cfg.Machine.MemPerNode - cfg.Sim.MemoryBytes()
+		if mem < 1<<20 {
+			mem = 1 << 20
+		}
+	}
+	res := core.Resources{
+		Steps:         cfg.Steps,
+		TimeThreshold: threshold,
+		MemThreshold:  mem,
+		Bandwidth:     cfg.Storage.BytesPerSec,
+	}
+
+	solve := core.Solve
+	if cfg.Lexicographic {
+		solve = core.SolveLexicographic
+	}
+	rec, err := solve(specs, res, core.SolveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Specs: specs, Resources: res, Rec: rec, SimSecPerStep: simPerStep}, nil
+}
+
+// Execute runs the plan's schedule against the simulation.
+func (c *Campaign) Execute(p *Plan) (*Outcome, error) {
+	byName := map[string]analysis.Kernel{}
+	for _, k := range c.cfg.Kernels {
+		byName[k.Name()] = k
+	}
+	runner := &coupling.Runner{
+		Step:    c.cfg.Sim.Step,
+		Kernels: byName,
+		Rec:     p.Rec,
+		Res:     p.Resources,
+		Output:  c.cfg.Output,
+	}
+	rep, err := runner.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Plan:            p,
+		Report:          rep,
+		WithinThreshold: rep.AnalysisTime.Seconds() <= p.Resources.TimeThreshold,
+	}, nil
+}
+
+// Run plans and executes in one call.
+func (c *Campaign) Run() (*Outcome, error) {
+	p, err := c.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return c.Execute(p)
+}
+
+// Summary renders the §5-style report: the recommendation, then executed
+// versus threshold.
+func (o *Outcome) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan (sim %.4fs/step, threshold %.3fs, mem %d):\n",
+		o.Plan.SimSecPerStep, o.Plan.Resources.TimeThreshold, o.Plan.Resources.MemThreshold)
+	b.WriteString(o.Plan.Rec.String())
+	fmt.Fprintf(&b, "executed: sim %v, analyses %v (%.1f%% of threshold), within=%v\n",
+		o.Report.SimTime, o.Report.AnalysisTime,
+		o.Report.Utilization(o.Plan.Resources)*100, o.WithinThreshold)
+	for _, kr := range o.Report.Kernels {
+		fmt.Fprintf(&b, "  %-26s analyses=%-4d outputs=%-4d total=%v\n",
+			kr.Name, kr.Analyses, kr.Outputs, kr.Total())
+	}
+	return b.String()
+}

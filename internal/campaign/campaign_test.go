@@ -1,0 +1,155 @@
+package campaign
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"insitu/internal/analysis"
+	"insitu/internal/analysis/amrkernels"
+	"insitu/internal/analysis/mdkernels"
+	"insitu/internal/sim/amr"
+	"insitu/internal/sim/md"
+)
+
+func mdCampaign(t *testing.T, pct, total float64) *Campaign {
+	t.Helper()
+	sys, err := md.NewWaterIons(md.Config{NAtoms: 1500, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdf, err := mdkernels.NewHydroniumRDF(sys, mdkernels.RDFConfig{Bins: 32, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msd, err := mdkernels.NewMSD(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Sim: SimFunc{
+			AppName:  "water+ions",
+			StepFn:   func() { sys.Step(0.002) },
+			MemBytes: sys.MemoryBytes(),
+		},
+		Kernels:          []analysis.Kernel{rdf, msd},
+		Steps:            40,
+		MinInterval:      5,
+		ThresholdPercent: pct,
+		TotalThreshold:   total,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCampaignEndToEndMD(t *testing.T) {
+	c := mdCampaign(t, 20, 0)
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan.Rec.TotalAnalyses() == 0 {
+		t.Fatal("nothing scheduled")
+	}
+	for _, kr := range out.Report.Kernels {
+		s := out.Plan.Rec.Schedule(kr.Name)
+		if kr.Analyses != s.Count {
+			t.Fatalf("%s: executed %d of %d", kr.Name, kr.Analyses, s.Count)
+		}
+	}
+	sum := out.Summary()
+	for _, want := range []string{"plan (", "executed:", "A1 hydronium rdf"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestCampaignTotalThresholdAMR(t *testing.T) {
+	grid, err := amr.NewSedov(amr.Config{BlocksX: 2, NB: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := amrkernels.NewL2Norm(grid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c, err := New(Config{
+		Sim: SimFunc{
+			AppName:  "sedov",
+			StepFn:   func() { grid.StepCFL() },
+			MemBytes: grid.MemoryBytes(),
+		},
+		Kernels:        []analysis.Kernel{f3},
+		Steps:          20,
+		MinInterval:    4,
+		TotalThreshold: 5,
+		Output:         &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Plan.Rec.Schedule("F3 L2 error norm")
+	if s.Count != 5 {
+		t.Fatalf("F3 count = %d, want 5 (20 steps / itv 4)", s.Count)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("analysis output not captured")
+	}
+	if !out.WithinThreshold {
+		t.Fatalf("cheap kernel blew a 5s budget: %v", out.Report.AnalysisTime)
+	}
+}
+
+func TestCampaignWeights(t *testing.T) {
+	c := mdCampaign(t, 20, 0)
+	c.cfg.Weights = map[string]float64{"A4 msd": 3}
+	c.cfg.Lexicographic = true
+	p, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Specs {
+		if s.Name == "A4 msd" && s.Weight != 3 {
+			t.Fatalf("weight not applied: %+v", s)
+		}
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected simulation error")
+	}
+	sim := SimFunc{AppName: "x", StepFn: func() {}}
+	if _, err := New(Config{Sim: sim}); err == nil {
+		t.Fatal("expected kernel error")
+	}
+	k := dummyKernel{}
+	if _, err := New(Config{Sim: sim, Kernels: []analysis.Kernel{k}}); err == nil {
+		t.Fatal("expected steps error")
+	}
+	if _, err := New(Config{Sim: sim, Kernels: []analysis.Kernel{k}, Steps: 10}); err == nil {
+		t.Fatal("expected threshold error")
+	}
+	if _, err := New(Config{Sim: sim, Kernels: []analysis.Kernel{k}, Steps: 10,
+		ThresholdPercent: 5, TotalThreshold: 5}); err == nil {
+		t.Fatal("expected double-threshold error")
+	}
+}
+
+type dummyKernel struct{}
+
+func (dummyKernel) Name() string                    { return "dummy" }
+func (dummyKernel) Setup() (int64, error)           { return 0, nil }
+func (dummyKernel) PreStep(int) (int64, error)      { return 0, nil }
+func (dummyKernel) Analyze(int) (int64, error)      { return 0, nil }
+func (dummyKernel) Output(io.Writer) (int64, error) { return 0, nil }
+func (dummyKernel) Free()                           {}

@@ -1,0 +1,107 @@
+package comm
+
+import "fmt"
+
+// Additional collectives used by the mini-apps and available to analysis
+// kernels. The binomial-tree Reduce/Bcast in comm.go are latency-optimal for
+// small payloads; AllreduceRD is the bandwidth-optimal recursive-doubling
+// variant real MPI implementations switch to for larger vectors.
+
+const (
+	tagScatter = -2000 - iota
+	tagAlltoall
+	tagRD
+)
+
+// Scatter distributes parts[i] from root to rank i and returns each rank's
+// part. Only root may pass a non-nil parts slice, with exactly Size entries.
+func (r *Rank) Scatter(root int, parts [][]float64) ([]float64, error) {
+	if r.id == root {
+		if len(parts) != r.w.size {
+			return nil, fmt.Errorf("comm: scatter needs %d parts, got %d", r.w.size, len(parts))
+		}
+		for dst := 0; dst < r.w.size; dst++ {
+			if dst == root {
+				continue
+			}
+			r.Send(dst, tagScatter, parts[dst])
+		}
+		return append([]float64(nil), parts[root]...), nil
+	}
+	data, _, err := r.Recv(root, tagScatter)
+	return data, err
+}
+
+// Alltoall sends parts[j] to rank j and returns the vector of received
+// parts indexed by sender. parts must have Size entries.
+func (r *Rank) Alltoall(parts [][]float64) ([][]float64, error) {
+	if len(parts) != r.w.size {
+		return nil, fmt.Errorf("comm: alltoall needs %d parts, got %d", r.w.size, len(parts))
+	}
+	for dst := 0; dst < r.w.size; dst++ {
+		if dst == r.id {
+			continue
+		}
+		r.Send(dst, tagAlltoall, parts[dst])
+	}
+	out := make([][]float64, r.w.size)
+	out[r.id] = append([]float64(nil), parts[r.id]...)
+	for i := 0; i < r.w.size-1; i++ {
+		data, from, err := r.Recv(AnySource, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = data
+	}
+	return out, nil
+}
+
+// AllreduceRD performs an allreduce with the recursive-doubling algorithm:
+// log2(P) exchange rounds for power-of-two P, with a fold phase that first
+// collapses the non-power-of-two remainder onto the lower ranks and
+// re-expands at the end. For commutative ops it produces the same result as
+// Allreduce up to floating-point association.
+func (r *Rank) AllreduceRD(vals []float64, op Op) ([]float64, error) {
+	p := r.w.size
+	acc := append([]float64(nil), vals...)
+	if p == 1 {
+		return acc, nil
+	}
+	// Largest power of two <= p.
+	pow := 1
+	for pow*2 <= p {
+		pow *= 2
+	}
+	rem := p - pow
+
+	// Fold: ranks [pow, p) send to [0, rem) and wait for the result.
+	if r.id >= pow {
+		r.Send(r.id-pow, tagRD, acc)
+		data, _, err := r.Recv(r.id-pow, tagRD)
+		return data, err
+	}
+	if r.id < rem {
+		data, _, err := r.Recv(r.id+pow, tagRD)
+		if err != nil {
+			return nil, err
+		}
+		op(acc, data)
+	}
+
+	// Recursive doubling among [0, pow).
+	for mask := 1; mask < pow; mask <<= 1 {
+		partner := r.id ^ mask
+		r.Send(partner, tagRD, acc)
+		data, _, err := r.Recv(partner, tagRD)
+		if err != nil {
+			return nil, err
+		}
+		op(acc, data)
+	}
+
+	// Unfold: return results to the folded ranks.
+	if r.id < rem {
+		r.Send(r.id+pow, tagRD, acc)
+	}
+	return acc, nil
+}

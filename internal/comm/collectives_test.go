@@ -1,0 +1,136 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestScatter(t *testing.T) {
+	run(t, 5, func(r *Rank) error {
+		var parts [][]float64
+		if r.ID() == 2 {
+			parts = make([][]float64, 5)
+			for i := range parts {
+				parts[i] = []float64{float64(i * 7)}
+			}
+		}
+		got, err := r.Scatter(2, parts)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0] != float64(r.ID()*7) {
+			return fmt.Errorf("rank %d got %v", r.ID(), got)
+		}
+		return nil
+	})
+}
+
+func TestScatterValidation(t *testing.T) {
+	w, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *Rank) error {
+		if r.ID() == 0 {
+			if _, err := r.Scatter(0, [][]float64{{1}}); err == nil {
+				return fmt.Errorf("expected parts-length error")
+			}
+			// Unblock the other ranks properly afterwards.
+			parts := [][]float64{{0}, {1}, {2}}
+			_, err := r.Scatter(0, parts)
+			return err
+		}
+		_, err := r.Scatter(0, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	run(t, 4, func(r *Rank) error {
+		parts := make([][]float64, 4)
+		for j := range parts {
+			parts[j] = []float64{float64(r.ID()*10 + j)}
+		}
+		got, err := r.Alltoall(parts)
+		if err != nil {
+			return err
+		}
+		for from, part := range got {
+			want := float64(from*10 + r.ID())
+			if len(part) != 1 || part[0] != want {
+				return fmt.Errorf("rank %d from %d: %v, want %g", r.ID(), from, part, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoallValidation(t *testing.T) {
+	run(t, 2, func(r *Rank) error {
+		if r.ID() == 0 {
+			if _, err := r.Alltoall([][]float64{{1}}); err == nil {
+				return fmt.Errorf("expected parts-length error")
+			}
+		}
+		// Complete a proper alltoall so both ranks exit cleanly.
+		_, err := r.Alltoall([][]float64{{0}, {1}})
+		return err
+	})
+}
+
+func TestAllreduceRDMatchesTree(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 7, 8, 12} {
+		size := size
+		t.Run(fmt.Sprintf("p%d", size), func(t *testing.T) {
+			run(t, size, func(r *Rank) error {
+				in := []float64{float64(r.ID() + 1), float64(r.ID() * r.ID())}
+				rd, err := r.AllreduceRD(in, Sum)
+				if err != nil {
+					return err
+				}
+				tree, err := r.Allreduce(in, Sum)
+				if err != nil {
+					return err
+				}
+				for i := range rd {
+					if math.Abs(rd[i]-tree[i]) > 1e-9 {
+						return fmt.Errorf("rank %d: rd=%v tree=%v", r.ID(), rd, tree)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAllreduceRDMax(t *testing.T) {
+	run(t, 6, func(r *Rank) error {
+		out, err := r.AllreduceRD([]float64{float64(r.ID())}, Max)
+		if err != nil {
+			return err
+		}
+		if out[0] != 5 {
+			return fmt.Errorf("max = %v", out)
+		}
+		return nil
+	})
+}
+
+func TestAllreduceRDRepeated(t *testing.T) {
+	run(t, 5, func(r *Rank) error {
+		for iter := 0; iter < 30; iter++ {
+			out, err := r.AllreduceRD([]float64{float64(iter)}, Sum)
+			if err != nil {
+				return err
+			}
+			if out[0] != float64(5*iter) {
+				return fmt.Errorf("iter %d: %v", iter, out)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,401 @@
+// Package comm is a message-passing runtime that plays the role MPI plays in
+// the paper's applications. Ranks are goroutines inside one process; they
+// exchange tagged messages through mailboxes and implement the collectives
+// the analysis kernels need (Barrier, Reduce, Allreduce, Bcast, Gather,
+// Allgather) with binomial-tree algorithms, so communication volume and
+// depth behave like real MPI implementations.
+//
+// The package also provides NetworkModel, an analytic latency/bandwidth/hops
+// cost model parameterized by torus diameter. The paper predicts collective
+// time via bilinear interpolation with network diameter as the y-variable
+// (§4, Figure 2); NetworkModel is the ground truth that experiment
+// reproduces.
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// message is a tagged payload in flight between two ranks.
+type message struct {
+	from, tag int
+	data      []float64
+}
+
+// mailbox is a rank's incoming message queue with blocking matched receive.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	closed  bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.pending = append(mb.pending, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take blocks until a message matching (from, tag) is available and removes
+// it. from == AnySource matches any sender.
+func (mb *mailbox) take(from, tag int) (message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.pending {
+			if (from == AnySource || m.from == from) && m.tag == tag {
+				mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+				return m, nil
+			}
+		}
+		if mb.closed {
+			return message{}, fmt.Errorf("comm: world shut down while waiting for message from=%d tag=%d", from, tag)
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// World is a fixed-size group of ranks.
+type World struct {
+	size  int
+	boxes []*mailbox
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("comm: world size %d", size)
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn concurrently on every rank and waits for all of them. The
+// first non-nil error is returned; if any rank fails, mailboxes are closed so
+// blocked ranks unwind instead of deadlocking.
+func (w *World) Run(fn func(r *Rank) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	var once sync.Once
+	for i := 0; i < w.size; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := fn(&Rank{id: id, w: w}); err != nil {
+				errs[id] = err
+				once.Do(func() {
+					for _, mb := range w.boxes {
+						mb.close()
+					}
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Reset closed mailboxes for potential reuse after an error-free run.
+	return nil
+}
+
+// Rank is one participant in a World. All methods are collective or
+// point-to-point operations in MPI style.
+type Rank struct {
+	id int
+	w  *World
+}
+
+// ID returns the rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.size }
+
+// Send delivers data to rank `to` with the given tag. The slice is copied,
+// so the caller may reuse it immediately.
+func (r *Rank) Send(to, tag int, data []float64) {
+	if to < 0 || to >= r.w.size {
+		panic(fmt.Sprintf("comm: send to rank %d of %d", to, r.w.size))
+	}
+	cp := append([]float64(nil), data...)
+	r.w.boxes[to].put(message{from: r.id, tag: tag, data: cp})
+}
+
+// Recv blocks until a message with the given tag arrives from rank `from`
+// (or any rank if from == AnySource) and returns its payload and sender.
+func (r *Rank) Recv(from, tag int) ([]float64, int, error) {
+	m, err := r.w.boxes[r.id].take(from, tag)
+	if err != nil {
+		return nil, -1, err
+	}
+	return m.data, m.from, nil
+}
+
+// Reserved internal tags; user tags must be >= 0 and are offset to avoid
+// collisions.
+const (
+	tagBarrier = -1000 - iota
+	tagReduce
+	tagBcast
+	tagGather
+	tagUser = 0
+)
+
+// Barrier blocks until every rank has entered it. Implemented as a reduce to
+// rank 0 followed by a broadcast over a binomial tree: 2*ceil(log2 P) rounds.
+func (r *Rank) Barrier() error {
+	if _, err := r.reduceTree(0, tagBarrier, nil, Sum); err != nil {
+		return err
+	}
+	_, err := r.bcastTree(0, tagBarrier, nil)
+	return err
+}
+
+// Op is a reduction operator over float64 vectors.
+type Op func(dst, src []float64)
+
+// Sum accumulates src into dst elementwise.
+func Sum(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Max keeps the elementwise maximum in dst.
+func Max(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Min keeps the elementwise minimum in dst.
+func Min(dst, src []float64) {
+	for i := range dst {
+		if src[i] < dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// reduceTree reduces vals onto root over a binomial tree rooted at root.
+// Returns the reduced vector at root (nil elsewhere).
+func (r *Rank) reduceTree(root, tag int, vals []float64, op Op) ([]float64, error) {
+	p := r.w.size
+	// Re-index ranks so the root is virtual rank 0.
+	vr := (r.id - root + p) % p
+	acc := append([]float64(nil), vals...)
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			dst := ((vr &^ mask) + root) % p
+			r.Send(dst, tag, acc)
+			return nil, nil
+		}
+		partner := vr | mask
+		if partner < p {
+			src := (partner + root) % p
+			data, _, err := r.Recv(src, tag)
+			if err != nil {
+				return nil, err
+			}
+			if len(acc) == 0 {
+				acc = data
+			} else {
+				op(acc, data)
+			}
+		}
+	}
+	return acc, nil
+}
+
+// bcastTree broadcasts vals from root over a binomial tree and returns the
+// received vector on every rank.
+func (r *Rank) bcastTree(root, tag int, vals []float64) ([]float64, error) {
+	p := r.w.size
+	vr := (r.id - root + p) % p
+	data := append([]float64(nil), vals...)
+	// Find the highest mask at which this rank receives.
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			src := ((vr &^ mask) + root) % p
+			got, _, err := r.Recv(src, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = got
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children below the receiving mask.
+	mask >>= 1
+	for ; mask > 0; mask >>= 1 {
+		child := vr | mask
+		if child < p && child != vr {
+			dst := (child + root) % p
+			r.Send(dst, tag, data)
+		}
+	}
+	return data, nil
+}
+
+// Reduce combines vals from all ranks onto root with op. The reduced vector
+// is returned at root; other ranks receive nil.
+func (r *Rank) Reduce(root int, vals []float64, op Op) ([]float64, error) {
+	return r.reduceTree(root, tagReduce, vals, op)
+}
+
+// Bcast distributes root's vals to every rank and returns them.
+func (r *Rank) Bcast(root int, vals []float64) ([]float64, error) {
+	return r.bcastTree(root, tagBcast, vals)
+}
+
+// Allreduce combines vals across all ranks with op and returns the result on
+// every rank (reduce + broadcast).
+func (r *Rank) Allreduce(vals []float64, op Op) ([]float64, error) {
+	red, err := r.reduceTree(0, tagReduce, vals, op)
+	if err != nil {
+		return nil, err
+	}
+	return r.bcastTree(0, tagBcast, red)
+}
+
+// Gather collects each rank's vals at root. Root receives a slice indexed by
+// rank; other ranks receive nil. Contributions may have different lengths.
+func (r *Rank) Gather(root int, vals []float64) ([][]float64, error) {
+	if r.id != root {
+		r.Send(root, tagGather, vals)
+		return nil, nil
+	}
+	out := make([][]float64, r.w.size)
+	out[root] = append([]float64(nil), vals...)
+	for i := 0; i < r.w.size-1; i++ {
+		data, from, err := r.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[from] = data
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's vals on every rank.
+func (r *Rank) Allgather(vals []float64) ([][]float64, error) {
+	parts, err := r.Gather(0, vals)
+	if err != nil {
+		return nil, err
+	}
+	if r.id == 0 {
+		// Flatten with length prefixes for the broadcast.
+		flat := []float64{float64(len(parts))}
+		for _, p := range parts {
+			flat = append(flat, float64(len(p)))
+			flat = append(flat, p...)
+		}
+		if _, err := r.bcastTree(0, tagBcast, flat); err != nil {
+			return nil, err
+		}
+		return parts, nil
+	}
+	flat, err := r.bcastTree(0, tagBcast, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := int(flat[0])
+	out := make([][]float64, n)
+	pos := 1
+	for i := 0; i < n; i++ {
+		l := int(flat[pos])
+		pos++
+		out[i] = append([]float64(nil), flat[pos:pos+l]...)
+		pos += l
+	}
+	return out, nil
+}
+
+// NetworkModel is an analytic cost model for the interconnect: per-message
+// latency, per-hop latency, and link bandwidth. Collective times follow the
+// standard log-tree alpha-beta model plus a diameter term, which is the
+// dependence the paper exploits when it interpolates communication time over
+// network diameter.
+type NetworkModel struct {
+	Alpha       time.Duration // per-message software latency
+	PerHop      time.Duration // per-hop wire latency
+	BytesPerSec float64       // link bandwidth
+}
+
+// BGQNetwork returns a Blue Gene/Q-like 5D torus model (about 2 GB/s links,
+// ~40 ns per hop, microsecond-scale message latency).
+func BGQNetwork() *NetworkModel {
+	return &NetworkModel{
+		Alpha:       1200 * time.Nanosecond,
+		PerHop:      40 * time.Nanosecond,
+		BytesPerSec: 1.8e9,
+	}
+}
+
+// PointToPoint returns the modeled time to move `bytes` across `hops` links.
+func (nm *NetworkModel) PointToPoint(bytes int64, hops int) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	t := float64(nm.Alpha) + float64(hops)*float64(nm.PerHop) + float64(bytes)/nm.BytesPerSec*float64(time.Second)
+	return time.Duration(t)
+}
+
+// AllreduceTime returns the modeled time of an allreduce of `bytes` per rank
+// across `ranks` ranks on a torus with the given diameter: 2·log2(P) message
+// rounds, each crossing up to the diameter, moving 2·bytes total per link.
+func (nm *NetworkModel) AllreduceTime(bytes int64, ranks, diameter int) time.Duration {
+	if ranks <= 1 {
+		return 0
+	}
+	rounds := 2 * math.Ceil(math.Log2(float64(ranks)))
+	t := rounds*float64(nm.Alpha) +
+		float64(diameter)*float64(nm.PerHop)*2 +
+		2*float64(bytes)/nm.BytesPerSec*float64(time.Second)
+	return time.Duration(t)
+}
+
+// GatherTime returns the modeled time of gathering `bytes` per rank to a
+// root: the root link is the bottleneck.
+func (nm *NetworkModel) GatherTime(bytes int64, ranks, diameter int) time.Duration {
+	if ranks <= 1 {
+		return 0
+	}
+	t := math.Ceil(math.Log2(float64(ranks)))*float64(nm.Alpha) +
+		float64(diameter)*float64(nm.PerHop) +
+		float64(bytes)*float64(ranks-1)/nm.BytesPerSec*float64(time.Second)
+	return time.Duration(t)
+}

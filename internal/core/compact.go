@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"insitu/internal/lp"
+	"insitu/internal/milp"
+)
+
+// SolveOptions tune the MILP search.
+type SolveOptions struct {
+	// MaxNodes caps branch-and-bound nodes (default: milp's default).
+	MaxNodes int
+	// MaxCount caps the modes enumerated per analysis; 0 uses the natural
+	// bound Steps/MinInterval.
+	MaxCount int
+}
+
+// mode is one candidate (count, output-stride) schedule for an analysis.
+type mode struct {
+	count   int
+	k       int // output after every k-th analysis step
+	outputs int
+	cost    float64
+	peakMem int64
+}
+
+// enumerateModes lists every feasible (count, k) pair for one analysis:
+// count from 1 to Steps/itv, k from 1 to count. Modes whose standalone cost
+// already exceeds the thresholds are pruned.
+func enumerateModes(a AnalysisSpec, res Resources, maxCount int) []mode {
+	bound := res.Steps / a.MinInterval
+	if maxCount > 0 && bound > maxCount {
+		bound = maxCount
+	}
+	var out []mode
+	for count := 1; count <= bound; count++ {
+		as := expandSteps(res.Steps, count)
+		kMin := 1
+		if a.OutputOptional {
+			kMin = 0 // k = 0: never output
+		}
+		for k := kMin; k <= count; k++ {
+			os := expandOutputs(as, k)
+			m := mode{
+				count:   count,
+				k:       k,
+				outputs: len(os),
+				cost:    modeCost(a, res, count, len(os)),
+				peakMem: modePeakMemory(a, res.Steps, as, os),
+			}
+			if res.TimeThreshold > 0 && m.cost > res.TimeThreshold {
+				continue
+			}
+			if res.MemThreshold > 0 && m.peakMem > res.MemThreshold {
+				continue
+			}
+			// Dominance pruning: for equal count, keep only the cheapest
+			// (cost, mem) frontier over k. A mode dominated in both cost and
+			// peak memory by another same-count mode can never be optimal.
+			dominated := false
+			for _, e := range out {
+				if e.count == count && e.cost <= m.cost && e.peakMem <= m.peakMem {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// compactRef records which analysis and mode a compact-model binary selects.
+type compactRef struct {
+	analysis int
+	m        mode
+}
+
+// buildCompactProblem constructs the compact mode-based MILP over the
+// normalized specs. It is shared by Solve and ExportLP.
+func buildCompactProblem(norm []AnalysisSpec, res Resources, opts SolveOptions) (*milp.Problem, []compactRef) {
+	prob := milp.NewProblem(&lp.Problem{})
+	var refs []compactRef
+	var timeIdx []int
+	var timeCoef []float64
+	var memIdx []int
+	var memCoef []float64
+	perAnalysis := make([][]int, len(norm))
+
+	for i, a := range norm {
+		for _, m := range enumerateModes(a, res, opts.MaxCount) {
+			// Objective: enabling contributes 1 (membership in A) plus
+			// w_i per analysis step.
+			obj := 1 + a.Weight*float64(m.count)
+			j := prob.AddBinVar(obj, fmt.Sprintf("x[%s,n=%d,k=%d]", a.Name, m.count, m.k))
+			refs = append(refs, compactRef{analysis: i, m: m})
+			perAnalysis[i] = append(perAnalysis[i], j)
+			timeIdx = append(timeIdx, j)
+			timeCoef = append(timeCoef, m.cost)
+			memIdx = append(memIdx, j)
+			memCoef = append(memCoef, float64(m.peakMem))
+		}
+	}
+
+	for i, vars := range perAnalysis {
+		if len(vars) == 0 {
+			continue
+		}
+		ones := make([]float64, len(vars))
+		for k := range ones {
+			ones[k] = 1
+		}
+		prob.LP.AddConstraint(vars, ones, lp.LE, 1, fmt.Sprintf("one-mode[%s]", norm[i].Name))
+	}
+	if res.TimeThreshold > 0 && len(timeIdx) > 0 {
+		prob.LP.AddConstraint(timeIdx, timeCoef, lp.LE, res.TimeThreshold, "time-threshold")
+	}
+	if res.MemThreshold > 0 && len(memIdx) > 0 {
+		prob.LP.AddConstraint(memIdx, memCoef, lp.LE, float64(res.MemThreshold), "memory-threshold")
+	}
+	return prob, refs
+}
+
+// normalizeSpecs validates and defaults a spec list.
+func normalizeSpecs(specs []AnalysisSpec) ([]AnalysisSpec, error) {
+	norm := make([]AnalysisSpec, len(specs))
+	for i, a := range specs {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		norm[i] = a.withDefaults()
+	}
+	return norm, nil
+}
+
+// Solve recommends the optimal in-situ schedule using the compact mode-based
+// MILP. Each analysis selects at most one mode; the time row enforces
+// equation 4 exactly, and the memory row conservatively bounds equation 8 by
+// the sum of per-analysis peaks (a safe over-approximation — the returned
+// schedule is re-validated against the exact per-step recurrence).
+func Solve(specs []AnalysisSpec, res Resources, opts SolveOptions) (*Recommendation, error) {
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	norm, err := normalizeSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	prob, refs := buildCompactProblem(norm, res, opts)
+
+	start := time.Now()
+	sol, err := milp.Solve(prob, milp.Options{MaxNodes: opts.MaxNodes})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != milp.Optimal && !(sol.Status == milp.NodeLimit && sol.HasX) {
+		return nil, fmt.Errorf("core: compact model solve failed: %v", sol.Status)
+	}
+
+	rec := &Recommendation{SolveTime: elapsed, Nodes: sol.Nodes}
+	chosen := make(map[int]mode)
+	for v, ref := range refs {
+		if sol.HasX && sol.X[v] > 0.5 {
+			chosen[ref.analysis] = ref.m
+		}
+	}
+	for i, a := range norm {
+		m, ok := chosen[i]
+		if !ok {
+			rec.Schedules = append(rec.Schedules, AnalysisSchedule{Name: a.Name})
+			continue
+		}
+		s := buildSchedule(a, res, m.count, m.k)
+		rec.Schedules = append(rec.Schedules, s)
+		rec.Objective += 1 + a.Weight*float64(m.count)
+		rec.TotalTime += s.PredictedTime
+	}
+	rec.PeakMemory = exactPeakMemory(norm, res, rec.Schedules)
+	if err := rec.Validate(specs, res); err != nil {
+		return nil, fmt.Errorf("core: compact solution failed validation: %w", err)
+	}
+	return rec, nil
+}
+
+// exactPeakMemory computes max_j Σ_i mStart_{i,j} for the concrete
+// schedules (equation 8's left-hand side).
+func exactPeakMemory(specs []AnalysisSpec, res Resources, schedules []AnalysisSchedule) int64 {
+	mem := make([]int64, res.Steps+1)
+	byName := map[string]AnalysisSpec{}
+	for _, a := range specs {
+		byName[a.Name] = a.withDefaults()
+	}
+	for _, s := range schedules {
+		if !s.Enabled {
+			continue
+		}
+		a := byName[s.Name]
+		isA := stepSet(s.AnalysisSteps)
+		isO := stepSet(s.OutputSteps)
+		mEnd := a.FM
+		for j := 1; j <= res.Steps; j++ {
+			mStart := mEnd + a.IM
+			if isA[j] {
+				mStart += a.CM
+			}
+			if isO[j] {
+				mStart += a.OM
+			}
+			mem[j] += mStart
+			if isO[j] {
+				mEnd = a.FM
+			} else {
+				mEnd = mStart
+			}
+		}
+	}
+	var peak int64
+	for j := 1; j <= res.Steps; j++ {
+		if mem[j] > peak {
+			peak = mem[j]
+		}
+	}
+	return peak
+}
+
+// BruteForceSolve enumerates every mode combination (exponential) and
+// returns the best recommendation under the exact per-step memory
+// constraint. It exists to validate Solve on small instances in tests.
+func BruteForceSolve(specs []AnalysisSpec, res Resources) (*Recommendation, error) {
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	norm := make([]AnalysisSpec, len(specs))
+	modes := make([][]mode, len(specs))
+	for i, a := range specs {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		norm[i] = a.withDefaults()
+		modes[i] = append([]mode{{}}, enumerateModes(norm[i], res, 0)...) // {} = disabled
+	}
+
+	best := &Recommendation{Objective: math.Inf(-1)}
+	pick := make([]mode, len(specs))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(specs) {
+			cand := &Recommendation{}
+			for j, m := range pick {
+				if m.count == 0 {
+					cand.Schedules = append(cand.Schedules, AnalysisSchedule{Name: norm[j].Name})
+					continue
+				}
+				s := buildSchedule(norm[j], res, m.count, m.k)
+				cand.Schedules = append(cand.Schedules, s)
+				cand.Objective += 1 + norm[j].Weight*float64(m.count)
+				cand.TotalTime += s.PredictedTime
+			}
+			if cand.Validate(specs, res) != nil {
+				return
+			}
+			cand.PeakMemory = exactPeakMemory(norm, res, cand.Schedules)
+			if cand.Objective > best.Objective {
+				best = cand
+			}
+			return
+		}
+		for _, m := range modes[i] {
+			pick[i] = m
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if math.IsInf(best.Objective, -1) {
+		return nil, fmt.Errorf("core: no feasible schedule")
+	}
+	return best, nil
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"insitu/internal/core"
+)
+
+// The quickstart: two analyses, a time budget, solve.
+func ExampleSolve() {
+	specs := []core.AnalysisSpec{
+		{Name: "rdf", CT: 0.07, OT: 0.005, MinInterval: 100},
+		{Name: "msd", CT: 25.9, OT: 0.05, FM: 4 << 30, MinInterval: 100},
+	}
+	res := core.Resources{Steps: 1000, TimeThreshold: 64.7, MemThreshold: 12 << 30}
+	rec, err := core.Solve(specs, res, core.SolveOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range rec.Schedules {
+		fmt.Printf("%s x%d\n", s.Name, s.Count)
+	}
+	// Output:
+	// rdf x10
+	// msd x2
+}
+
+// CouplingString reproduces the paper's Figure-1 notation: S per simulation
+// step, A at analysis steps, Oa at analysis outputs, Os at simulation
+// outputs.
+func ExampleCouplingString() {
+	res := core.Resources{Steps: 12}
+	s := core.AnalysisSchedule{
+		Enabled:       true,
+		Count:         3,
+		AnalysisSteps: []int{4, 8, 12},
+		OutputSteps:   []int{8},
+	}
+	fmt.Println(core.CouplingString(res, s, 5))
+	// Output:
+	// SSSSASOsSSSAOaSSOsSSA
+}
+
+// PercentThreshold converts the paper's "10% of the simulation time" into a
+// total budget.
+func ExamplePercentThreshold() {
+	fmt.Printf("%.2f s\n", core.PercentThreshold(0.64678, 1000, 10))
+	// Output:
+	// 64.68 s
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"insitu/internal/milp"
+)
+
+// ExportLP writes the compact scheduling MILP in CPLEX LP file format, the
+// counterpart of the paper's GAMS model file: the exported model can be fed
+// to CPLEX/Gurobi/SCIP/glpsol to cross-check this repository's solver.
+func ExportLP(w io.Writer, specs []AnalysisSpec, res Resources, opts SolveOptions) error {
+	if err := res.Validate(); err != nil {
+		return err
+	}
+	norm, err := normalizeSpecs(specs)
+	if err != nil {
+		return err
+	}
+	prob, _ := buildCompactProblem(norm, res, opts)
+	return milp.WriteLP(w, prob)
+}
+
+// ThresholdSensitivity reports, for each analysis, the smallest total time
+// threshold at which the optimal schedule gains at least one more step of
+// that analysis relative to the current recommendation — the §5.3.5
+// question ("how much extra threshold buys more analyses?") answered
+// exactly by re-solving along a bisection of the threshold axis.
+type ThresholdSensitivity struct {
+	Name string
+	// CurrentCount is |C_i| at the given threshold.
+	CurrentCount int
+	// NextThreshold is the smallest threshold (within tol) at which the
+	// optimum schedules more than CurrentCount steps of this analysis;
+	// +Inf if even an unconstrained budget does not (e.g. the interval
+	// bound is already tight).
+	NextThreshold float64
+}
+
+// SensitivityOptions tune the bisection.
+type SensitivityOptions struct {
+	// MaxFactor bounds the search to MaxFactor x the current threshold
+	// (default 64).
+	MaxFactor float64
+	// Tol is the absolute threshold tolerance of the bisection (default:
+	// threshold/1e4).
+	Tol float64
+}
+
+// AnalyzeThresholdSensitivity computes the per-analysis next-threshold
+// frontier for the given instance.
+func AnalyzeThresholdSensitivity(specs []AnalysisSpec, res Resources, opts SolveOptions, sopts SensitivityOptions) ([]ThresholdSensitivity, error) {
+	if res.TimeThreshold <= 0 {
+		return nil, fmt.Errorf("core: sensitivity needs a positive time threshold")
+	}
+	if sopts.MaxFactor == 0 {
+		sopts.MaxFactor = 64
+	}
+	if sopts.Tol == 0 {
+		sopts.Tol = res.TimeThreshold / 1e4
+	}
+	base, err := Solve(specs, res, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	countAt := func(threshold float64, name string) (int, error) {
+		r := res
+		r.TimeThreshold = threshold
+		rec, err := Solve(specs, r, opts)
+		if err != nil {
+			return 0, err
+		}
+		return rec.Schedule(name).Count, nil
+	}
+
+	var out []ThresholdSensitivity
+	for _, s := range base.Schedules {
+		cur := s.Count
+		ts := ThresholdSensitivity{Name: s.Name, CurrentCount: cur}
+		hi := res.TimeThreshold * sopts.MaxFactor
+		cHi, err := countAt(hi, s.Name)
+		if err != nil {
+			return nil, err
+		}
+		if cHi <= cur {
+			ts.NextThreshold = math.Inf(1)
+			out = append(out, ts)
+			continue
+		}
+		lo := res.TimeThreshold
+		for hi-lo > sopts.Tol {
+			mid := (lo + hi) / 2
+			c, err := countAt(mid, s.Name)
+			if err != nil {
+				return nil, err
+			}
+			if c > cur {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		ts.NextThreshold = hi
+		out = append(out, ts)
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExportLPContainsModel(t *testing.T) {
+	specs := fourAnalyses()
+	res := Resources{Steps: 1000, TimeThreshold: 64.69, MemThreshold: 12 << 30}
+	var buf bytes.Buffer
+	if err := ExportLP(&buf, specs, res, SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Maximize", "time_threshold", "memory_threshold",
+		"one_mode(A1)", "one_mode(A4)", "x(A4_n_1_k_1)", "Generals", "End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exported LP missing %q", want)
+		}
+	}
+	if strings.Count(out, "\n") < 50 {
+		t.Fatalf("exported model suspiciously small:\n%s", out)
+	}
+}
+
+func TestExportLPValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportLP(&buf, nil, Resources{}, SolveOptions{}); err == nil {
+		t.Fatal("expected resources error")
+	}
+	if err := ExportLP(&buf, []AnalysisSpec{{Name: ""}}, Resources{Steps: 10, TimeThreshold: 1}, SolveOptions{}); err == nil {
+		t.Fatal("expected spec error")
+	}
+}
+
+func TestThresholdSensitivityA4(t *testing.T) {
+	// At the Table-5 10% threshold, A4 runs twice; the next A4 step needs
+	// roughly one more 25.9 s slot. The bisection must land near the exact
+	// crossing: 3x25.85 + 0.05 + A1-A3 costs.
+	specs := []AnalysisSpec{
+		{Name: "A4", CT: 25.85, OT: 0.05, MinInterval: 100},
+	}
+	res := Resources{Steps: 1000, TimeThreshold: 64.69}
+	out, err := AnalyzeThresholdSensitivity(specs, res, SolveOptions{}, SensitivityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("entries = %d", len(out))
+	}
+	s := out[0]
+	if s.CurrentCount != 2 {
+		t.Fatalf("current count = %d, want 2", s.CurrentCount)
+	}
+	want := 3*25.85 + 0.05
+	if math.Abs(s.NextThreshold-want) > 0.1 {
+		t.Fatalf("next threshold = %g, want ~%g", s.NextThreshold, want)
+	}
+}
+
+func TestThresholdSensitivitySaturated(t *testing.T) {
+	// An analysis already at its interval-bound maximum can never gain a
+	// step: the sensitivity must be +Inf.
+	specs := []AnalysisSpec{{Name: "cheap", CT: 0.001, MinInterval: 100}}
+	res := Resources{Steps: 1000, TimeThreshold: 1}
+	out, err := AnalyzeThresholdSensitivity(specs, res, SolveOptions{}, SensitivityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].CurrentCount != 10 {
+		t.Fatalf("count = %d", out[0].CurrentCount)
+	}
+	if !math.IsInf(out[0].NextThreshold, 1) {
+		t.Fatalf("next threshold = %g, want +Inf", out[0].NextThreshold)
+	}
+}
+
+func TestThresholdSensitivityValidation(t *testing.T) {
+	if _, err := AnalyzeThresholdSensitivity(nil, Resources{Steps: 10}, SolveOptions{}, SensitivityOptions{}); err == nil {
+		t.Fatal("expected threshold error")
+	}
+}
+
+func TestExportFullLP(t *testing.T) {
+	specs := []AnalysisSpec{
+		{Name: "p", CT: 1, OT: 0.5, FM: 1 << 20, IM: 1 << 18, MinInterval: 3},
+	}
+	res := Resources{Steps: 8, TimeThreshold: 5, MemThreshold: 16 << 20}
+	var buf bytes.Buffer
+	if err := ExportFullLP(&buf, specs, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Maximize", "a(p_1)", "a(p_8)", "o(p_4)", "mS(p_3)", "mE(p_3)",
+		"time_threshold", "mem(5)", "member(p)", "Generals", "End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("full LP missing %q", want)
+		}
+	}
+	if err := ExportFullLP(&buf, specs, Resources{}); err == nil {
+		t.Fatal("expected resources error")
+	}
+	if err := ExportFullLP(&buf, []AnalysisSpec{{Name: ""}}, res); err == nil {
+		t.Fatal("expected spec error")
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// expandSteps returns the concrete 1-based simulation steps of an analysis
+// performed count times over steps steps, evenly spread at the widest
+// spacing the count allows. With count <= steps/itv the spacing is >= itv,
+// so the minimum-interval constraint holds by construction. The a-th
+// analysis lands at floor((a+1)·steps/count), so the last one is at `steps`.
+func expandSteps(steps, count int) []int {
+	if count <= 0 {
+		return nil
+	}
+	out := make([]int, count)
+	for a := 0; a < count; a++ {
+		out[a] = (a + 1) * steps / count
+	}
+	return out
+}
+
+// expandOutputs returns the output steps: every k-th analysis step, plus the
+// final analysis step so buffered results always reach storage (the paper's
+// O ⊆ C with |O| = ceil(|C|/k)).
+func expandOutputs(analysisSteps []int, k int) []int {
+	if k <= 0 || len(analysisSteps) == 0 {
+		return nil
+	}
+	var out []int
+	for idx := k - 1; idx < len(analysisSteps); idx += k {
+		out = append(out, analysisSteps[idx])
+	}
+	if len(out) == 0 || out[len(out)-1] != analysisSteps[len(analysisSteps)-1] {
+		out = append(out, analysisSteps[len(analysisSteps)-1])
+	}
+	return out
+}
+
+// modeCost returns the exact total time of an analysis run `count` times
+// with `outputs` output steps: ft + it·Steps + ct·count + ot·outputs
+// (equations 2–3 summed over the run).
+func modeCost(a AnalysisSpec, res Resources, count, outputs int) float64 {
+	ot := a.outputTime(res.Bandwidth)
+	return a.FT + a.IT*float64(res.Steps) + a.CT*float64(count) + ot*float64(outputs)
+}
+
+// modePeakMemory walks the concrete schedule and returns the maximum mStart
+// of equations 5–7: fixed fm plus im accumulating every step, cm added at
+// analysis steps, om at output steps, with a reset to fm after each output.
+func modePeakMemory(a AnalysisSpec, steps int, analysisSteps, outputSteps []int) int64 {
+	isA := stepSet(analysisSteps)
+	isO := stepSet(outputSteps)
+	mEnd := a.FM
+	peak := a.FM
+	for j := 1; j <= steps; j++ {
+		mStart := mEnd + a.IM
+		if isA[j] {
+			mStart += a.CM
+		}
+		if isO[j] {
+			mStart += a.OM
+		}
+		if mStart > peak {
+			peak = mStart
+		}
+		if isO[j] {
+			mEnd = a.FM
+		} else {
+			mEnd = mStart
+		}
+	}
+	return peak
+}
+
+func stepSet(steps []int) map[int]bool {
+	m := make(map[int]bool, len(steps))
+	for _, s := range steps {
+		m[s] = true
+	}
+	return m
+}
+
+// buildSchedule materializes an AnalysisSchedule for spec a performed count
+// times with output every k analysis steps.
+func buildSchedule(a AnalysisSpec, res Resources, count, k int) AnalysisSchedule {
+	if count <= 0 {
+		return AnalysisSchedule{Name: a.Name}
+	}
+	as := expandSteps(res.Steps, count)
+	os := expandOutputs(as, k)
+	return AnalysisSchedule{
+		Name:          a.Name,
+		Enabled:       true,
+		Count:         count,
+		OutputEvery:   k,
+		Outputs:       len(os),
+		AnalysisSteps: as,
+		OutputSteps:   os,
+		PredictedTime: modeCost(a, res, count, len(os)),
+		PeakMemory:    modePeakMemory(a, res.Steps, as, os),
+	}
+}
+
+// Validate re-checks a recommendation against the raw constraint recurrences
+// (equations 2–9) for the given specs and resources, returning a descriptive
+// error on any violation. Solvers call it before returning; it is also the
+// oracle the tests use.
+func (r *Recommendation) Validate(specs []AnalysisSpec, res Resources) error {
+	if err := res.Validate(); err != nil {
+		return err
+	}
+	byName := map[string]AnalysisSpec{}
+	for _, a := range specs {
+		byName[a.Name] = a.withDefaults()
+	}
+
+	totalTime := 0.0
+	memPerStep := make([]int64, res.Steps+1)
+	for _, s := range r.Schedules {
+		if !s.Enabled {
+			if s.Count != 0 || len(s.AnalysisSteps) != 0 {
+				return fmt.Errorf("core: disabled analysis %q has scheduled steps", s.Name)
+			}
+			continue
+		}
+		a, ok := byName[s.Name]
+		if !ok {
+			return fmt.Errorf("core: schedule for unknown analysis %q", s.Name)
+		}
+		if len(s.AnalysisSteps) != s.Count {
+			return fmt.Errorf("core: %q count %d does not match %d scheduled steps", s.Name, s.Count, len(s.AnalysisSteps))
+		}
+		// Interval constraint (equation 9 plus the running-total rule: the
+		// first analysis may not occur before itv steps have elapsed).
+		prev := 0
+		for _, j := range s.AnalysisSteps {
+			if j < 1 || j > res.Steps {
+				return fmt.Errorf("core: %q analysis step %d outside [1,%d]", s.Name, j, res.Steps)
+			}
+			if j-prev < a.MinInterval {
+				return fmt.Errorf("core: %q violates min interval %d between steps %d and %d", s.Name, a.MinInterval, prev, j)
+			}
+			prev = j
+		}
+		// Outputs must be a subset of analysis steps.
+		isA := stepSet(s.AnalysisSteps)
+		for _, j := range s.OutputSteps {
+			if !isA[j] {
+				return fmt.Errorf("core: %q outputs at step %d without an analysis", s.Name, j)
+			}
+		}
+
+		// Time recurrence (equations 2–4).
+		ot := a.outputTime(res.Bandwidth)
+		t := a.FT + a.IT*float64(res.Steps) + a.CT*float64(len(s.AnalysisSteps)) + ot*float64(len(s.OutputSteps))
+		totalTime += t
+
+		// Memory recurrence (equations 5–7) accumulated per step.
+		isO := stepSet(s.OutputSteps)
+		mEnd := a.FM
+		for j := 1; j <= res.Steps; j++ {
+			mStart := mEnd + a.IM
+			if isA[j] {
+				mStart += a.CM
+			}
+			if isO[j] {
+				mStart += a.OM
+			}
+			memPerStep[j] += mStart
+			if isO[j] {
+				mEnd = a.FM
+			} else {
+				mEnd = mStart
+			}
+		}
+	}
+
+	if res.TimeThreshold > 0 && totalTime > res.TimeThreshold*(1+1e-9)+1e-12 {
+		return fmt.Errorf("core: total analysis time %.6f exceeds threshold %.6f", totalTime, res.TimeThreshold)
+	}
+	if res.MemThreshold > 0 {
+		for j := 1; j <= res.Steps; j++ {
+			if memPerStep[j] > res.MemThreshold {
+				return fmt.Errorf("core: memory %d at step %d exceeds threshold %d", memPerStep[j], j, res.MemThreshold)
+			}
+		}
+	}
+	return nil
+}
+
+// CouplingString renders the Figure-1 style coupling string for a single
+// analysis schedule over the run: "S" per simulation step, with "A" appended
+// at analysis steps, "Oa" at analysis-output steps, and "Os" at simulation
+// output steps (every simOutputEvery steps; 0 disables simulation output).
+func CouplingString(res Resources, s AnalysisSchedule, simOutputEvery int) string {
+	isA := stepSet(s.AnalysisSteps)
+	isO := stepSet(s.OutputSteps)
+	var b strings.Builder
+	for j := 1; j <= res.Steps; j++ {
+		b.WriteString("S")
+		if isA[j] {
+			b.WriteString("A")
+		}
+		if isO[j] {
+			b.WriteString("Oa")
+		}
+		if simOutputEvery > 0 && j%simOutputEvery == 0 {
+			b.WriteString("Os")
+		}
+	}
+	return b.String()
+}
+
+// GanttString renders all enabled schedules as aligned timeline rows, one
+// character per simulation step: '.' simulation only, 'A' analysis, 'O'
+// analysis+output. Wide runs are compressed by sampling when Steps exceeds
+// the width.
+func (r *Recommendation) GanttString(res Resources, width int) string {
+	if width <= 0 || width > res.Steps {
+		width = res.Steps
+	}
+	var b strings.Builder
+	nameW := 0
+	for _, s := range r.Schedules {
+		if s.Enabled && len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for _, s := range r.Schedules {
+		if !s.Enabled {
+			continue
+		}
+		isA := stepSet(s.AnalysisSteps)
+		isO := stepSet(s.OutputSteps)
+		fmt.Fprintf(&b, "%-*s |", nameW, s.Name)
+		for c := 0; c < width; c++ {
+			lo := c*res.Steps/width + 1
+			hi := (c + 1) * res.Steps / width
+			ch := byte('.')
+			for j := lo; j <= hi; j++ {
+				if isO[j] {
+					ch = 'O'
+					break
+				}
+				if isA[j] {
+					ch = 'A'
+				}
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,213 @@
+// Package coupling executes a recommended in-situ schedule against a live
+// simulation: the Figure-1 loop in which simulation steps alternate with
+// analysis steps and analysis-output steps at the frequencies the optimizer
+// chose. The runner measures the actual time spent in each phase, which is
+// how the paper verifies that executed schedules land within the threshold
+// (the "% within threshold" columns of Tables 5 and 6).
+package coupling
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"insitu/internal/analysis"
+	"insitu/internal/core"
+)
+
+// Runner couples one simulation with a set of kernels under a schedule.
+type Runner struct {
+	// Step advances the simulation one time step.
+	Step func()
+	// Kernels maps schedule names to kernel implementations.
+	Kernels map[string]analysis.Kernel
+	// Rec is the schedule to execute.
+	Rec *core.Recommendation
+	// Res is the envelope the schedule was solved against.
+	Res core.Resources
+	// Output receives analysis output; defaults to io.Discard.
+	Output io.Writer
+}
+
+// KernelReport summarizes one kernel's execution.
+type KernelReport struct {
+	Name       string
+	Analyses   int
+	Outputs    int
+	SetupTime  time.Duration
+	PreTime    time.Duration // total facilitation time across all steps
+	Analyze    time.Duration // total analysis compute time
+	OutputTime time.Duration
+	OutBytes   int64
+}
+
+// Total returns the kernel's full contribution to the analysis budget.
+func (k KernelReport) Total() time.Duration {
+	return k.SetupTime + k.PreTime + k.Analyze + k.OutputTime
+}
+
+// Report is the outcome of a coupled run.
+type Report struct {
+	Steps        int
+	SimTime      time.Duration
+	AnalysisTime time.Duration
+	Kernels      []KernelReport
+}
+
+// Utilization returns the executed analysis time as a fraction of the
+// threshold (>1 means the schedule overshot).
+func (r *Report) Utilization(res core.Resources) float64 {
+	if res.TimeThreshold <= 0 {
+		return 0
+	}
+	return r.AnalysisTime.Seconds() / res.TimeThreshold
+}
+
+// Kernel returns the report for the named kernel, or nil.
+func (r *Report) Kernel(name string) *KernelReport {
+	for i := range r.Kernels {
+		if r.Kernels[i].Name == name {
+			return &r.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// Run executes the schedule over Res.Steps simulation steps.
+func (r *Runner) Run() (*Report, error) {
+	if r.Step == nil {
+		return nil, fmt.Errorf("coupling: runner needs a Step function")
+	}
+	if r.Rec == nil {
+		return nil, fmt.Errorf("coupling: runner needs a recommendation")
+	}
+	out := r.Output
+	if out == nil {
+		out = io.Discard
+	}
+
+	type active struct {
+		kernel   analysis.Kernel
+		isA, isO map[int]bool
+		report   *KernelReport
+	}
+	rep := &Report{Steps: r.Res.Steps}
+	// Preallocate so &rep.Kernels[i] stays valid across iterations.
+	for _, s := range r.Rec.Schedules {
+		if s.Enabled {
+			rep.Kernels = append(rep.Kernels, KernelReport{Name: s.Name})
+		}
+	}
+	var run []active
+	slot := 0
+	for _, s := range r.Rec.Schedules {
+		if !s.Enabled {
+			continue
+		}
+		k, ok := r.Kernels[s.Name]
+		if !ok {
+			return nil, fmt.Errorf("coupling: no kernel registered for analysis %q", s.Name)
+		}
+		kr := &rep.Kernels[slot]
+		slot++
+		t0 := time.Now()
+		if _, err := k.Setup(); err != nil {
+			return nil, fmt.Errorf("coupling: setup %s: %w", s.Name, err)
+		}
+		kr.SetupTime = time.Since(t0)
+		run = append(run, active{
+			kernel: k,
+			isA:    intSet(s.AnalysisSteps),
+			isO:    intSet(s.OutputSteps),
+			report: kr,
+		})
+	}
+
+	for step := 1; step <= r.Res.Steps; step++ {
+		t0 := time.Now()
+		r.Step()
+		rep.SimTime += time.Since(t0)
+
+		for _, a := range run {
+			t1 := time.Now()
+			if _, err := a.kernel.PreStep(step); err != nil {
+				return nil, fmt.Errorf("coupling: prestep %s at %d: %w", a.report.Name, step, err)
+			}
+			a.report.PreTime += time.Since(t1)
+
+			if a.isA[step] {
+				t2 := time.Now()
+				if _, err := a.kernel.Analyze(step); err != nil {
+					return nil, fmt.Errorf("coupling: analyze %s at %d: %w", a.report.Name, step, err)
+				}
+				a.report.Analyze += time.Since(t2)
+				a.report.Analyses++
+			}
+			if a.isO[step] {
+				t3 := time.Now()
+				n, err := a.kernel.Output(out)
+				if err != nil {
+					return nil, fmt.Errorf("coupling: output %s at %d: %w", a.report.Name, step, err)
+				}
+				a.report.OutputTime += time.Since(t3)
+				a.report.OutBytes += n
+				a.report.Outputs++
+			}
+		}
+	}
+	for i := range rep.Kernels {
+		rep.AnalysisTime += rep.Kernels[i].Total()
+	}
+	return rep, nil
+}
+
+func intSet(xs []int) map[int]bool {
+	m := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+// SpecFromCosts converts measured kernel costs into a scheduling spec,
+// wiring the measured phases onto the Table-1 parameters. Weight defaults to
+// 1; MinInterval must be supplied by the caller (it is a science choice, not
+// a measurement).
+func SpecFromCosts(c analysis.Costs, minInterval int) core.AnalysisSpec {
+	return core.AnalysisSpec{
+		Name:        c.Kernel,
+		FT:          c.FT.Seconds(),
+		IT:          c.IT.Seconds(),
+		CT:          c.CT.Seconds(),
+		OT:          c.OT.Seconds(),
+		FM:          c.FM,
+		IM:          c.IM,
+		CM:          c.CM,
+		OM:          c.OM,
+		MinInterval: minInterval,
+	}
+}
+
+// MeasureAndSolve profiles every kernel against the simulation (stepFn is
+// shared), builds the spec set, and solves for the optimal schedule — the
+// full §4-then-§3.2 pipeline in one call. Profiling advances the simulation
+// by probeSteps steps per kernel.
+func MeasureAndSolve(kernels []analysis.Kernel, stepFn func(), probeSteps, minInterval int, res core.Resources) (*core.Recommendation, []core.AnalysisSpec, error) {
+	var specs []core.AnalysisSpec
+	for _, k := range kernels {
+		interval := probeSteps / 2
+		if interval < 1 {
+			interval = 1
+		}
+		costs, err := analysis.Measure(k, stepFn, probeSteps, interval)
+		if err != nil {
+			return nil, nil, err
+		}
+		specs = append(specs, SpecFromCosts(costs, minInterval))
+	}
+	rec, err := core.Solve(specs, res, core.SolveOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, specs, nil
+}

@@ -1,0 +1,212 @@
+package coupling
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"insitu/internal/analysis"
+	"insitu/internal/analysis/mdkernels"
+	"insitu/internal/core"
+	"insitu/internal/sim/md"
+)
+
+// fakeKernel counts lifecycle calls and spins briefly in Analyze.
+type fakeKernel struct {
+	name                       string
+	setup, pre, analyze, outs  int
+	failSetup, failAnalyze     bool
+	lastAnalyzed, lastOutputAt int
+}
+
+func (f *fakeKernel) Name() string { return f.name }
+func (f *fakeKernel) Setup() (int64, error) {
+	f.setup++
+	if f.failSetup {
+		return 0, fmt.Errorf("setup boom")
+	}
+	return 100, nil
+}
+func (f *fakeKernel) PreStep(step int) (int64, error) { f.pre++; return 8, nil }
+func (f *fakeKernel) Analyze(step int) (int64, error) {
+	f.analyze++
+	f.lastAnalyzed = step
+	if f.failAnalyze {
+		return 0, fmt.Errorf("analyze boom")
+	}
+	return 16, nil
+}
+func (f *fakeKernel) Output(dst io.Writer) (int64, error) {
+	f.outs++
+	n, err := dst.Write([]byte("out\n"))
+	return int64(n), err
+}
+func (f *fakeKernel) Free() {}
+
+func twoKernelSetup() (map[string]analysis.Kernel, *core.Recommendation, core.Resources) {
+	res := core.Resources{Steps: 20, TimeThreshold: 100}
+	rec := &core.Recommendation{Schedules: []core.AnalysisSchedule{
+		{Name: "k1", Enabled: true, Count: 4, AnalysisSteps: []int{5, 10, 15, 20}, OutputSteps: []int{10, 20}, Outputs: 2},
+		{Name: "k2", Enabled: true, Count: 2, AnalysisSteps: []int{10, 20}, OutputSteps: []int{20}, Outputs: 1},
+		{Name: "off", Enabled: false},
+	}}
+	return map[string]analysis.Kernel{
+		"k1": &fakeKernel{name: "k1"},
+		"k2": &fakeKernel{name: "k2"},
+	}, rec, res
+}
+
+func TestRunnerExecutesSchedule(t *testing.T) {
+	kernels, rec, res := twoKernelSetup()
+	steps := 0
+	var buf bytes.Buffer
+	r := &Runner{
+		Step:    func() { steps++ },
+		Kernels: kernels,
+		Rec:     rec,
+		Res:     res,
+		Output:  &buf,
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 20 {
+		t.Fatalf("sim steps = %d", steps)
+	}
+	k1 := kernels["k1"].(*fakeKernel)
+	k2 := kernels["k2"].(*fakeKernel)
+	if k1.setup != 1 || k1.pre != 20 || k1.analyze != 4 || k1.outs != 2 {
+		t.Fatalf("k1 lifecycle: %+v", k1)
+	}
+	if k2.analyze != 2 || k2.outs != 1 {
+		t.Fatalf("k2 lifecycle: %+v", k2)
+	}
+	if rep.Kernel("k1").Analyses != 4 || rep.Kernel("k1").Outputs != 2 {
+		t.Fatalf("report: %+v", rep.Kernel("k1"))
+	}
+	if rep.Kernel("k1").OutBytes != 8 {
+		t.Fatalf("k1 out bytes = %d", rep.Kernel("k1").OutBytes)
+	}
+	if got := buf.String(); got != "out\nout\nout\n" {
+		t.Fatalf("output = %q", got)
+	}
+	if rep.Kernel("missing") != nil {
+		t.Fatal("missing kernel should be nil")
+	}
+	if rep.AnalysisTime < 0 {
+		t.Fatal("negative analysis time")
+	}
+	u := rep.Utilization(res)
+	if u < 0 || u > 1 {
+		t.Fatalf("utilization = %g", u)
+	}
+	if rep.Utilization(core.Resources{}) != 0 {
+		t.Fatal("zero-threshold utilization must be 0")
+	}
+}
+
+func TestRunnerDisabledKernelNotTouched(t *testing.T) {
+	kernels, rec, res := twoKernelSetup()
+	off := &fakeKernel{name: "off"}
+	kernels["off"] = off
+	r := &Runner{Step: func() {}, Kernels: kernels, Rec: rec, Res: res}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if off.setup != 0 || off.pre != 0 {
+		t.Fatal("disabled kernel was touched")
+	}
+}
+
+func TestRunnerErrors(t *testing.T) {
+	kernels, rec, res := twoKernelSetup()
+	if _, err := (&Runner{Kernels: kernels, Rec: rec, Res: res}).Run(); err == nil {
+		t.Fatal("expected missing-step error")
+	}
+	if _, err := (&Runner{Step: func() {}, Kernels: kernels, Res: res}).Run(); err == nil {
+		t.Fatal("expected missing-recommendation error")
+	}
+	delete(kernels, "k2")
+	if _, err := (&Runner{Step: func() {}, Kernels: kernels, Rec: rec, Res: res}).Run(); err == nil {
+		t.Fatal("expected missing-kernel error")
+	}
+
+	kernels, rec, res = twoKernelSetup()
+	kernels["k1"].(*fakeKernel).failSetup = true
+	if _, err := (&Runner{Step: func() {}, Kernels: kernels, Rec: rec, Res: res}).Run(); err == nil {
+		t.Fatal("expected setup error")
+	}
+	kernels, rec, res = twoKernelSetup()
+	kernels["k1"].(*fakeKernel).failAnalyze = true
+	if _, err := (&Runner{Step: func() {}, Kernels: kernels, Rec: rec, Res: res}).Run(); err == nil {
+		t.Fatal("expected analyze error")
+	}
+}
+
+func TestSpecFromCosts(t *testing.T) {
+	c := analysis.Costs{
+		Kernel: "k", FT: time.Second, IT: time.Millisecond,
+		CT: 2 * time.Second, OT: 500 * time.Millisecond,
+		FM: 1, IM: 2, CM: 3, OM: 4,
+	}
+	s := SpecFromCosts(c, 50)
+	if s.Name != "k" || s.FT != 1 || s.IT != 0.001 || s.CT != 2 || s.OT != 0.5 {
+		t.Fatalf("spec times: %+v", s)
+	}
+	if s.FM != 1 || s.IM != 2 || s.CM != 3 || s.OM != 4 || s.MinInterval != 50 {
+		t.Fatalf("spec memory: %+v", s)
+	}
+}
+
+func TestMeasureAndSolveEndToEnd(t *testing.T) {
+	// Real pipeline on the MD mini-app: profile kernels, solve, execute.
+	sys, err := md.NewWaterIons(md.Config{NAtoms: 1200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkKernels := func() []analysis.Kernel {
+		k1, err := mdkernels.NewHydroniumRDF(sys, mdkernels.RDFConfig{Bins: 16, Ranks: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []analysis.Kernel{k1}
+	}
+	res := core.Resources{Steps: 30, TimeThreshold: 10, MemThreshold: 1 << 30}
+	rec, specs, err := MeasureAndSolve(mkKernels(), func() { sys.Step(0.002) }, 4, 10, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].CT <= 0 {
+		t.Fatalf("specs = %+v", specs)
+	}
+	s := rec.Schedule(specs[0].Name)
+	if s == nil || !s.Enabled || s.Count == 0 {
+		t.Fatalf("kernel not scheduled: %+v", rec)
+	}
+
+	// Execute the recommendation on a fresh kernel instance.
+	ks := mkKernels()
+	runner := &Runner{
+		Step:    func() { sys.Step(0.002) },
+		Kernels: map[string]analysis.Kernel{specs[0].Name: ks[0]},
+		Rec:     rec,
+		Res:     res,
+	}
+	rep, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := rep.Kernel(specs[0].Name)
+	if kr.Analyses != s.Count {
+		t.Fatalf("executed %d analyses, scheduled %d", kr.Analyses, s.Count)
+	}
+	if kr.Outputs != s.Outputs {
+		t.Fatalf("executed %d outputs, scheduled %d", kr.Outputs, s.Outputs)
+	}
+	if rep.SimTime <= 0 {
+		t.Fatal("sim time not measured")
+	}
+}

@@ -1,0 +1,208 @@
+package coupling
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"insitu/internal/analysis"
+	"insitu/internal/core"
+)
+
+// StagedAnalysis is an analysis executed in co-analysis mode: at each
+// scheduled step, Capture snapshots whatever simulation state the analysis
+// needs (the "transfer" — its cost is charged to the simulation site, which
+// blocks while its memory is shipped) and returns a closure that performs
+// the analysis offline on staging resources, detached from the live
+// simulation.
+type StagedAnalysis struct {
+	Name string
+	// Capture snapshots the state for the given step. The returned closure
+	// runs on a staging worker; the returned byte count is the modeled
+	// transfer volume.
+	Capture func(step int) (func() error, int64, error)
+}
+
+// PlacementRunner executes a placement recommendation: in-situ analyses run
+// inline in the simulation loop exactly like Runner; co-analysis analyses
+// block the simulation only for Capture and then proceed concurrently on
+// staging workers — the loosely-coupled mode of §1/§2.1.
+type PlacementRunner struct {
+	Step    func()
+	InSitu  map[string]analysis.Kernel
+	Staged  map[string]StagedAnalysis
+	Rec     *core.PlacementRecommendation
+	Res     core.PlacementResources
+	Workers int // staging workers (default 2)
+}
+
+// PlacementReport is the outcome of a placed run.
+type PlacementReport struct {
+	Steps       int
+	SimTime     time.Duration // simulation compute only
+	SimSiteTime time.Duration // in-situ analysis + capture time at the simulation site
+	StageTime   time.Duration // total compute on staging workers
+	StageWall   time.Duration // wall time from first dispatch to drain
+	InSituRuns  map[string]int
+	StagedRuns  map[string]int
+	Transferred int64
+}
+
+// Run executes the placement schedule over Res.Steps steps.
+func (r *PlacementRunner) Run() (*PlacementReport, error) {
+	if r.Step == nil {
+		return nil, fmt.Errorf("coupling: placement runner needs a Step function")
+	}
+	if r.Rec == nil {
+		return nil, fmt.Errorf("coupling: placement runner needs a recommendation")
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+
+	rep := &PlacementReport{
+		Steps:      r.Res.Steps,
+		InSituRuns: map[string]int{},
+		StagedRuns: map[string]int{},
+	}
+
+	type inSituActive struct {
+		kernel analysis.Kernel
+		isA    map[int]bool
+		isO    map[int]bool
+		name   string
+	}
+	type stagedActive struct {
+		sa  StagedAnalysis
+		isA map[int]bool
+	}
+	var inSitu []inSituActive
+	var staged []stagedActive
+	for _, s := range r.Rec.Schedules {
+		if !s.Enabled {
+			continue
+		}
+		switch s.Site {
+		case core.InSitu:
+			k, ok := r.InSitu[s.Name]
+			if !ok {
+				return nil, fmt.Errorf("coupling: no in-situ kernel for %q", s.Name)
+			}
+			t0 := time.Now()
+			if _, err := k.Setup(); err != nil {
+				return nil, fmt.Errorf("coupling: setup %s: %w", s.Name, err)
+			}
+			rep.SimSiteTime += time.Since(t0)
+			inSitu = append(inSitu, inSituActive{
+				kernel: k,
+				isA:    intSet(s.AnalysisSteps),
+				isO:    intSet(s.OutputSteps),
+				name:   s.Name,
+			})
+		case core.CoAnalysis:
+			sa, ok := r.Staged[s.Name]
+			if !ok {
+				return nil, fmt.Errorf("coupling: no staged analysis for %q", s.Name)
+			}
+			staged = append(staged, stagedActive{sa: sa, isA: intSet(s.AnalysisSteps)})
+		}
+	}
+
+	// Staging worker pool.
+	type job struct {
+		name string
+		fn   func() error
+	}
+	jobs := make(chan job, workers*2)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	var stageMu sync.Mutex
+	var stageStart, stageEnd time.Time
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				t0 := time.Now()
+				err := j.fn()
+				dt := time.Since(t0)
+				stageMu.Lock()
+				rep.StageTime += dt
+				if stageStart.IsZero() {
+					stageStart = t0
+				}
+				stageEnd = time.Now()
+				rep.StagedRuns[j.name]++
+				stageMu.Unlock()
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("coupling: staged %s: %w", j.name, err):
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	fail := func(err error) (*PlacementReport, error) {
+		close(jobs)
+		wg.Wait()
+		return nil, err
+	}
+
+	for step := 1; step <= r.Res.Steps; step++ {
+		t0 := time.Now()
+		r.Step()
+		rep.SimTime += time.Since(t0)
+
+		for _, a := range inSitu {
+			t1 := time.Now()
+			if _, err := a.kernel.PreStep(step); err != nil {
+				return fail(err)
+			}
+			if a.isA[step] {
+				if _, err := a.kernel.Analyze(step); err != nil {
+					return fail(err)
+				}
+				rep.InSituRuns[a.name]++
+			}
+			if a.isO[step] {
+				if _, err := a.kernel.Output(io.Discard); err != nil {
+					return fail(err)
+				}
+			}
+			rep.SimSiteTime += time.Since(t1)
+		}
+		for _, s := range staged {
+			if !s.isA[step] {
+				continue
+			}
+			t1 := time.Now()
+			fn, bytes, err := s.sa.Capture(step)
+			if err != nil {
+				return fail(fmt.Errorf("coupling: capture %s at %d: %w", s.sa.Name, step, err))
+			}
+			rep.SimSiteTime += time.Since(t1) // only the transfer blocks the simulation
+			rep.Transferred += bytes
+			jobs <- job{name: s.sa.Name, fn: fn}
+		}
+		select {
+		case err := <-errCh:
+			return fail(err)
+		default:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	if !stageStart.IsZero() {
+		rep.StageWall = stageEnd.Sub(stageStart)
+	}
+	return rep, nil
+}

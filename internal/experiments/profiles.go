@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each driver returns typed rows plus a formatted text
+// rendering; cmd/experiments prints them all and bench_test.go wraps each in
+// a testing.B benchmark.
+//
+// The analysis cost profiles used by the scheduling tables are the paper's
+// own published measurements (they are the *inputs* of the optimization
+// model; the reproduced artifact is the solver's *output* — the recommended
+// frequencies). Where the paper gives only totals, per-analysis costs are
+// inferred and the inference is documented inline and in EXPERIMENTS.md.
+// Laptop-scale experiments (Table 4, Figures 2 and 4) instead measure the
+// mini-apps in this repository directly.
+package experiments
+
+import (
+	"insitu/internal/core"
+	"insitu/internal/perfmodel"
+)
+
+// Paper-published timings for the 100M-atom water+ions problem (§5.3.2,
+// §5.3.3). Simulation seconds per step by rank count.
+var waterIonsSimSecPerStep = map[int]float64{
+	2048:  4.16,
+	4096:  2.12,
+	8192:  1.08,
+	16384: 0.61,
+	32768: 0.40,
+}
+
+// WaterIonsSimSecPerStep returns the simulation time per step at the given
+// rank count, interpolating the paper's five published points in log-log
+// space (strong-scaling curves are near power laws; problem size is fixed
+// at 100M atoms).
+func WaterIonsSimSecPerStep(ranks int) float64 {
+	if v, ok := waterIonsSimSecPerStep[ranks]; ok {
+		return v
+	}
+	in, err := perfmodel.FromMap(waterIonsSimSecPerStep)
+	if err != nil {
+		// The static table is always valid; reaching here means a
+		// programming error.
+		panic(err)
+	}
+	return in.Predict(float64(ranks))
+}
+
+// WaterIonsSpecs returns the A1-A4 analysis specs for the 100M-atom
+// water+ions problem at the given rank count.
+//
+// Calibration (from Table 5, 16384 ranks): A1+A2+A3 at frequency 10 total
+// 2.11 s, so ~0.0703 s per analysis each; each increment of the A4 count
+// adds 25.34 s of executed time (103.47-52.79 = 2x25.34, 52.79-27.45 =
+// 25.34). The paper's solver schedules A4 4/2/1/0 times at 20/10/5/1%
+// thresholds, which implies its *predicted* A4 cost was slightly higher than
+// the executed 25.34 s (25.9 s reproduces all four counts); the ~2% gap is
+// within the <6% prediction error of §4. A1-A3 strong-scale ~1/ranks from
+// the 16384-rank baseline; A4 does not scale (§5.3.3: "MSD analyses (A4)
+// does not scale and takes similar times on all core counts"). A4's
+// predicted cost is carried almost entirely in CT because the paper couples
+// every A4 analysis step with its (expensive) output.
+func WaterIonsSpecs(ranks int) []core.AnalysisSpec {
+	scale := 16384.0 / float64(ranks)
+	return []core.AnalysisSpec{
+		{Name: "A1 hydronium rdf", CT: 0.0653 * scale, OT: 0.005 * scale, FM: 64 << 20, CM: 16 << 20, OM: 8 << 20, MinInterval: 100},
+		{Name: "A2 ion rdf", CT: 0.0653 * scale, OT: 0.005 * scale, FM: 64 << 20, CM: 16 << 20, OM: 8 << 20, MinInterval: 100},
+		{Name: "A3 vacf", CT: 0.0654 * scale, OT: 0.005 * scale, FM: 128 << 20, CM: 16 << 20, OM: 8 << 20, MinInterval: 100},
+		{Name: "A4 msd", CT: 25.85, OT: 0.05, FM: 4 << 30, IM: 1 << 20, CM: 1 << 30, OM: 512 << 20, MinInterval: 100},
+	}
+}
+
+// WaterIonsExecutedCost returns the *executed* per-analysis cost (seconds)
+// used to compute the "% within threshold" column: the paper's measured
+// 0.0703 s for A1-A3 (at 16384 ranks, scaled like the predictions) and
+// 25.34 s for A4.
+func WaterIonsExecutedCost(name string, ranks int) float64 {
+	scale := 16384.0 / float64(ranks)
+	switch name {
+	case "A1 hydronium rdf", "A2 ion rdf":
+		return 0.0703 * scale
+	case "A3 vacf":
+		return 0.0704 * scale
+	case "A4 msd":
+		return 25.34
+	}
+	return 0
+}
+
+// RhodopsinSpecs returns the R1-R3 specs for the 1B-atom rhodopsin problem
+// on 32768 ranks. The paper publishes the per-analysis-plus-output times
+// directly (§5.3.4): 0.003 s, 17.193 s, 17.194 s. Because each analysis step
+// was "followed by an output step", the cost is carried per analysis step
+// (CT) with a small residual OT.
+func RhodopsinSpecs() []core.AnalysisSpec {
+	return []core.AnalysisSpec{
+		{Name: "R1 radius of gyration", CT: 0.0029, OT: 0.0001, FM: 1 << 20, CM: 1 << 18, OM: 1 << 16, MinInterval: 100},
+		{Name: "R2 membrane histogram", CT: 17.143, OT: 0.05, FM: 512 << 20, CM: 256 << 20, OM: 128 << 20, MinInterval: 100},
+		{Name: "R3 protein histogram", CT: 17.144, OT: 0.05, FM: 512 << 20, CM: 256 << 20, OM: 128 << 20, MinInterval: 100},
+	}
+}
+
+// RhodopsinSimSeconds is the paper's 1000-step simulation time on 32768
+// ranks without in-situ analysis.
+const RhodopsinSimSeconds = 5163.03
+
+// RhodopsinOutputSeconds is the paper's total simulation-output time at the
+// default frequency (10 outputs of 91 GB via MPI parallel I/O): 200.6 s.
+const RhodopsinOutputSeconds = 200.6
+
+// RhodopsinOutputBytes is the data volume of one simulation output step.
+const RhodopsinOutputBytes = int64(91) << 30
+
+// FlashSpecs returns the F1-F3 specs for the FLASH Sedov problem on 16384
+// ranks. Analysis times per step are published (§5.3.6): 3.5 s, 1.25 s,
+// 2.3 ms. Output times are inferred so the equal-weight row of Table 8
+// reproduces exactly: with F2+F3 pinned at frequency 10, the 43.5 s budget
+// admits exactly one F1 step iff ot(F1) is in (23.97, 27.47]; we use 24 s
+// (F1 writes the full vorticity field). F2 writes norms with a small
+// output; F3 output is negligible.
+func FlashSpecs() []core.AnalysisSpec {
+	return []core.AnalysisSpec{
+		{Name: "F1 vorticity", CT: 3.5, OT: 24.0, FM: 256 << 20, CM: 128 << 20, OM: 2 << 30, MinInterval: 100},
+		{Name: "F2 L1 error norm", CT: 1.25, OT: 3.2, FM: 16 << 20, CM: 1 << 20, OM: 1 << 20, MinInterval: 100},
+		{Name: "F3 L2 error norm", CT: 0.0023, OT: 0.0005, FM: 1 << 20, CM: 1 << 18, OM: 1 << 16, MinInterval: 100},
+	}
+}
+
+// FlashSimSecPerStep is the paper's FLASH Sedov simulation time per step on
+// 16384 ranks.
+const FlashSimSecPerStep = 0.87

@@ -1,0 +1,86 @@
+// Package iosim models the storage side of the simulation-analysis workflow:
+// parallel writes of simulation/analysis output and reads for
+// post-processing. Targets carry an aggregate bandwidth and a per-operation
+// latency; WriteTime/ReadTime convert data volumes to time the way the
+// paper's ot = om/bw does. A faster NVRAM tier reproduces the paper's
+// burst-buffer discussion (§1, §5.3.5): moving output to a higher-bandwidth
+// resource shrinks ot and buys more in-situ analyses.
+package iosim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Target is a storage tier reachable from the simulation site.
+type Target struct {
+	Name        string
+	BytesPerSec float64       // aggregate sequential bandwidth
+	Latency     time.Duration // per-operation latency (metadata, seek)
+	// MaxWriters caps how many concurrent writers can share the aggregate
+	// bandwidth before it saturates (0 = unlimited, bandwidth is aggregate).
+	MaxWriters int
+}
+
+// GPFS returns a Mira-like GPFS file system: 240 GB/s peak aggregate
+// bandwidth; sustained application bandwidth is a configurable fraction of
+// peak (the paper's rhodopsin runs sustain ~0.45 GB/s per 91 GB output at
+// 200.6 s, i.e. far below peak because of contention and small I/O).
+func GPFS() *Target {
+	return &Target{Name: "GPFS", BytesPerSec: 240e9, Latency: 10 * time.Millisecond}
+}
+
+// NVRAM returns a node-local burst-buffer tier with much higher effective
+// bandwidth and lower latency than the parallel file system.
+func NVRAM() *Target {
+	return &Target{Name: "NVRAM", BytesPerSec: 1.2e12, Latency: 50 * time.Microsecond}
+}
+
+// Scaled returns a copy of the target with bandwidth multiplied by f,
+// used for sensitivity sweeps (e.g. halving effective bandwidth).
+func (t *Target) Scaled(f float64) *Target {
+	cp := *t
+	cp.Name = fmt.Sprintf("%s x%.3g", t.Name, f)
+	cp.BytesPerSec *= f
+	return &cp
+}
+
+// WriteTime returns the modeled time for `writers` concurrent ranks to write
+// `bytes` in aggregate.
+func (t *Target) WriteTime(bytes int64, writers int) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := t.BytesPerSec
+	if t.MaxWriters > 0 && writers > 0 && writers < t.MaxWriters {
+		// Below saturation each writer gets a proportional share.
+		bw = bw * float64(writers) / float64(t.MaxWriters)
+	}
+	sec := float64(bytes) / bw
+	return t.Latency + time.Duration(sec*float64(time.Second))
+}
+
+// ReadTime returns the modeled time to read `bytes` back (post-processing).
+// Reads of simulation trajectories are typically serial or low-parallelism,
+// which is exactly the bottleneck Table 4 quantifies.
+func (t *Target) ReadTime(bytes int64, readers int) time.Duration {
+	return t.WriteTime(bytes, readers)
+}
+
+// EffectiveBandwidth reports the bandwidth (bytes/s) realized when moving
+// `bytes` with the per-operation latency included.
+func (t *Target) EffectiveBandwidth(bytes int64, writers int) float64 {
+	d := t.WriteTime(bytes, writers)
+	if d <= 0 {
+		return t.BytesPerSec
+	}
+	return float64(bytes) / d.Seconds()
+}
+
+// SustainedGPFS returns a GPFS target whose aggregate bandwidth is derated to
+// the sustained application-visible value. The paper's 1B-atom rhodopsin run
+// writes 91 GB per output step in about 20 s of wall time per step at the
+// default frequency (200.6 s for 10 steps), i.e. ~4.5 GB/s sustained.
+func SustainedGPFS() *Target {
+	return &Target{Name: "GPFS (sustained)", BytesPerSec: 91e9 / 20.06, Latency: 10 * time.Millisecond}
+}

@@ -1,0 +1,278 @@
+// Package lp provides a dense two-phase primal simplex solver for linear
+// programs. It is the linear-algebra substrate underneath the mixed-integer
+// branch-and-bound solver in package milp, which in turn solves the in-situ
+// analysis scheduling models in package core.
+//
+// Problems are stated in the general form
+//
+//	maximize    c·x
+//	subject to  a_r·x {<=,=,>=} b_r   for each constraint r
+//	            lo_j <= x_j <= up_j   for each variable j
+//
+// with finite or infinite bounds. Internally the problem is converted to
+// standard equality form with non-negative variables and solved with a
+// bounded-variable tableau simplex: upper bounds are handled implicitly in
+// the ratio test (nonbasic variables rest at either bound and may
+// bound-flip), so the binary-heavy scheduling MILPs built on top pay no
+// extra rows for their 0-1 variables. Pricing is Dantzig with a
+// Bland's-rule fallback to guarantee termination under degeneracy.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // a·x <= b
+	GE              // a·x >= b
+	EQ              // a·x == b
+)
+
+// String returns the conventional operator for the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Sense(%d)", int(s))
+}
+
+// Inf is positive infinity, usable as an upper bound.
+var Inf = math.Inf(1)
+
+// Constraint is a single linear constraint a·x {<=,=,>=} b. Coef is indexed
+// by variable and must have length equal to the problem's NumVars; sparse
+// construction helpers on Problem fill the rest with zeros.
+type Constraint struct {
+	Coef  []float64
+	Sense Sense
+	RHS   float64
+	Name  string
+}
+
+// Problem is a linear program in the general form documented at the package
+// level. The zero value is an empty problem; use AddVar/AddConstraint to
+// build it incrementally.
+type Problem struct {
+	// Objective holds the maximization coefficients, one per variable.
+	Objective []float64
+	// Lower and Upper are per-variable bounds. A missing entry defaults to
+	// [0, +Inf).
+	Lower []float64
+	Upper []float64
+	// Constraints are the linear rows.
+	Constraints []Constraint
+	// Names are optional variable names used in diagnostics.
+	Names []string
+}
+
+// NumVars returns the number of variables in the problem.
+func (p *Problem) NumVars() int { return len(p.Objective) }
+
+// AddVar appends a variable with the given objective coefficient and bounds,
+// returning its index. Existing constraints are implicitly extended with a
+// zero coefficient for the new variable.
+func (p *Problem) AddVar(obj, lower, upper float64, name string) int {
+	p.Objective = append(p.Objective, obj)
+	p.Lower = append(p.Lower, lower)
+	p.Upper = append(p.Upper, upper)
+	p.Names = append(p.Names, name)
+	return len(p.Objective) - 1
+}
+
+// AddConstraint appends a constraint given as sparse (index, coefficient)
+// pairs. Indices must refer to existing variables.
+func (p *Problem) AddConstraint(idx []int, coef []float64, sense Sense, rhs float64, name string) {
+	if len(idx) != len(coef) {
+		panic("lp: AddConstraint index/coefficient length mismatch")
+	}
+	row := make([]float64, p.NumVars())
+	for k, j := range idx {
+		if j < 0 || j >= p.NumVars() {
+			panic(fmt.Sprintf("lp: AddConstraint variable index %d out of range", j))
+		}
+		row[j] += coef[k]
+	}
+	p.Constraints = append(p.Constraints, Constraint{Coef: row, Sense: sense, RHS: rhs, Name: name})
+}
+
+// Clone returns a deep copy of the problem. The milp branch-and-bound solver
+// clones the root problem at every node before tightening bounds.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		Objective:   append([]float64(nil), p.Objective...),
+		Lower:       append([]float64(nil), p.Lower...),
+		Upper:       append([]float64(nil), p.Upper...),
+		Names:       append([]string(nil), p.Names...),
+		Constraints: make([]Constraint, len(p.Constraints)),
+	}
+	for i, c := range p.Constraints {
+		q.Constraints[i] = Constraint{
+			Coef:  append([]float64(nil), c.Coef...),
+			Sense: c.Sense,
+			RHS:   c.RHS,
+			Name:  c.Name,
+		}
+	}
+	return q
+}
+
+// Validate checks structural consistency: coefficient row lengths, bound
+// ordering, and NaN coefficients.
+func (p *Problem) Validate() error {
+	n := p.NumVars()
+	if len(p.Lower) != n || len(p.Upper) != n {
+		return fmt.Errorf("lp: bounds length %d/%d does not match %d variables", len(p.Lower), len(p.Upper), n)
+	}
+	for j := 0; j < n; j++ {
+		if math.IsNaN(p.Objective[j]) {
+			return fmt.Errorf("lp: objective coefficient of variable %d is NaN", j)
+		}
+		if p.Lower[j] > p.Upper[j] {
+			return fmt.Errorf("lp: variable %d has lower bound %g above upper bound %g", j, p.Lower[j], p.Upper[j])
+		}
+		if math.IsInf(p.Lower[j], -1) {
+			return fmt.Errorf("lp: variable %d has -Inf lower bound (free variables are not supported)", j)
+		}
+	}
+	for r, c := range p.Constraints {
+		if len(c.Coef) != n {
+			return fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", r, len(c.Coef), n)
+		}
+		for j, v := range c.Coef {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d coefficient %d is %g", r, j, v)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d has invalid RHS %g", r, c.RHS)
+		}
+	}
+	return nil
+}
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []float64 // primal values, one per original variable
+	Objective float64   // c·x at X (only meaningful when Status == Optimal)
+	Iters     int       // simplex iterations across both phases
+
+	// Duals holds the shadow price of each constraint (d objective /
+	// d RHS) at the optimum, recovered from the reduced costs of the
+	// slack/surplus columns. Entries for equality constraints are NaN:
+	// their artificial columns are destroyed during phase 1, so their
+	// multipliers are not recoverable from this tableau.
+	Duals []float64
+}
+
+// ErrNotSolved indicates the solver terminated without an optimal basis.
+var ErrNotSolved = errors.New("lp: problem not solved to optimality")
+
+const (
+	eps       = 1e-9
+	feasTol   = 1e-7
+	blandTrip = 5000 // switch to Bland's rule after this many Dantzig pivots
+)
+
+// Solve solves the linear program and returns its solution. The returned
+// error is non-nil only for structurally invalid problems; infeasible and
+// unbounded models are reported through Solution.Status.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := newTableau(p)
+	sol := t.solve()
+	return sol, nil
+}
+
+// Eval returns c·x for the problem's objective at the given point.
+func (p *Problem) Eval(x []float64) float64 {
+	v := 0.0
+	for j, c := range p.Objective {
+		v += c * x[j]
+	}
+	return v
+}
+
+// Feasible reports whether x satisfies all constraints and bounds of the
+// problem within tol.
+func (p *Problem) Feasible(x []float64, tol float64) bool {
+	return p.FirstViolation(x, tol) == ""
+}
+
+// FirstViolation returns a human-readable description of the first violated
+// constraint or bound at x, or "" if x is feasible within tol.
+func (p *Problem) FirstViolation(x []float64, tol float64) string {
+	if len(x) != p.NumVars() {
+		return fmt.Sprintf("point has %d entries for %d variables", len(x), p.NumVars())
+	}
+	for j := range x {
+		if x[j] < p.Lower[j]-tol {
+			return fmt.Sprintf("x[%d]=%g below lower bound %g", j, x[j], p.Lower[j])
+		}
+		if x[j] > p.Upper[j]+tol {
+			return fmt.Sprintf("x[%d]=%g above upper bound %g", j, x[j], p.Upper[j])
+		}
+	}
+	for r, c := range p.Constraints {
+		lhs := 0.0
+		for j, v := range c.Coef {
+			lhs += v * x[j]
+		}
+		ok := true
+		switch c.Sense {
+		case LE:
+			ok = lhs <= c.RHS+tol
+		case GE:
+			ok = lhs >= c.RHS-tol
+		case EQ:
+			ok = math.Abs(lhs-c.RHS) <= tol
+		}
+		if !ok {
+			name := c.Name
+			if name == "" {
+				name = fmt.Sprintf("row %d", r)
+			}
+			return fmt.Sprintf("constraint %s violated: %g %s %g", name, lhs, c.Sense, c.RHS)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,415 @@
+package lp
+
+import "math"
+
+// tableau is the bounded-variable simplex working representation:
+//
+//	maximize  c·y   subject to  A y = b,  0 <= y_j <= u_j
+//
+// where y holds shifted originals (x_j = lo_j + y_j), one slack/surplus
+// column per inequality row, and phase-1 artificials. Upper bounds are
+// handled implicitly — nonbasic variables may rest at their lower OR upper
+// bound, and the ratio test admits bound flips — so bounded variables cost
+// no extra rows, which matters for the binary-heavy scheduling MILPs built
+// on top of this solver.
+type tableau struct {
+	p *Problem
+
+	m, n int         // rows, structural+slack columns (artificials appended after n)
+	a    [][]float64 // m x width coefficient matrix, canonical w.r.t. basis
+	val  []float64   // current VALUE of the basic variable in each row
+	c    []float64   // phase-2 objective over all columns
+	u    []float64   // upper bound per column (+Inf when unbounded)
+	cons float64     // objective constant from bound shifting
+
+	basis   []int  // basic column per row
+	inBasis []bool // column -> basic?
+	atUpper []bool // nonbasic column rests at its upper bound
+	width   int    // total columns incl. artificials
+	nArt    int
+	iters   int
+
+	// consSlack maps each original constraint to its slack/surplus column
+	// (-1 for equality rows), and consSense records the original sense, for
+	// dual recovery.
+	consSlack []int
+	consSense []Sense
+}
+
+func newTableau(p *Problem) *tableau {
+	nOrig := p.NumVars()
+
+	type rowSpec struct {
+		coef  []float64
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]rowSpec, 0, len(p.Constraints))
+	consSense := make([]Sense, len(p.Constraints))
+	for rIdx, c := range p.Constraints {
+		consSense[rIdx] = c.Sense
+		// Shift RHS for lower bounds: a·(lo+y) <= b  =>  a·y <= b - a·lo.
+		shift := 0.0
+		for j, v := range c.Coef {
+			shift += v * p.Lower[j]
+		}
+		rows = append(rows, rowSpec{coef: c.Coef, sense: c.Sense, rhs: c.RHS - shift})
+	}
+
+	m := len(rows)
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	n := nOrig + nSlack
+	width := n + m // room for artificials
+
+	t := &tableau{p: p, m: m, n: n, width: width, consSense: consSense}
+	t.a = make([][]float64, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, width)
+	}
+	t.val = make([]float64, m)
+	t.c = make([]float64, width)
+	t.u = make([]float64, width)
+	t.basis = make([]int, m)
+	t.inBasis = make([]bool, width)
+	t.atUpper = make([]bool, width)
+	t.consSlack = make([]int, len(p.Constraints))
+	for r := range t.consSlack {
+		t.consSlack[r] = -1
+	}
+
+	for j := 0; j < nOrig; j++ {
+		t.c[j] = p.Objective[j]
+		t.cons += p.Objective[j] * p.Lower[j]
+		t.u[j] = p.Upper[j] - p.Lower[j]
+	}
+	for j := nOrig; j < width; j++ {
+		t.u[j] = math.Inf(1)
+	}
+
+	slack := nOrig
+	art := n
+	for i, r := range rows {
+		copy(t.a[i], r.coef)
+		rhs := r.rhs
+		sense := r.sense
+		// Normalize to non-negative RHS so artificials start feasible.
+		if rhs < 0 {
+			for j := 0; j < nOrig; j++ {
+				t.a[i][j] = -t.a[i][j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		t.val[i] = rhs
+		switch sense {
+		case LE:
+			t.a[i][slack] = 1
+			t.setBasic(i, slack)
+			if i < len(p.Constraints) {
+				t.consSlack[i] = slack
+			}
+			slack++
+		case GE:
+			t.a[i][slack] = -1
+			if i < len(p.Constraints) {
+				t.consSlack[i] = slack
+			}
+			slack++
+			t.a[i][art] = 1
+			t.setBasic(i, art)
+			art++
+		case EQ:
+			t.a[i][art] = 1
+			t.setBasic(i, art)
+			art++
+		}
+	}
+	t.nArt = art - n
+	return t
+}
+
+func (t *tableau) setBasic(row, col int) {
+	t.basis[row] = col
+	t.inBasis[col] = true
+	t.atUpper[col] = false
+}
+
+func (t *tableau) solve() *Solution {
+	// Phase 1: drive the artificials to zero.
+	if t.nArt > 0 {
+		phase1 := make([]float64, t.width)
+		for j := t.n; j < t.n+t.nArt; j++ {
+			phase1[j] = -1
+		}
+		status, obj := t.simplex(phase1)
+		if status == IterationLimit {
+			return &Solution{Status: IterationLimit, Iters: t.iters}
+		}
+		if obj < -feasTol {
+			return &Solution{Status: Infeasible, Iters: t.iters}
+		}
+		// Drive remaining basic artificials (at value 0) out where possible.
+		// Only columns resting at their lower bound may enter: they hold
+		// value 0, so the swap changes the basis without moving the point.
+		for i := 0; i < t.m; i++ {
+			if t.basis[i] < t.n {
+				continue
+			}
+			for j := 0; j < t.n; j++ {
+				if !t.inBasis[j] && !t.atUpper[j] && math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j, false)
+					break
+				}
+			}
+		}
+		// Forbid nonbasic artificials from re-entering.
+		for j := t.n; j < t.n+t.nArt; j++ {
+			if !t.inBasis[j] {
+				for i := 0; i < t.m; i++ {
+					t.a[i][j] = 0
+				}
+				t.u[j] = 0
+			}
+		}
+	}
+
+	status, obj := t.simplex(t.c)
+	if status != Optimal {
+		return &Solution{Status: status, Iters: t.iters}
+	}
+
+	x := make([]float64, t.p.NumVars())
+	for j := range x {
+		if t.atUpper[j] {
+			x[j] = t.u[j]
+		}
+	}
+	for i, col := range t.basis {
+		if col < t.p.NumVars() {
+			x[col] = t.val[i]
+		}
+	}
+	for j := range x {
+		x[j] += t.p.Lower[j]
+		if math.Abs(x[j]-t.p.Lower[j]) < feasTol {
+			x[j] = t.p.Lower[j]
+		}
+		if !math.IsInf(t.p.Upper[j], 1) && math.Abs(x[j]-t.p.Upper[j]) < feasTol {
+			x[j] = t.p.Upper[j]
+		}
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj + t.cons, Iters: t.iters, Duals: t.duals()}
+}
+
+// duals recovers the constraint multipliers from the reduced costs of the
+// slack/surplus columns at the optimal basis: for a maximization, the shadow
+// price of a <= row is z_slack and of a >= row is -z_surplus; equality rows
+// report NaN (their artificial columns were zeroed after phase 1).
+func (t *tableau) duals() []float64 {
+	out := make([]float64, len(t.p.Constraints))
+	for r := range out {
+		col := t.consSlack[r]
+		if col < 0 {
+			out[r] = math.NaN()
+			continue
+		}
+		z := 0.0
+		for i := 0; i < t.m; i++ {
+			if cb := t.c[t.basis[i]]; cb != 0 {
+				z += cb * t.a[i][col]
+			}
+		}
+		if t.consSense[r] == GE {
+			z = -z
+		}
+		if math.Abs(z) < feasTol {
+			z = 0
+		}
+		out[r] = z
+	}
+	return out
+}
+
+// objValue evaluates obj at the current basic solution, including nonbasic
+// columns resting at finite upper bounds.
+func (t *tableau) objValue(obj []float64) float64 {
+	v := 0.0
+	for i := 0; i < t.m; i++ {
+		v += obj[t.basis[i]] * t.val[i]
+	}
+	for j := 0; j < t.n+t.nArt; j++ {
+		if !t.inBasis[j] && t.atUpper[j] && obj[j] != 0 {
+			v += obj[j] * t.u[j]
+		}
+	}
+	return v
+}
+
+// simplex maximizes obj over the current basis with the bounded-variable
+// rules: a nonbasic-at-lower column enters when its reduced cost is
+// positive, a nonbasic-at-upper column when negative; the ratio test limits
+// the move by basic variables hitting either of their bounds or the
+// entering variable flipping to its opposite bound.
+func (t *tableau) simplex(obj []float64) (Status, float64) {
+	maxIters := 20000 + 200*(t.m+t.width)
+	cb := make([]float64, t.m)
+	ncols := t.n + t.nArt
+	for iter := 0; ; iter++ {
+		if t.iters++; t.iters > maxIters {
+			return IterationLimit, 0
+		}
+		for i := 0; i < t.m; i++ {
+			cb[i] = obj[t.basis[i]]
+		}
+		useBland := iter > blandTrip
+		enter := -1
+		enterScore := eps
+		for j := 0; j < ncols; j++ {
+			if t.inBasis[j] {
+				continue
+			}
+			rc := obj[j]
+			for i := 0; i < t.m; i++ {
+				if cb[i] != 0 {
+					rc -= cb[i] * t.a[i][j]
+				}
+			}
+			// Improving directions: increase from lower (rc > 0) or
+			// decrease from upper (rc < 0).
+			score := 0.0
+			if !t.atUpper[j] && rc > eps {
+				score = rc
+			} else if t.atUpper[j] && rc < -eps {
+				score = -rc
+			} else {
+				continue
+			}
+			if useBland {
+				enter = j
+				break
+			}
+			if score > enterScore {
+				enterScore = score
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return Optimal, t.objValue(obj)
+		}
+
+		// Direction: +1 when increasing from lower, -1 when decreasing from
+		// upper. Basic variable i changes by -dir*a[i][enter] per unit.
+		dir := 1.0
+		if t.atUpper[enter] {
+			dir = -1
+		}
+		limit := t.u[enter] // bound-flip distance (may be +Inf)
+		leave := -1
+		leaveAtUpper := false
+		for i := 0; i < t.m; i++ {
+			d := dir * t.a[i][enter]
+			var ratio float64
+			var hitsUpper bool
+			switch {
+			case d > eps: // basic value decreases toward 0
+				ratio = t.val[i] / d
+			case d < -eps: // basic value increases toward its upper bound
+				ub := t.u[t.basis[i]]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				ratio = (ub - t.val[i]) / (-d)
+				hitsUpper = true
+			default:
+				continue
+			}
+			if ratio < limit-eps || (ratio < limit+eps && leave >= 0 && t.basis[i] < t.basis[leave]) {
+				limit = ratio
+				leave = i
+				leaveAtUpper = hitsUpper
+			}
+		}
+		if math.IsInf(limit, 1) {
+			return Unbounded, 0
+		}
+		if limit < 0 {
+			limit = 0
+		}
+
+		if leave < 0 {
+			// Bound flip: the entering variable travels all the way to its
+			// opposite bound without any basic variable blocking.
+			for i := 0; i < t.m; i++ {
+				t.val[i] -= dir * t.a[i][enter] * limit
+				if t.val[i] < 0 && t.val[i] > -feasTol {
+					t.val[i] = 0
+				}
+			}
+			t.atUpper[enter] = !t.atUpper[enter]
+			continue
+		}
+
+		// Pivot: entering becomes basic at its new value; the leaving
+		// variable exits at whichever bound it hit.
+		newVal := dir * limit
+		if t.atUpper[enter] {
+			newVal = t.u[enter] + dir*limit // dir = -1: u - limit
+		}
+		for i := 0; i < t.m; i++ {
+			t.val[i] -= dir * t.a[i][enter] * limit
+			if t.val[i] < 0 && t.val[i] > -feasTol {
+				t.val[i] = 0
+			}
+		}
+		leavingCol := t.basis[leave]
+		t.pivot(leave, enter, t.atUpper[enter])
+		t.val[leave] = newVal
+		t.inBasis[leavingCol] = false
+		t.atUpper[leavingCol] = leaveAtUpper
+		if leaveAtUpper {
+			// Snap to the exact bound to stop error accumulation.
+			_ = leavingCol
+		}
+	}
+}
+
+// pivot makes column enter basic in row leave with Gauss-Jordan elimination.
+// enterWasAtUpper records the entering column's pre-pivot resting bound so
+// the caller can value it correctly; the elimination itself is bound-blind.
+func (t *tableau) pivot(leave, enter int, enterWasAtUpper bool) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	row := t.a[leave]
+	for j := range row {
+		row[j] *= inv
+	}
+	row[enter] = 1
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := range ai {
+			ai[j] -= f * row[j]
+		}
+		ai[enter] = 0
+	}
+	old := t.basis[leave]
+	t.inBasis[old] = false
+	t.setBasic(leave, enter)
+	_ = enterWasAtUpper
+}

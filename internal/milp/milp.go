@@ -1,0 +1,423 @@
+// Package milp solves mixed-integer linear programs by LP-relaxation-based
+// branch and bound, using the simplex solver from package lp. It is the
+// from-scratch stand-in for the GAMS + CPLEX 12.6.1 pipeline the paper uses
+// to solve the in-situ analysis scheduling model.
+//
+// The solver performs best-first search on the LP bound with an initial
+// depth-first dive to find an incumbent quickly, branches on the most
+// fractional integer variable, and prunes nodes whose LP bound cannot beat
+// the incumbent. For the pure-binary compact scheduling models in package
+// core, solve times are well under a millisecond; the time-indexed full
+// model with hundreds of binaries solves in milliseconds at test scale.
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"insitu/internal/lp"
+)
+
+// Problem is a linear program plus integrality markers.
+type Problem struct {
+	LP *lp.Problem
+	// Integer[j] requires variable j to take an integer value.
+	Integer []bool
+}
+
+// NewProblem wraps an LP with an all-continuous integrality vector.
+func NewProblem(base *lp.Problem) *Problem {
+	return &Problem{LP: base, Integer: make([]bool, base.NumVars())}
+}
+
+// AddIntVar appends an integer variable to the underlying LP.
+func (p *Problem) AddIntVar(obj, lower, upper float64, name string) int {
+	j := p.LP.AddVar(obj, lower, upper, name)
+	p.Integer = append(p.Integer, true)
+	return j
+}
+
+// AddBinVar appends a 0-1 variable to the underlying LP.
+func (p *Problem) AddBinVar(obj float64, name string) int {
+	return p.AddIntVar(obj, 0, 1, name)
+}
+
+// AddContVar appends a continuous variable to the underlying LP.
+func (p *Problem) AddContVar(obj, lower, upper float64, name string) int {
+	j := p.LP.AddVar(obj, lower, upper, name)
+	p.Integer = append(p.Integer, false)
+	return j
+}
+
+// Status describes the outcome of a MILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	NodeLimit // search stopped early; Solution holds the best incumbent if any
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NodeLimit:
+		return "node-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	Nodes     int  // branch-and-bound nodes explored
+	HasX      bool // whether X holds an incumbent (false for Infeasible)
+}
+
+// Options tune the branch-and-bound search. The zero value selects defaults.
+type Options struct {
+	// MaxNodes caps the number of explored nodes (default 200000).
+	MaxNodes int
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// Gap is the relative optimality gap at which search stops (default 0:
+	// prove optimality).
+	Gap float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+type node struct {
+	lower []float64
+	upper []float64
+	bound float64 // LP bound (objective of relaxation)
+	depth int
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound > q[j].bound } // best bound first
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound and returns the best integer-feasible solution.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	if len(p.Integer) != p.LP.NumVars() {
+		return nil, fmt.Errorf("milp: integrality vector has %d entries for %d variables", len(p.Integer), p.LP.NumVars())
+	}
+	// Integer variables need finite bounds for branching to terminate; the
+	// scheduling models always provide them.
+	for j, isInt := range p.Integer {
+		if isInt && math.IsInf(p.LP.Upper[j], 1) {
+			return nil, fmt.Errorf("milp: integer variable %d (%s) has infinite upper bound", j, name(p.LP, j))
+		}
+	}
+
+	// When every objective coefficient on integer variables is integral and
+	// continuous variables carry no objective, all integer-feasible
+	// objectives are integers, so a node whose LP bound is below
+	// incumbent+1 can be pruned. This collapses plateaus of symmetric
+	// solutions (e.g. equally weighted analyses).
+	integralObj := true
+	for j, c := range p.LP.Objective {
+		if p.Integer[j] {
+			if math.Abs(c-math.Round(c)) > 1e-9 {
+				integralObj = false
+				break
+			}
+		} else if c != 0 {
+			integralObj = false
+			break
+		}
+	}
+	pruneTol := func(incumbent float64, hasInc bool) float64 {
+		t := boundTol(incumbent, opts.Gap)
+		if integralObj && hasInc {
+			// Bound must reach at least incumbent+1 to matter.
+			if need := 1 - 1e-6; need > t {
+				return need
+			}
+		}
+		return t
+	}
+
+	work := p.LP.Clone()
+	root := &node{
+		lower: append([]float64(nil), p.LP.Lower...),
+		upper: append([]float64(nil), p.LP.Upper...),
+	}
+	relax, err := solveRelaxation(work, root)
+	if err != nil {
+		return nil, err
+	}
+	switch relax.Status {
+	case lp.Infeasible:
+		return &Solution{Status: Infeasible}, nil
+	case lp.Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	case lp.IterationLimit:
+		return nil, fmt.Errorf("milp: root relaxation hit the simplex iteration limit")
+	}
+	root.bound = relax.Objective
+
+	best := &Solution{Status: Infeasible, Objective: math.Inf(-1)}
+	queue := &nodeQueue{}
+	heap.Init(queue)
+
+	// Seed the incumbent by rounding the root relaxation.
+	if x, ok := roundHeuristic(p, relax.X, opts.IntTol); ok {
+		best = &Solution{Status: Optimal, X: x, Objective: p.LP.Eval(x), HasX: true}
+	}
+
+	expand := func(nd *node, relaxSol *lp.Solution) {
+		j := mostFractional(p, relaxSol.X, opts.IntTol)
+		if j < 0 {
+			return
+		}
+		v := relaxSol.X[j]
+		down := &node{
+			lower: append([]float64(nil), nd.lower...),
+			upper: append([]float64(nil), nd.upper...),
+			bound: relaxSol.Objective,
+			depth: nd.depth + 1,
+		}
+		down.upper[j] = math.Floor(v + opts.IntTol)
+		up := &node{
+			lower: append([]float64(nil), nd.lower...),
+			upper: append([]float64(nil), nd.upper...),
+			bound: relaxSol.Objective,
+			depth: nd.depth + 1,
+		}
+		up.lower[j] = math.Ceil(v - opts.IntTol)
+		heap.Push(queue, down)
+		heap.Push(queue, up)
+	}
+
+	nodes := 1
+	if intFeasible(p, relax.X, opts.IntTol) {
+		x := snap(p, relax.X)
+		if p.LP.Feasible(x, 1e-6) {
+			return &Solution{Status: Optimal, X: x, Objective: p.LP.Eval(x), Nodes: nodes, HasX: true}, nil
+		}
+	}
+	expand(root, relax)
+
+	for queue.Len() > 0 {
+		if nodes >= opts.MaxNodes {
+			out := *best
+			out.Status = NodeLimit
+			out.Nodes = nodes
+			return &out, nil
+		}
+		nd := heap.Pop(queue).(*node)
+		if best.HasX && nd.bound <= best.Objective+pruneTol(best.Objective, best.HasX) {
+			continue // pruned by bound
+		}
+		relaxSol, err := solveRelaxation(work, nd)
+		if err != nil {
+			return nil, err
+		}
+		nodes++
+		if relaxSol.Status != lp.Optimal {
+			continue // infeasible subtree (unbounded cannot appear below a bounded root)
+		}
+		if best.HasX && relaxSol.Objective <= best.Objective+pruneTol(best.Objective, best.HasX) {
+			continue
+		}
+		if intFeasible(p, relaxSol.X, opts.IntTol) {
+			x := snap(p, relaxSol.X)
+			if obj := p.LP.Eval(x); !best.HasX || obj > best.Objective {
+				best = &Solution{Status: Optimal, X: x, Objective: obj, HasX: true}
+			}
+			continue
+		}
+		// Rounding heuristic: costs two extra LP solves, so throttle it to
+		// early nodes where finding an incumbent matters most.
+		if nodes < 16 || nodes%32 == 0 {
+			if x, ok := roundHeuristic(p, relaxSol.X, opts.IntTol); ok {
+				if obj := p.LP.Eval(x); !best.HasX || obj > best.Objective {
+					best = &Solution{Status: Optimal, X: x, Objective: obj, HasX: true}
+				}
+			}
+		}
+		expand(nd, relaxSol)
+	}
+
+	out := *best
+	out.Nodes = nodes
+	return &out, nil
+}
+
+func boundTol(incumbent, gap float64) float64 {
+	t := 1e-6
+	if gap > 0 {
+		t = math.Max(t, gap*math.Abs(incumbent))
+	}
+	return t
+}
+
+func name(p *lp.Problem, j int) string {
+	if j < len(p.Names) && p.Names[j] != "" {
+		return p.Names[j]
+	}
+	return fmt.Sprintf("x%d", j)
+}
+
+// solveRelaxation installs the node bounds into work and solves the LP.
+func solveRelaxation(work *lp.Problem, nd *node) (*lp.Solution, error) {
+	copy(work.Lower, nd.lower)
+	copy(work.Upper, nd.upper)
+	for j := range work.Lower {
+		if work.Lower[j] > work.Upper[j] {
+			return &lp.Solution{Status: lp.Infeasible}, nil
+		}
+	}
+	return lp.Solve(work)
+}
+
+// intFeasible reports whether all integer variables are integral within tol.
+func intFeasible(p *Problem, x []float64, tol float64) bool {
+	for j, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		if math.Abs(x[j]-math.Round(x[j])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// mostFractional returns the integer variable whose value is farthest from
+// integrality, or -1 if none is fractional.
+func mostFractional(p *Problem, x []float64, tol float64) int {
+	best, bestDist := -1, tol
+	for j, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		d := math.Abs(x[j] - math.Round(x[j]))
+		if d > bestDist {
+			bestDist = d
+			best = j
+		}
+	}
+	return best
+}
+
+// snap rounds integer variables of x to the nearest integer.
+func snap(p *Problem, x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for j, isInt := range p.Integer {
+		if isInt {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+// roundHeuristic fixes fractional integer variables to rounded values and
+// re-solves the continuous remainder, returning a feasible point if found.
+func roundHeuristic(p *Problem, x []float64, tol float64) ([]float64, bool) {
+	if intFeasible(p, x, tol) {
+		cand := snap(p, x)
+		if p.LP.Feasible(cand, 1e-6) {
+			return cand, true
+		}
+	}
+	// Try floor-all then round-all of integer variables, resolving the LP
+	// over continuous variables with integers fixed.
+	for _, mode := range []func(float64) float64{math.Floor, math.Round} {
+		work := p.LP.Clone()
+		for j, isInt := range p.Integer {
+			if !isInt {
+				continue
+			}
+			v := mode(x[j] + tol)
+			v = math.Max(v, p.LP.Lower[j])
+			v = math.Min(v, p.LP.Upper[j])
+			work.Lower[j], work.Upper[j] = v, v
+		}
+		sol, err := lp.Solve(work)
+		if err == nil && sol.Status == lp.Optimal {
+			cand := snap(p, sol.X)
+			if p.LP.Feasible(cand, 1e-6) {
+				return cand, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// BruteForce exhaustively enumerates all integer assignments (continuous
+// variables are optimized by LP for each assignment) and returns the optimum.
+// It is exponential and exists only to validate Solve in tests on tiny
+// models.
+func BruteForce(p *Problem) (*Solution, error) {
+	var ints []int
+	for j, isInt := range p.Integer {
+		if isInt {
+			ints = append(ints, j)
+		}
+	}
+	sort.Ints(ints)
+	best := &Solution{Status: Infeasible, Objective: math.Inf(-1)}
+	work := p.LP.Clone()
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(ints) {
+			sol, err := lp.Solve(work)
+			if err != nil {
+				return err
+			}
+			if sol.Status == lp.Optimal && sol.Objective > best.Objective {
+				best = &Solution{Status: Optimal, X: append([]float64(nil), sol.X...), Objective: sol.Objective, HasX: true}
+			}
+			return nil
+		}
+		j := ints[k]
+		lo := int(math.Ceil(p.LP.Lower[j] - 1e-9))
+		hi := int(math.Floor(p.LP.Upper[j] + 1e-9))
+		for v := lo; v <= hi; v++ {
+			work.Lower[j], work.Upper[j] = float64(v), float64(v)
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+		}
+		work.Lower[j], work.Upper[j] = p.LP.Lower[j], p.LP.Upper[j]
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return best, nil
+}

@@ -1,0 +1,341 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"insitu/internal/lp"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if viol := p.LP.FirstViolation(sol.X, 1e-6); viol != "" {
+		t.Fatalf("solution infeasible: %s", viol)
+	}
+	for j, isInt := range p.Integer {
+		if isInt && math.Abs(sol.X[j]-math.Round(sol.X[j])) > 1e-6 {
+			t.Fatalf("variable %d = %g not integral", j, sol.X[j])
+		}
+	}
+	return sol
+}
+
+func TestKnapsack(t *testing.T) {
+	// 0-1 knapsack: values 60,100,120; weights 10,20,30; cap 50 -> take items
+	// 2 and 3 for value 220 (LP bound is 240).
+	p := NewProblem(&lp.Problem{})
+	a := p.AddBinVar(60, "a")
+	b := p.AddBinVar(100, "b")
+	c := p.AddBinVar(120, "c")
+	p.LP.AddConstraint([]int{a, b, c}, []float64{10, 20, 30}, lp.LE, 50, "cap")
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-220) > 1e-6 {
+		t.Fatalf("objective = %g, want 220", sol.Objective)
+	}
+	if sol.X[a] != 0 || sol.X[b] != 1 || sol.X[c] != 1 {
+		t.Fatalf("selection = %v, want [0 1 1]", sol.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// max x s.t. 2x <= 7, x integer -> x = 3 (LP gives 3.5).
+	p := NewProblem(&lp.Problem{})
+	x := p.AddIntVar(1, 0, 10, "x")
+	p.LP.AddConstraint([]int{x}, []float64{2}, lp.LE, 7, "")
+	sol := solveOK(t, p)
+	if sol.X[x] != 3 {
+		t.Fatalf("x = %g, want 3", sol.X[x])
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max 3x + 2y, x integer, y continuous; x + y <= 4.5; x <= 3.2.
+	// Optimum: x=3, y=1.5, obj 12.
+	p := NewProblem(&lp.Problem{})
+	x := p.AddIntVar(3, 0, 3.2, "x")
+	y := p.AddContVar(2, 0, lp.Inf, "y")
+	p.LP.AddConstraint([]int{x, y}, []float64{1, 1}, lp.LE, 4.5, "")
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-12) > 1e-6 {
+		t.Fatalf("objective = %g, want 12", sol.Objective)
+	}
+	if sol.X[x] != 3 || math.Abs(sol.X[y]-1.5) > 1e-6 {
+		t.Fatalf("x=%g y=%g, want 3, 1.5", sol.X[x], sol.X[y])
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	p := NewProblem(&lp.Problem{})
+	x := p.AddBinVar(1, "x")
+	p.LP.AddConstraint([]int{x}, []float64{1}, lp.GE, 0.4, "")
+	p.LP.AddConstraint([]int{x}, []float64{1}, lp.LE, 0.6, "")
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfiniteIntegerBoundRejected(t *testing.T) {
+	p := NewProblem(&lp.Problem{})
+	p.AddIntVar(1, 0, lp.Inf, "x")
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("expected error for unbounded integer variable")
+	}
+}
+
+func TestEqualityMILP(t *testing.T) {
+	// x + y = 5, x,y in {0..5} integer, max 2x + 3y -> x=0, y=5, obj 15.
+	p := NewProblem(&lp.Problem{})
+	x := p.AddIntVar(2, 0, 5, "x")
+	y := p.AddIntVar(3, 0, 5, "y")
+	p.LP.AddConstraint([]int{x, y}, []float64{1, 1}, lp.EQ, 5, "")
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-15) > 1e-6 {
+		t.Fatalf("objective = %g, want 15", sol.Objective)
+	}
+}
+
+func TestAgainstBruteForceFixed(t *testing.T) {
+	// A handful of structured instances validated against exhaustive search.
+	cases := []func() *Problem{
+		func() *Problem { // set packing
+			p := NewProblem(&lp.Problem{})
+			for i, v := range []float64{5, 4, 3} {
+				p.AddBinVar(v, string(rune('a'+i)))
+			}
+			p.LP.AddConstraint([]int{0, 1}, []float64{1, 1}, lp.LE, 1, "")
+			p.LP.AddConstraint([]int{1, 2}, []float64{1, 1}, lp.LE, 1, "")
+			return p
+		},
+		func() *Problem { // covering with minimization
+			p := NewProblem(&lp.Problem{})
+			for i, v := range []float64{-2, -3, -4} {
+				p.AddBinVar(v, string(rune('a'+i)))
+			}
+			p.LP.AddConstraint([]int{0, 1}, []float64{1, 1}, lp.GE, 1, "")
+			p.LP.AddConstraint([]int{0, 2}, []float64{1, 1}, lp.GE, 1, "")
+			return p
+		},
+		func() *Problem { // general integers
+			p := NewProblem(&lp.Problem{})
+			x := p.AddIntVar(7, 0, 4, "x")
+			y := p.AddIntVar(2, 0, 4, "y")
+			p.LP.AddConstraint([]int{x, y}, []float64{3, 1}, lp.LE, 10, "")
+			return p
+		},
+	}
+	for i, mk := range cases {
+		p := mk()
+		got := solveOK(t, p)
+		want, err := BruteForce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-6 {
+			t.Fatalf("case %d: B&B objective %g != brute force %g", i, got.Objective, want.Objective)
+		}
+	}
+}
+
+// TestRandomAgainstBruteForce property: on random small binary knapsack-like
+// problems, branch and bound matches exhaustive enumeration.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(3)
+		p := NewProblem(&lp.Problem{})
+		for j := 0; j < n; j++ {
+			p.AddBinVar(rng.Float64()*10-2, "")
+		}
+		idx := make([]int, n)
+		for j := range idx {
+			idx[j] = j
+		}
+		for r := 0; r < m; r++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = rng.Float64() * 4
+			}
+			p.LP.AddConstraint(idx, coef, lp.LE, 2+rng.Float64()*6, "")
+		}
+		got, err := Solve(p, Options{})
+		if err != nil || got.Status != Optimal {
+			return false
+		}
+		want, err := BruteForce(p)
+		if err != nil || want.Status != Optimal {
+			return false
+		}
+		return math.Abs(got.Objective-want.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomGeneralIntegers property: random bounded general-integer programs
+// match brute force.
+func TestRandomGeneralIntegers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		p := NewProblem(&lp.Problem{})
+		for j := 0; j < n; j++ {
+			p.AddIntVar(rng.Float64()*6-1, 0, float64(1+rng.Intn(4)), "")
+		}
+		idx := make([]int, n)
+		coef := make([]float64, n)
+		for j := range idx {
+			idx[j] = j
+			coef[j] = 0.3 + rng.Float64()*2
+		}
+		p.LP.AddConstraint(idx, coef, lp.LE, 2+rng.Float64()*8, "")
+		got, err := Solve(p, Options{})
+		if err != nil || got.Status != Optimal {
+			return false
+		}
+		want, err := BruteForce(p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Objective-want.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem needing several nodes with MaxNodes=1 must report NodeLimit.
+	rng := rand.New(rand.NewSource(7))
+	p := NewProblem(&lp.Problem{})
+	n := 12
+	idx := make([]int, n)
+	coef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.AddBinVar(1+rng.Float64(), "")
+		idx[j] = j
+		coef[j] = 1 + rng.Float64()
+	}
+	p.LP.AddConstraint(idx, coef, lp.LE, float64(n)/3, "")
+	sol, err := Solve(p, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != NodeLimit && sol.Status != Optimal {
+		t.Fatalf("status = %v, want node-limit (or optimal if root solved it)", sol.Status)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", NodeLimit: "node-limit",
+	} {
+		if s.String() != want {
+			t.Fatalf("Status(%d) = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestUnboundedMILP(t *testing.T) {
+	p := NewProblem(&lp.Problem{})
+	p.AddContVar(1, 0, lp.Inf, "x")
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestWeightedObjectiveTieBreak(t *testing.T) {
+	// Two symmetric items, capacity for one: objective must pick either, and
+	// the objective value must be exact.
+	p := NewProblem(&lp.Problem{})
+	a := p.AddBinVar(5, "a")
+	b := p.AddBinVar(5, "b")
+	p.LP.AddConstraint([]int{a, b}, []float64{1, 1}, lp.LE, 1, "")
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-5) > 1e-9 {
+		t.Fatalf("objective = %g, want 5", sol.Objective)
+	}
+}
+
+func TestGapOptionStopsEarly(t *testing.T) {
+	// With a 50% gap, any incumbent within half the bound is acceptable; the
+	// returned solution must still be feasible and integral.
+	rng := rand.New(rand.NewSource(11))
+	p := NewProblem(&lp.Problem{})
+	n := 14
+	idx := make([]int, n)
+	coef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.AddBinVar(1+rng.Float64()*5, "")
+		idx[j] = j
+		coef[j] = 1 + rng.Float64()*3
+	}
+	p.LP.AddConstraint(idx, coef, lp.LE, 9, "cap")
+	loose, err := Solve(p, Options{Gap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Status != Optimal || exact.Status != Optimal {
+		t.Fatalf("status: %v / %v", loose.Status, exact.Status)
+	}
+	if viol := p.LP.FirstViolation(loose.X, 1e-6); viol != "" {
+		t.Fatalf("gap solution infeasible: %s", viol)
+	}
+	if loose.Objective < exact.Objective*0.5-1e-9 {
+		t.Fatalf("gap solution %g below 50%% of optimum %g", loose.Objective, exact.Objective)
+	}
+	if loose.Nodes > exact.Nodes {
+		t.Fatalf("gap search explored more nodes (%d) than exact (%d)", loose.Nodes, exact.Nodes)
+	}
+}
+
+func TestNodeLimitKeepsIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewProblem(&lp.Problem{})
+	n := 16
+	idx := make([]int, n)
+	coef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.AddBinVar(1+rng.Float64(), "")
+		idx[j] = j
+		coef[j] = 1 + rng.Float64()
+	}
+	p.LP.AddConstraint(idx, coef, lp.LE, float64(n)/3, "")
+	sol, err := Solve(p, Options{MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.HasX {
+		if viol := p.LP.FirstViolation(sol.X, 1e-6); viol != "" {
+			t.Fatalf("node-limited incumbent infeasible: %s", viol)
+		}
+		for j := range sol.X {
+			if math.Abs(sol.X[j]-math.Round(sol.X[j])) > 1e-6 {
+				t.Fatalf("node-limited incumbent fractional at %d", j)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package moldable
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"insitu/internal/core"
+	"insitu/internal/experiments"
+	"insitu/internal/machine"
+)
+
+func figure5Candidates() []Candidate {
+	var cands []Candidate
+	for _, ranks := range []int{2048, 4096, 8192, 16384, 32768} {
+		all := experiments.WaterIonsSpecs(ranks)
+		cands = append(cands, Candidate{
+			Ranks:         ranks,
+			SimSecPerStep: experiments.WaterIonsSimSecPerStep(ranks),
+			Specs:         []core.AnalysisSpec{all[0], all[1], all[3]},
+		})
+	}
+	return cands
+}
+
+func cfg() Config {
+	return Config{Steps: 1000, ThresholdPct: 10, MemThreshold: 12 << 30}
+}
+
+func TestAdviseMaxScience(t *testing.T) {
+	a, err := Advise(machine.Mira(), figure5Candidates(), cfg(), MaxScience)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The largest budget (slowest simulation, 2048 ranks) buys the most
+	// analyses: A4 runs 10x there and once at 32768 (Figure 5).
+	if a.Best.Ranks != 2048 {
+		t.Fatalf("best ranks = %d, want 2048", a.Best.Ranks)
+	}
+	if len(a.Rows) != 5 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	// Rows sorted by science descending.
+	for i := 1; i < len(a.Rows); i++ {
+		if a.Rows[i].Science > a.Rows[i-1].Science {
+			t.Fatalf("rows not sorted at %d", i)
+		}
+	}
+	if !strings.Contains(a.String(), "max-science") {
+		t.Fatal("formatting missing objective")
+	}
+}
+
+func TestAdviseMinRuntime(t *testing.T) {
+	a, err := Advise(machine.Mira(), figure5Candidates(), cfg(), MinRuntime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All candidates keep 3 analyses enabled (A4 runs at least once even at
+	// 32768), so the fastest end-to-end wins: 32768 ranks.
+	if a.Best.Ranks != 32768 {
+		t.Fatalf("best ranks = %d, want 32768", a.Best.Ranks)
+	}
+	if a.Best.Rec.EnabledCount() != 3 {
+		t.Fatalf("enabled = %d", a.Best.Rec.EnabledCount())
+	}
+}
+
+func TestAdviseSciencePerNodeHour(t *testing.T) {
+	a, err := Advise(machine.Mira(), figure5Candidates(), cfg(), MaxSciencePerNodeHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ratio view must rank candidates by science/node-hours.
+	best := a.Rows[0]
+	for _, r := range a.Rows[1:] {
+		rb := best.Science / math.Max(best.NodeHours, 1e-12)
+		rr := r.Science / math.Max(r.NodeHours, 1e-12)
+		if rr > rb+1e-12 {
+			t.Fatalf("row %d has better ratio than best", r.Ranks)
+		}
+	}
+}
+
+func TestAdviseValidation(t *testing.T) {
+	if _, err := Advise(machine.Mira(), nil, cfg(), MaxScience); err == nil {
+		t.Fatal("expected no-candidates error")
+	}
+	bad := cfg()
+	bad.Steps = 0
+	if _, err := Advise(machine.Mira(), figure5Candidates(), bad, MaxScience); err == nil {
+		t.Fatal("expected config error")
+	}
+	// Candidate exceeding the machine must fail.
+	huge := []Candidate{{Ranks: 1 << 30, SimSecPerStep: 1, Specs: experiments.WaterIonsSpecs(16384)}}
+	if _, err := Advise(machine.Mira(), huge, cfg(), MaxScience); err == nil {
+		t.Fatal("expected partition error")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	for o, want := range map[Objective]string{
+		MaxScience: "max-science", MaxSciencePerNodeHour: "max-science-per-node-hour",
+		MinRuntime: "min-runtime",
+	} {
+		if o.String() != want {
+			t.Fatalf("%d = %q", o, o.String())
+		}
+	}
+	if Objective(9).String() == "" {
+		t.Fatal("unknown objective must print")
+	}
+}

@@ -1,0 +1,41 @@
+package perfmodel_test
+
+import (
+	"fmt"
+
+	"insitu/internal/perfmodel"
+)
+
+// The §4 workflow: measure a few (problem size, process count) points, build
+// the bilinear surface, predict everywhere else.
+func ExampleBilinear_Predict() {
+	tab := perfmodel.NewTable("rdf-compute")
+	// Measured seconds at a 2x2 grid of (atoms, ranks).
+	tab.Add(1e6, 256, 2.0)
+	tab.Add(1e6, 1024, 0.5)
+	tab.Add(4e6, 256, 8.0)
+	tab.Add(4e6, 1024, 2.0)
+	surface, err := tab.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f s\n", surface.Predict(2e6, 512))
+	// Output:
+	// 3.00 s
+}
+
+// Strong-scaling curves are near power laws, so sim-time interpolation uses
+// log-log space (exact for t = c·p^a).
+func ExampleInterp1D_Predict() {
+	in, err := perfmodel.FromMap(map[int]float64{
+		2048:  4.16,
+		16384: 0.61,
+		32768: 0.40,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f s/step\n", in.Predict(8192))
+	// Output:
+	// 1.16 s/step
+}

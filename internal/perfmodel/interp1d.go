@@ -1,0 +1,98 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interp1D is a piecewise-linear one-dimensional interpolator with linear
+// extrapolation from the edge segments. Strong-scaling curves (time vs
+// process count) are close to power laws, so the LogLog variant interpolates
+// in log-log space, which is exact for t = c·p^a.
+type Interp1D struct {
+	xs, ys []float64
+	loglog bool
+}
+
+// NewInterp1D builds a linear-space interpolator; xs must be strictly
+// increasing with at least two samples.
+func NewInterp1D(xs, ys []float64) (*Interp1D, error) {
+	return newInterp1D(xs, ys, false)
+}
+
+// NewLogLogInterp1D builds a log-log-space interpolator; all xs and ys must
+// be positive.
+func NewLogLogInterp1D(xs, ys []float64) (*Interp1D, error) {
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return nil, fmt.Errorf("perfmodel: log-log interpolation needs positive samples, got (%g, %g)", xs[i], ys[i])
+		}
+	}
+	return newInterp1D(xs, ys, true)
+}
+
+func newInterp1D(xs, ys []float64, loglog bool) (*Interp1D, error) {
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("perfmodel: 1D interpolation needs at least 2 samples, got %d", len(xs))
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("perfmodel: %d x-samples for %d y-samples", len(xs), len(ys))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("perfmodel: x-samples not strictly increasing at %d", i)
+		}
+	}
+	cp := &Interp1D{
+		xs:     append([]float64(nil), xs...),
+		ys:     append([]float64(nil), ys...),
+		loglog: loglog,
+	}
+	if loglog {
+		for i := range cp.xs {
+			cp.xs[i] = math.Log(cp.xs[i])
+			cp.ys[i] = math.Log(cp.ys[i])
+		}
+	}
+	return cp, nil
+}
+
+// Predict evaluates the interpolant at x.
+func (in *Interp1D) Predict(x float64) float64 {
+	t := x
+	if in.loglog {
+		if x <= 0 {
+			return math.NaN()
+		}
+		t = math.Log(x)
+	}
+	i := sort.SearchFloat64s(in.xs, t) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i > len(in.xs)-2 {
+		i = len(in.xs) - 2
+	}
+	frac := (t - in.xs[i]) / (in.xs[i+1] - in.xs[i])
+	y := in.ys[i] + frac*(in.ys[i+1]-in.ys[i])
+	if in.loglog {
+		return math.Exp(y)
+	}
+	return y
+}
+
+// FromMap builds a log-log interpolator from an (x -> y) map, a convenience
+// for tabulated strong-scaling data.
+func FromMap(samples map[int]float64) (*Interp1D, error) {
+	xs := make([]float64, 0, len(samples))
+	for x := range samples {
+		xs = append(xs, float64(x))
+	}
+	sort.Float64s(xs)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = samples[int(x)]
+	}
+	return NewLogLogInterp1D(xs, ys)
+}

@@ -1,0 +1,98 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterp1DLinearExact(t *testing.T) {
+	in, err := NewInterp1D([]float64{0, 1, 3}, []float64{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]float64{0: 2, 0.5: 3, 1: 4, 2: 6, 3: 8, 4: 10, -1: 0}
+	for x, want := range cases {
+		if got := in.Predict(x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Predict(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestLogLogExactForPowerLaw(t *testing.T) {
+	// t = 5 p^-0.8 sampled at a few points must reproduce everywhere.
+	f := func(p float64) float64 { return 5 * math.Pow(p, -0.8) }
+	xs := []float64{2, 16, 128}
+	ys := []float64{f(2), f(16), f(128)}
+	in, err := NewLogLogInterp1D(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{2, 4, 8, 64, 100, 500, 1} {
+		if got := in.Predict(p); math.Abs(got-f(p)) > 1e-9*f(p) {
+			t.Fatalf("Predict(%g) = %g, want %g", p, got, f(p))
+		}
+	}
+	if !math.IsNaN(in.Predict(0)) {
+		t.Fatal("non-positive x must be NaN in log-log mode")
+	}
+}
+
+func TestInterp1DValidation(t *testing.T) {
+	if _, err := NewInterp1D([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected too-few-samples error")
+	}
+	if _, err := NewInterp1D([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected non-increasing error")
+	}
+	if _, err := NewInterp1D([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := NewLogLogInterp1D([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected positivity error")
+	}
+	if _, err := NewLogLogInterp1D([]float64{1, 2}, []float64{-1, 2}); err == nil {
+		t.Fatal("expected positivity error for ys")
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	in, err := FromMap(map[int]float64{2048: 4.16, 16384: 0.61, 32768: 0.40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchors exact.
+	if math.Abs(in.Predict(2048)-4.16) > 1e-12 {
+		t.Fatal("anchor not reproduced")
+	}
+	// Monotone decreasing between anchors.
+	prev := math.Inf(1)
+	for p := 2048.0; p <= 32768; p *= 1.3 {
+		v := in.Predict(p)
+		if v >= prev {
+			t.Fatalf("not decreasing at %g: %g >= %g", p, v, prev)
+		}
+		prev = v
+	}
+	if _, err := FromMap(map[int]float64{1: 1}); err == nil {
+		t.Fatal("expected too-few-samples error")
+	}
+}
+
+// Property: linear interpolation reproduces any affine function exactly,
+// on-grid and off.
+func TestInterp1DAffineProperty(t *testing.T) {
+	f := func(a, b int8, px uint8) bool {
+		av, bv := float64(a), float64(b)
+		fn := func(x float64) float64 { return av + bv*x }
+		in, err := NewInterp1D([]float64{-1, 0, 2}, []float64{fn(-1), fn(0), fn(2)})
+		if err != nil {
+			return false
+		}
+		x := float64(px)/16 - 4
+		return math.Abs(in.Predict(x)-fn(x)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

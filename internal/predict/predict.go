@@ -1,0 +1,136 @@
+// Package predict operationalizes the paper's §4 performance-modeling
+// pipeline as a reusable API: measure an analysis kernel's costs at a few
+// (problem size, scale) configurations, fit bilinear surfaces per cost
+// component, and predict the full Table-1 AnalysisSpec at any other
+// configuration — including configurations far beyond what the measuring
+// machine can run, which is exactly how the paper feeds Mira-scale inputs
+// to its optimizer from a handful of profiled runs.
+package predict
+
+import (
+	"fmt"
+
+	"insitu/internal/analysis"
+	"insitu/internal/core"
+	"insitu/internal/perfmodel"
+)
+
+// Point is one measured configuration.
+type Point struct {
+	// Size is the problem size (atoms, cells, ...): the x-variable of §4.
+	Size float64
+	// Scale is the y-variable: process count for computation, network
+	// diameter for communication-dominated kernels.
+	Scale float64
+	// Costs are the measured per-phase costs at this configuration.
+	Costs analysis.Costs
+}
+
+// SpecModel fits one kernel's cost surfaces.
+type SpecModel struct {
+	Name   string
+	ft, it *perfmodel.Bilinear
+	ct, ot *perfmodel.Bilinear
+	fm, im *perfmodel.Bilinear
+	cm, om *perfmodel.Bilinear
+}
+
+// Fit builds a SpecModel from measurements covering a full rectilinear grid
+// of (Size, Scale) values (at least 2x2).
+func Fit(name string, points []Point) (*SpecModel, error) {
+	if len(points) < 4 {
+		return nil, fmt.Errorf("predict: %s needs at least a 2x2 grid, got %d points", name, len(points))
+	}
+	build := func(what string, get func(analysis.Costs) float64) (*perfmodel.Bilinear, error) {
+		tab := perfmodel.NewTable(name + "/" + what)
+		for _, p := range points {
+			tab.Add(p.Size, p.Scale, get(p.Costs))
+		}
+		b, err := tab.Build()
+		if err != nil {
+			return nil, fmt.Errorf("predict: %s: %w", name, err)
+		}
+		return b, nil
+	}
+	m := &SpecModel{Name: name}
+	var err error
+	if m.ft, err = build("ft", func(c analysis.Costs) float64 { return c.FT.Seconds() }); err != nil {
+		return nil, err
+	}
+	if m.it, err = build("it", func(c analysis.Costs) float64 { return c.IT.Seconds() }); err != nil {
+		return nil, err
+	}
+	if m.ct, err = build("ct", func(c analysis.Costs) float64 { return c.CT.Seconds() }); err != nil {
+		return nil, err
+	}
+	if m.ot, err = build("ot", func(c analysis.Costs) float64 { return c.OT.Seconds() }); err != nil {
+		return nil, err
+	}
+	if m.fm, err = build("fm", func(c analysis.Costs) float64 { return float64(c.FM) }); err != nil {
+		return nil, err
+	}
+	if m.im, err = build("im", func(c analysis.Costs) float64 { return float64(c.IM) }); err != nil {
+		return nil, err
+	}
+	if m.cm, err = build("cm", func(c analysis.Costs) float64 { return float64(c.CM) }); err != nil {
+		return nil, err
+	}
+	if m.om, err = build("om", func(c analysis.Costs) float64 { return float64(c.OM) }); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Predict evaluates the fitted surfaces at (size, scale) and assembles the
+// Table-1 spec. Negative interpolants (possible when extrapolating a noisy
+// surface) are clamped to zero.
+func (m *SpecModel) Predict(size, scale float64, minInterval int) core.AnalysisSpec {
+	pos := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	posB := func(v float64) int64 {
+		if v < 0 {
+			return 0
+		}
+		return int64(v)
+	}
+	return core.AnalysisSpec{
+		Name:        m.Name,
+		FT:          pos(m.ft.Predict(size, scale)),
+		IT:          pos(m.it.Predict(size, scale)),
+		CT:          pos(m.ct.Predict(size, scale)),
+		OT:          pos(m.ot.Predict(size, scale)),
+		FM:          posB(m.fm.Predict(size, scale)),
+		IM:          posB(m.im.Predict(size, scale)),
+		CM:          posB(m.cm.Predict(size, scale)),
+		OM:          posB(m.om.Predict(size, scale)),
+		MinInterval: minInterval,
+	}
+}
+
+// Measurer produces a kernel plus its step function for a given problem
+// size; Profile uses it to sweep the measurement grid.
+type Measurer func(size int, scale int) (analysis.Kernel, func(), error)
+
+// Profile measures the kernel at every (size, scale) grid combination and
+// fits the model. probeSteps and interval parameterize analysis.Measure.
+func Profile(name string, sizes, scales []int, probeSteps, interval int, mk Measurer) (*SpecModel, error) {
+	var pts []Point
+	for _, n := range sizes {
+		for _, s := range scales {
+			k, step, err := mk(n, s)
+			if err != nil {
+				return nil, fmt.Errorf("predict: building %s at (%d, %d): %w", name, n, s, err)
+			}
+			costs, err := analysis.Measure(k, step, probeSteps, interval)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, Point{Size: float64(n), Scale: float64(s), Costs: costs})
+		}
+	}
+	return Fit(name, pts)
+}

@@ -1,0 +1,127 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"insitu/internal/analysis"
+	"insitu/internal/analysis/mdkernels"
+	"insitu/internal/perfmodel"
+	"insitu/internal/sim/md"
+)
+
+// syntheticPoints builds an exact affine cost surface: ct = (size/1e6 +
+// scale/100) seconds, fm = 1000*size bytes.
+func syntheticPoints() []Point {
+	var pts []Point
+	for _, n := range []float64{1000, 2000} {
+		for _, s := range []float64{4, 8} {
+			pts = append(pts, Point{
+				Size:  n,
+				Scale: s,
+				Costs: analysis.Costs{
+					Kernel: "synthetic",
+					CT:     time.Duration((n/1e6 + s/100) * float64(time.Second)),
+					FM:     int64(1000 * n),
+					OM:     64,
+				},
+			})
+		}
+	}
+	return pts
+}
+
+func TestFitAndPredictAffine(t *testing.T) {
+	m, err := Fit("synthetic", syntheticPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolated point (1500, 6): ct = 1500/1e6 + 6/100 = 0.0615.
+	spec := m.Predict(1500, 6, 10)
+	if d := spec.CT - 0.0615; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("ct = %g, want 0.0615", spec.CT)
+	}
+	if spec.FM != 1_500_000 {
+		t.Fatalf("fm = %d", spec.FM)
+	}
+	if spec.OM != 64 || spec.MinInterval != 10 || spec.Name != "synthetic" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	// Extrapolation to paper scale stays affine-exact.
+	big := m.Predict(100e6, 16384, 100)
+	want := 100e6/1e6 + 16384.0/100
+	if d := big.CT - want; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("extrapolated ct = %g, want %g", big.CT, want)
+	}
+}
+
+func TestPredictClampsNegative(t *testing.T) {
+	pts := syntheticPoints()
+	for i := range pts {
+		pts[i].Costs.IT = -time.Second // pathological surface
+	}
+	m, err := Fit("neg", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(1500, 6, 1).IT; got != 0 {
+		t.Fatalf("negative interpolant not clamped: %g", got)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit("few", syntheticPoints()[:2]); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+	// Incomplete grid: 3 corners only.
+	if _, err := Fit("gap", append(syntheticPoints()[:3], Point{Size: 5000, Scale: 32})); err == nil {
+		t.Fatal("expected grid-gap error")
+	}
+}
+
+func TestProfileRealKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel measurement too heavy for -short")
+	}
+	model, err := Profile("A1 hydronium rdf",
+		[]int{1000, 3000}, []int{1, 2}, 4, 2,
+		func(size, scale int) (analysis.Kernel, func(), error) {
+			sys, err := md.NewWaterIons(md.Config{NAtoms: size, Seed: 19})
+			if err != nil {
+				return nil, nil, err
+			}
+			k, err := mdkernels.NewHydroniumRDF(sys, mdkernels.RDFConfig{Bins: 64, Ranks: scale})
+			if err != nil {
+				return nil, nil, err
+			}
+			return k, func() { sys.Step(0.002) }, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Predict(2000, 2, 10)
+	if spec.CT <= 0 {
+		t.Fatalf("predicted ct = %g", spec.CT)
+	}
+	if spec.FM <= 0 {
+		t.Fatalf("predicted fm = %d", spec.FM)
+	}
+	// Sanity: the prediction at an interior point is within a loose factor
+	// of a direct measurement there (wall clocks are noisy in CI).
+	sys, err := md.NewWaterIons(md.Config{NAtoms: 2000, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := mdkernels.NewHydroniumRDF(sys, mdkernels.RDFConfig{Bins: 64, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := analysis.Measure(k, func() { sys.Step(0.002) }, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := perfmodel.RelError(spec.CT, costs.CT.Seconds())
+	if e > 1.5 {
+		t.Fatalf("prediction error %.0f%% is not even order-of-magnitude", e*100)
+	}
+}

@@ -1,0 +1,145 @@
+package amr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Checkpoint I/O: FLASH periodically writes its full mesh state (the 91 GB
+// outputs of Table 7 are exactly such dumps). The format is a flat binary
+// stream — header, then every block's interior cells for every variable —
+// so the on-disk size matches the NumCells x NumVars x 8 bytes the storage
+// model (iosim) prices.
+
+var ckptMagic = [8]byte{'I', 'S', 'C', 'K', 'P', 'T', '1', '\n'}
+
+// WriteCheckpoint serializes the grid state (interior cells only; ghosts are
+// reconstructable) to w and returns the bytes written.
+func (g *Grid) WriteCheckpoint(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	put := func(data interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	if err := put(ckptMagic); err != nil {
+		return written, err
+	}
+	hdr := []int64{int64(g.NBX), int64(g.NBY), int64(g.NBZ), int64(g.NB), int64(g.StepCount)}
+	if err := put(hdr); err != nil {
+		return written, err
+	}
+	phys := []float64{g.Dx, g.Gamma, g.CFL, g.Time}
+	if err := put(phys); err != nil {
+		return written, err
+	}
+	buf := make([]float64, g.NB*g.NB*g.NB)
+	for _, b := range g.Blocks {
+		for v := 0; v < NumVars; v++ {
+			pos := 0
+			for i := 1; i <= g.NB; i++ {
+				for j := 1; j <= g.NB; j++ {
+					for k := 1; k <= g.NB; k++ {
+						buf[pos] = b.U[v][b.idx(i, j, k)]
+						pos++
+					}
+				}
+			}
+			if err := put(buf); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadCheckpoint reconstructs a grid from a checkpoint stream.
+func ReadCheckpoint(r io.Reader) (*Grid, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("amr: reading checkpoint magic: %w", err)
+	}
+	if magic != ckptMagic {
+		return nil, fmt.Errorf("amr: not a checkpoint stream")
+	}
+	hdr := make([]int64, 5)
+	if err := binary.Read(br, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("amr: reading checkpoint header: %w", err)
+	}
+	phys := make([]float64, 4)
+	if err := binary.Read(br, binary.LittleEndian, phys); err != nil {
+		return nil, fmt.Errorf("amr: reading checkpoint physics: %w", err)
+	}
+	nbx, nby, nbz, nb := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if nbx < 1 || nby < 1 || nbz < 1 || nb < 4 || nb > 1<<10 {
+		return nil, fmt.Errorf("amr: corrupt checkpoint geometry %dx%dx%d nb=%d", nbx, nby, nbz, nb)
+	}
+	g, err := NewGrid(Config{
+		BlocksX: nbx, BlocksY: nby, BlocksZ: nbz, NB: nb,
+		Gamma: phys[1], CFL: phys[2],
+		BoxSize: phys[0] * float64(nbx*nb),
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.StepCount = int(hdr[4])
+	g.Time = phys[3]
+	if math.Abs(g.Dx-phys[0]) > 1e-12*phys[0] {
+		return nil, fmt.Errorf("amr: checkpoint dx mismatch: %g vs %g", g.Dx, phys[0])
+	}
+	buf := make([]float64, nb*nb*nb)
+	for _, b := range g.Blocks {
+		for v := 0; v < NumVars; v++ {
+			if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+				return nil, fmt.Errorf("amr: truncated checkpoint at block %v: %w", b.Index, err)
+			}
+			pos := 0
+			for i := 1; i <= nb; i++ {
+				for j := 1; j <= nb; j++ {
+					for k := 1; k <= nb; k++ {
+						b.U[v][b.idx(i, j, k)] = buf[pos]
+						pos++
+					}
+				}
+			}
+		}
+	}
+	g.FillGhosts()
+	return g, nil
+}
+
+// CheckpointBytes returns the on-disk size of one checkpoint.
+func (g *Grid) CheckpointBytes() int64 {
+	return 8 + 5*8 + 4*8 + int64(g.NumCells())*NumVars*8
+}
+
+// WriteCheckpointFile writes a checkpoint to the named file.
+func (g *Grid) WriteCheckpointFile(path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := g.WriteCheckpoint(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// ReadCheckpointFile reads a checkpoint from the named file.
+func ReadCheckpointFile(path string) (*Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

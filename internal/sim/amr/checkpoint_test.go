@@ -1,0 +1,170 @@
+package amr
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g := sedov(t, 3, 6)
+	g.Run(7)
+	var buf bytes.Buffer
+	n, err := g.WriteCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != g.CheckpointBytes() {
+		t.Fatalf("wrote %d bytes, model says %d", n, g.CheckpointBytes())
+	}
+	if int64(buf.Len()) != n {
+		t.Fatalf("buffer %d != reported %d", buf.Len(), n)
+	}
+	back, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Time != g.Time || back.StepCount != g.StepCount || back.Gamma != g.Gamma {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	for id := range g.Blocks {
+		for v := 0; v < NumVars; v++ {
+			for i := 1; i <= g.NB; i++ {
+				for j := 1; j <= g.NB; j++ {
+					for k := 1; k <= g.NB; k++ {
+						n := g.Blocks[id].idx(i, j, k)
+						if g.Blocks[id].U[v][n] != back.Blocks[id].U[v][n] {
+							t.Fatalf("cell mismatch at block %d var %d", id, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointRestartContinuesIdentically(t *testing.T) {
+	// Run 5+5 steps with a checkpoint/restart in the middle and compare to
+	// an uninterrupted 10-step run: bit-identical.
+	ref := sedov(t, 2, 6)
+	ref.Run(10)
+
+	g := sedov(t, 2, 6)
+	g.Run(5)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if _, err := g.WriteCheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Run(5)
+	if restored.Time != ref.Time {
+		t.Fatalf("time %g vs %g", restored.Time, ref.Time)
+	}
+	for id := range ref.Blocks {
+		for v := 0; v < NumVars; v++ {
+			for n := range ref.Blocks[id].U[v] {
+				if ref.Blocks[id].U[v][n] != restored.Blocks[id].U[v][n] {
+					t.Fatalf("restart diverged at block %d var %d cell %d", id, v, n)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointCorruption(t *testing.T) {
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	g := sedov(t, 2, 6)
+	var buf bytes.Buffer
+	if _, err := g.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadCheckpoint(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if _, err := ReadCheckpointFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected open error")
+	}
+	if err := os.WriteFile(filepath.Join(t.TempDir(), "x"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSedovReferenceAgainstSimulation(t *testing.T) {
+	// The simulated shock radius should track xi0 (E t^2/rho)^(1/5) within
+	// the smearing of a first-order scheme on a coarse grid.
+	g := sedov(t, 4, 10)
+	ref := NewSedovReference(g.Gamma)
+	for g.Time < 0.04 {
+		g.StepCFL()
+	}
+	want := ref.ShockRadius(g.Time)
+	got := g.ShockRadius()
+	if math.Abs(got-want) > 0.35*want {
+		t.Fatalf("shock radius %g vs Sedov-Taylor %g at t=%g", got, want, g.Time)
+	}
+	// Post-shock density cannot exceed the strong-shock limit (6x for
+	// gamma=1.4); numerical diffusion keeps it below.
+	peak := 0.0
+	for _, b := range g.Blocks {
+		for i := 1; i <= b.nb; i++ {
+			for j := 1; j <= b.nb; j++ {
+				for k := 1; k <= b.nb; k++ {
+					if d := b.U[Dens][b.idx(i, j, k)]; d > peak {
+						peak = d
+					}
+				}
+			}
+		}
+	}
+	limit := ref.PostShockDensity()
+	if peak > limit*1.05 {
+		t.Fatalf("peak density %g exceeds the strong-shock limit %g", peak, limit)
+	}
+	if peak < AmbientDensity*1.2 {
+		t.Fatalf("peak density %g shows no compression", peak)
+	}
+}
+
+func TestSedovReferenceProperties(t *testing.T) {
+	ref := NewSedovReference(1.4)
+	if math.Abs(ref.Xi0-1.1527) > 1e-12 {
+		t.Fatalf("xi0(1.4) = %g", ref.Xi0)
+	}
+	if ref.ShockRadius(0) != 0 {
+		t.Fatal("R(0) must be 0")
+	}
+	// R ~ t^(2/5) exactly.
+	r1, r2 := ref.ShockRadius(0.01), ref.ShockRadius(0.02)
+	if math.Abs(r2/r1-math.Pow(2, 0.4)) > 1e-12 {
+		t.Fatalf("similarity scaling broken: %g", r2/r1)
+	}
+	// Shock decelerates; post-shock pressure decays.
+	if ref.ShockSpeed(0.02) >= ref.ShockSpeed(0.01) {
+		t.Fatal("shock must decelerate")
+	}
+	if ref.PostShockPressure(0.02) >= ref.PostShockPressure(0.01) {
+		t.Fatal("post-shock pressure must decay")
+	}
+	if math.Abs(ref.PostShockDensity()-6) > 1e-12 {
+		t.Fatalf("gamma=1.4 compression = %g, want 6", ref.PostShockDensity())
+	}
+	// xi0 interpolation: monotone pieces, clamped ends.
+	if xi0(1.0) != xi0(1.2) {
+		t.Fatal("low-gamma clamp broken")
+	}
+	if xi0(3.0) != xi0(2.0) {
+		t.Fatal("high-gamma clamp broken")
+	}
+	mid := xi0(1.35)
+	if mid <= xi0(1.3) || mid >= xi0(1.4) {
+		t.Fatalf("interpolated xi0(1.35) = %g outside bracket", mid)
+	}
+}

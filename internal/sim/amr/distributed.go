@@ -1,0 +1,213 @@
+package amr
+
+import (
+	"fmt"
+	"math"
+
+	"insitu/internal/comm"
+)
+
+// Distributed execution: block slabs along the x block-axis are assigned to
+// ranks, FLASH-style. Each step the ranks exchange the cross-slab ghost
+// faces as messages, agree on the CFL time step with an Allreduce(Max) of
+// the local wave speeds, and update their own blocks. Ghost faces between
+// blocks of the same rank are copied directly (the hybrid MPI +
+// shared-memory layout of real block-structured codes); barriers separate
+// the read phase from the update phase so direct reads always see the
+// previous consistent state.
+
+const (
+	tagFaceLeft  = 300
+	tagFaceRight = 301
+)
+
+// RunDistributed advances the grid `steps` CFL-limited steps using `ranks`
+// slab workers. The block lattice must have at least as many x-slabs as
+// ranks.
+func (g *Grid) RunDistributed(ranks, steps int) error {
+	if ranks < 1 {
+		return fmt.Errorf("amr: distributed run needs at least 1 rank")
+	}
+	if ranks > g.NBX {
+		return fmt.Errorf("amr: %d ranks exceed %d block columns", ranks, g.NBX)
+	}
+	world, err := comm.NewWorld(ranks)
+	if err != nil {
+		return err
+	}
+	return world.Run(func(r *comm.Rank) error {
+		return g.slabWorker(r, steps)
+	})
+}
+
+// slabRange returns the [lo, hi) block-x range owned by rank id.
+func (g *Grid) slabRange(id, ranks int) (lo, hi int) {
+	per := g.NBX / ranks
+	extra := g.NBX % ranks
+	lo = id*per + min(id, extra)
+	hi = lo + per
+	if id < extra {
+		hi++
+	}
+	return
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (g *Grid) slabWorker(r *comm.Rank, steps int) error {
+	lo, hi := g.slabRange(r.ID(), r.Size())
+	var owned []*Block
+	for _, b := range g.Blocks {
+		if b.Index[0] >= lo && b.Index[0] < hi {
+			owned = append(owned, b)
+		}
+	}
+
+	faceVals := g.NB * g.NB * NumVars
+
+	for step := 0; step < steps; step++ {
+		// Phase 1a: ship cross-slab x-faces. The interior layer at the slab
+		// edge becomes the neighbor's ghost layer.
+		if r.Size() > 1 {
+			if r.ID() > 0 {
+				buf := make([]float64, 0, faceVals*g.NBY*g.NBZ)
+				for _, b := range owned {
+					if b.Index[0] == lo {
+						buf = appendFace(buf, b, 1)
+					}
+				}
+				r.Send(r.ID()-1, tagFaceRight, buf)
+			}
+			if r.ID() < r.Size()-1 {
+				buf := make([]float64, 0, faceVals*g.NBY*g.NBZ)
+				for _, b := range owned {
+					if b.Index[0] == hi-1 {
+						buf = appendFace(buf, b, g.NB)
+					}
+				}
+				r.Send(r.ID()+1, tagFaceLeft, buf)
+			}
+			if r.ID() < r.Size()-1 {
+				data, _, err := r.Recv(r.ID()+1, tagFaceRight)
+				if err != nil {
+					return err
+				}
+				g.applyFace(owned, hi-1, g.NB+1, data)
+			}
+			if r.ID() > 0 {
+				data, _, err := r.Recv(r.ID()-1, tagFaceLeft)
+				if err != nil {
+					return err
+				}
+				g.applyFace(owned, lo, 0, data)
+			}
+		}
+		// Phase 1b: fill the remaining ghosts by direct reads of the
+		// previous state (same-rank x faces, all y/z faces, and domain
+		// boundaries). The cross-slab x ghosts just received are
+		// overwritten with identical values, which keeps fillGhostsBlock
+		// reusable; a message-only variant would skip them.
+		for _, b := range owned {
+			g.fillGhostsBlock(b)
+		}
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+
+		// Phase 2: agree on dt via Allreduce(Max) of local wave speeds.
+		localMax := 0.0
+		for _, b := range owned {
+			if s := g.blockMaxWaveSpeed(b); s > localMax {
+				localMax = s
+			}
+		}
+		global, err := r.Allreduce([]float64{localMax}, comm.Max)
+		if err != nil {
+			return err
+		}
+		s := global[0]
+		if s <= 0 {
+			s = 1
+		}
+		dt := g.CFL * g.Dx / s
+
+		// Phase 3: update owned interiors.
+		lambda := dt / g.Dx
+		for _, b := range owned {
+			g.stepBlock(b, lambda)
+		}
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			g.Time += dt
+			g.StepCount++
+		}
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendFace packs the interior layer i=layer of block b (all variables, the
+// NB x NB face) onto buf.
+func appendFace(buf []float64, b *Block, layer int) []float64 {
+	for v := 0; v < NumVars; v++ {
+		for j := 1; j <= b.nb; j++ {
+			for k := 1; k <= b.nb; k++ {
+				buf = append(buf, b.U[v][b.idx(layer, j, k)])
+			}
+		}
+	}
+	return buf
+}
+
+// applyFace writes received face data into the ghost layer i=ghost of the
+// owned blocks at block-x index bx, in the same order appendFace packed
+// them.
+func (g *Grid) applyFace(owned []*Block, bx, ghost int, data []float64) {
+	pos := 0
+	for _, b := range owned {
+		if b.Index[0] != bx {
+			continue
+		}
+		for v := 0; v < NumVars; v++ {
+			for j := 1; j <= b.nb; j++ {
+				for k := 1; k <= b.nb; k++ {
+					if pos < len(data) {
+						b.U[v][b.idx(ghost, j, k)] = data[pos]
+					}
+					pos++
+				}
+			}
+		}
+	}
+}
+
+// blockMaxWaveSpeed returns max |u|+c over the interior of one block.
+func (g *Grid) blockMaxWaveSpeed(b *Block) float64 {
+	m := 0.0
+	for i := 1; i <= b.nb; i++ {
+		for j := 1; j <= b.nb; j++ {
+			for k := 1; k <= b.nb; k++ {
+				n := b.idx(i, j, k)
+				rho, u, v, w, p := g.Primitive(b, n)
+				if rho <= 0 || p < 0 {
+					continue
+				}
+				c := math.Sqrt(g.Gamma * p / rho)
+				s := math.Max(math.Abs(u), math.Max(math.Abs(v), math.Abs(w))) + c
+				if s > m {
+					m = s
+				}
+			}
+		}
+	}
+	return m
+}

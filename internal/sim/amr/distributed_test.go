@@ -1,0 +1,87 @@
+package amr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistributedMatchesSerialExactly(t *testing.T) {
+	// The distributed path uses the same stepBlock arithmetic with ghost
+	// values identical to the serial fill, so results must match bit for
+	// bit at every rank count.
+	ref := sedov(t, 4, 6)
+	ref.Run(6)
+	for _, ranks := range []int{1, 2, 3, 4} {
+		g := sedov(t, 4, 6)
+		if err := g.RunDistributed(ranks, 6); err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if g.StepCount != ref.StepCount {
+			t.Fatalf("ranks=%d: steps %d vs %d", ranks, g.StepCount, ref.StepCount)
+		}
+		if math.Abs(g.Time-ref.Time) > 1e-15 {
+			t.Fatalf("ranks=%d: time %g vs %g", ranks, g.Time, ref.Time)
+		}
+		for id := range g.Blocks {
+			for v := 0; v < NumVars; v++ {
+				gb, rb := g.Blocks[id], ref.Blocks[id]
+				for i := 1; i <= gb.nb; i++ {
+					for j := 1; j <= gb.nb; j++ {
+						for k := 1; k <= gb.nb; k++ {
+							n := gb.idx(i, j, k)
+							if gb.U[v][n] != rb.U[v][n] {
+								t.Fatalf("ranks=%d: block %d var %d cell (%d,%d,%d): %g vs %g",
+									ranks, id, v, i, j, k, gb.U[v][n], rb.U[v][n])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	g := sedov(t, 2, 6)
+	if err := g.RunDistributed(0, 1); err == nil {
+		t.Fatal("expected rank-count error")
+	}
+	if err := g.RunDistributed(5, 1); err == nil {
+		t.Fatal("expected too-many-ranks error")
+	}
+}
+
+func TestSlabRangeCoversLattice(t *testing.T) {
+	g := sedov(t, 5, 6)
+	for _, ranks := range []int{1, 2, 3, 5} {
+		covered := make([]bool, g.NBX)
+		for id := 0; id < ranks; id++ {
+			lo, hi := g.slabRange(id, ranks)
+			if hi <= lo {
+				t.Fatalf("ranks=%d id=%d: empty slab [%d,%d)", ranks, id, lo, hi)
+			}
+			for x := lo; x < hi; x++ {
+				if covered[x] {
+					t.Fatalf("ranks=%d: column %d assigned twice", ranks, x)
+				}
+				covered[x] = true
+			}
+		}
+		for x, c := range covered {
+			if !c {
+				t.Fatalf("ranks=%d: column %d unassigned", ranks, x)
+			}
+		}
+	}
+}
+
+func TestDistributedConservesMass(t *testing.T) {
+	g := sedov(t, 3, 8)
+	m0 := g.TotalMass()
+	if err := g.RunDistributed(3, 8); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.TotalMass()-m0)/m0 > 1e-9 {
+		t.Fatalf("mass drift: %g -> %g", m0, g.TotalMass())
+	}
+}

@@ -1,0 +1,94 @@
+package amr
+
+// Mesh refinement operators. FLASH's PARAMESH refines 2:1 per block; this
+// uniform-grid mini-app provides the equivalent global operators — the paper
+// scales its FLASH problem "by adjusting the global number of blocks", which
+// is exactly what RefineGlobally/CoarsenGlobally do — plus the per-block
+// RefineMarks criterion in hydro.go that a full AMR driver would feed.
+
+// RefineGlobally returns a new grid with twice the resolution in every
+// dimension: each block splits into 8 children at half the cell size.
+// Prolongation is piecewise-constant injection, which conserves every
+// integrated quantity exactly.
+func (g *Grid) RefineGlobally() (*Grid, error) {
+	fine, err := NewGrid(Config{
+		BlocksX: g.NBX * 2, BlocksY: g.NBY * 2, BlocksZ: g.NBZ * 2,
+		NB:      g.NB,
+		Gamma:   g.Gamma,
+		CFL:     g.CFL,
+		BoxSize: g.Dx * float64(g.NBX*g.NB),
+	})
+	if err != nil {
+		return nil, err
+	}
+	fine.Time = g.Time
+	fine.StepCount = g.StepCount
+
+	for _, fb := range fine.Blocks {
+		for i := 0; i < fine.NB; i++ {
+			for j := 0; j < fine.NB; j++ {
+				for k := 0; k < fine.NB; k++ {
+					// Global fine cell -> parent coarse cell.
+					gi := fb.Index[0]*fine.NB + i
+					gj := fb.Index[1]*fine.NB + j
+					gk := fb.Index[2]*fine.NB + k
+					ci, cj, ck := gi/2, gj/2, gk/2
+					cb := g.Blocks[g.blockID(ci/g.NB, cj/g.NB, ck/g.NB)]
+					cn := cb.idx(ci%g.NB+1, cj%g.NB+1, ck%g.NB+1)
+					fn := fb.idx(i+1, j+1, k+1)
+					for v := 0; v < NumVars; v++ {
+						fb.U[v][fn] = cb.U[v][cn]
+					}
+				}
+			}
+		}
+	}
+	fine.FillGhosts()
+	return fine, nil
+}
+
+// CoarsenGlobally returns a new grid with half the resolution: every 2x2x2
+// group of fine cells averages into one coarse cell (conservative
+// restriction). The block lattice dimensions must be even.
+func (g *Grid) CoarsenGlobally() (*Grid, error) {
+	coarse, err := NewGrid(Config{
+		BlocksX: g.NBX / 2, BlocksY: g.NBY / 2, BlocksZ: g.NBZ / 2,
+		NB:      g.NB,
+		Gamma:   g.Gamma,
+		CFL:     g.CFL,
+		BoxSize: g.Dx * float64(g.NBX*g.NB),
+	})
+	if err != nil {
+		return nil, err
+	}
+	coarse.Time = g.Time
+	coarse.StepCount = g.StepCount
+
+	for _, cb := range coarse.Blocks {
+		for i := 0; i < coarse.NB; i++ {
+			for j := 0; j < coarse.NB; j++ {
+				for k := 0; k < coarse.NB; k++ {
+					gi := cb.Index[0]*coarse.NB + i
+					gj := cb.Index[1]*coarse.NB + j
+					gk := cb.Index[2]*coarse.NB + k
+					cn := cb.idx(i+1, j+1, k+1)
+					for v := 0; v < NumVars; v++ {
+						sum := 0.0
+						for di := 0; di < 2; di++ {
+							for dj := 0; dj < 2; dj++ {
+								for dk := 0; dk < 2; dk++ {
+									fi, fj, fk := gi*2+di, gj*2+dj, gk*2+dk
+									fb := g.Blocks[g.blockID(fi/g.NB, fj/g.NB, fk/g.NB)]
+									sum += fb.U[v][fb.idx(fi%g.NB+1, fj%g.NB+1, fk%g.NB+1)]
+								}
+							}
+						}
+						cb.U[v][cn] = sum / 8
+					}
+				}
+			}
+		}
+	}
+	coarse.FillGhosts()
+	return coarse, nil
+}

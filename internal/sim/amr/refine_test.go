@@ -1,0 +1,118 @@
+package amr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRefineConservesIntegrals(t *testing.T) {
+	g := sedov(t, 2, 6)
+	g.Run(5)
+	fine, err := g.RefineGlobally()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.NumCells() != 8*g.NumCells() {
+		t.Fatalf("fine cells = %d, want %d", fine.NumCells(), 8*g.NumCells())
+	}
+	if math.Abs(fine.TotalMass()-g.TotalMass()) > 1e-12 {
+		t.Fatalf("mass not conserved: %g vs %g", fine.TotalMass(), g.TotalMass())
+	}
+	if math.Abs(fine.TotalEnergy()-g.TotalEnergy()) > 1e-12*g.TotalEnergy() {
+		t.Fatalf("energy not conserved: %g vs %g", fine.TotalEnergy(), g.TotalEnergy())
+	}
+	// Same physical domain: Dx halves, lattice doubles.
+	if math.Abs(fine.Dx*2-g.Dx) > 1e-15 {
+		t.Fatalf("fine dx = %g, coarse %g", fine.Dx, g.Dx)
+	}
+	if fine.Time != g.Time || fine.StepCount != g.StepCount {
+		t.Fatal("time bookkeeping lost")
+	}
+}
+
+func TestCoarsenConservesIntegrals(t *testing.T) {
+	g := sedov(t, 4, 6)
+	g.Run(5)
+	coarse, err := g.CoarsenGlobally()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.NumCells()*8 != g.NumCells() {
+		t.Fatalf("coarse cells = %d", coarse.NumCells())
+	}
+	if math.Abs(coarse.TotalMass()-g.TotalMass()) > 1e-12 {
+		t.Fatalf("mass not conserved: %g vs %g", coarse.TotalMass(), g.TotalMass())
+	}
+	if math.Abs(coarse.TotalEnergy()-g.TotalEnergy()) > 1e-12*g.TotalEnergy() {
+		t.Fatalf("energy not conserved: %g vs %g", coarse.TotalEnergy(), g.TotalEnergy())
+	}
+}
+
+func TestRefineThenCoarsenIsIdentity(t *testing.T) {
+	// Piecewise-constant prolongation followed by averaging restriction
+	// must return the original field exactly.
+	g := sedov(t, 2, 6)
+	g.Run(3)
+	fine, err := g.RefineGlobally()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := fine.CoarsenGlobally()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range g.Blocks {
+		cb, bb := g.Blocks[id], back.Blocks[id]
+		for v := 0; v < NumVars; v++ {
+			for i := 1; i <= g.NB; i++ {
+				for j := 1; j <= g.NB; j++ {
+					for k := 1; k <= g.NB; k++ {
+						n := cb.idx(i, j, k)
+						if math.Abs(cb.U[v][n]-bb.U[v][n]) > 1e-13 {
+							t.Fatalf("round trip differs at block %d var %d: %g vs %g",
+								id, v, cb.U[v][n], bb.U[v][n])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRefinedGridStillEvolves(t *testing.T) {
+	g := sedov(t, 3, 8)
+	g.Run(3)
+	fine, err := g.RefineGlobally()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := fine.TotalMass()
+	fine.Run(3)
+	if math.Abs(fine.TotalMass()-m0)/m0 > 1e-6 {
+		t.Fatal("mass drift after refinement")
+	}
+	if fine.ShockRadius() <= 0 {
+		t.Fatal("shock lost by refinement")
+	}
+}
+
+func TestRefinementConvergesShockRadius(t *testing.T) {
+	// Grid-convergence sanity: the coarse and refined runs agree on the
+	// shock radius to within a coarse cell after the same physical time.
+	coarse := sedov(t, 2, 8)
+	fine, err := coarse.RefineGlobally()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 0.05
+	for coarse.Time < target {
+		coarse.StepCFL()
+	}
+	for fine.Time < target {
+		fine.StepCFL()
+	}
+	rc, rf := coarse.ShockRadius(), fine.ShockRadius()
+	if math.Abs(rc-rf) > 3*coarse.Dx {
+		t.Fatalf("shock radii diverge: coarse %g vs fine %g (dx %g)", rc, rf, coarse.Dx)
+	}
+}

@@ -1,0 +1,357 @@
+package md
+
+import (
+	"fmt"
+	"math"
+
+	"insitu/internal/comm"
+)
+
+// Distributed execution: the system is decomposed into slabs along x, one
+// rank per slab, in the style of LAMMPS' spatial decomposition. Every step
+// each rank (1) migrates atoms that drifted across its slab boundaries,
+// (2) exchanges a cutoff-wide halo of neighbor positions, (3) computes
+// Lennard-Jones forces on its owned atoms against owned+halo atoms, and
+// (4) integrates its owned atoms with velocity Verlet. At the end the
+// owned state is written back into the System (atoms carry global ids, so
+// writes are disjoint).
+
+// atomMsg is the flattened wire format of one atom: id, type, position,
+// velocity, image counts.
+const atomMsgLen = 1 + 1 + 3 + 3 + 3
+
+// Point-to-point tags for the decomposition protocol.
+const (
+	tagMigrate = 100
+	tagHalo    = 101
+)
+
+// slab holds one rank's owned atoms.
+type slab struct {
+	sys  *System
+	rank *comm.Rank
+	p    int     // world size
+	w    float64 // slab width
+
+	id    []int32
+	typ   []Species
+	pos   []Vec3
+	vel   []Vec3
+	force []Vec3
+	image [][3]int32
+}
+
+// RunDistributed advances the system `steps` velocity-Verlet steps of size
+// dt using `ranks` slab-decomposed workers, then writes the final state
+// back into sys. The slab width must be at least the cutoff so a one-deep
+// halo suffices; callers violating that get an error.
+func RunDistributed(sys *System, ranks, steps int, dt float64) error {
+	if ranks < 1 {
+		return fmt.Errorf("md: distributed run needs at least 1 rank, got %d", ranks)
+	}
+	if w := sys.Box[0] / float64(ranks); ranks > 1 && w < sys.Cutoff {
+		return fmt.Errorf("md: slab width %.3f below cutoff %.3f; use at most %d ranks",
+			w, sys.Cutoff, int(sys.Box[0]/sys.Cutoff))
+	}
+	world, err := comm.NewWorld(ranks)
+	if err != nil {
+		return err
+	}
+	return world.Run(func(r *comm.Rank) error {
+		s := newSlab(sys, r)
+		if err := s.run(steps, dt); err != nil {
+			return err
+		}
+		s.writeBack()
+		return nil
+	})
+}
+
+func newSlab(sys *System, r *comm.Rank) *slab {
+	s := &slab{sys: sys, rank: r, p: r.Size(), w: sys.Box[0] / float64(r.Size())}
+	for i := 0; i < sys.N; i++ {
+		if s.owner(sys.Pos[i][0]) == r.ID() {
+			s.id = append(s.id, int32(i))
+			s.typ = append(s.typ, sys.Type[i])
+			s.pos = append(s.pos, sys.Pos[i])
+			s.vel = append(s.vel, sys.Vel[i])
+			s.image = append(s.image, sys.Image[i])
+		}
+	}
+	s.force = make([]Vec3, len(s.id))
+	return s
+}
+
+// owner maps an x coordinate to its slab rank.
+func (s *slab) owner(x float64) int {
+	r := int(x / s.w)
+	if r >= s.p {
+		r = s.p - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+func (s *slab) run(steps int, dt float64) error {
+	// Initial forces.
+	if err := s.computeForces(); err != nil {
+		return err
+	}
+	half := dt / 2
+	for step := 0; step < steps; step++ {
+		for i := range s.id {
+			invM := 1 / s.sys.Params[s.typ[i]].Mass
+			s.vel[i] = s.vel[i].Add(s.force[i].Scale(half * invM))
+			s.pos[i] = s.pos[i].Add(s.vel[i].Scale(dt))
+			s.wrap(i)
+		}
+		if err := s.migrate(); err != nil {
+			return err
+		}
+		if err := s.computeForces(); err != nil {
+			return err
+		}
+		for i := range s.id {
+			invM := 1 / s.sys.Params[s.typ[i]].Mass
+			s.vel[i] = s.vel[i].Add(s.force[i].Scale(half * invM))
+		}
+	}
+	return nil
+}
+
+// wrap folds atom i into the periodic box, tracking images.
+func (s *slab) wrap(i int) {
+	for d := 0; d < 3; d++ {
+		for s.pos[i][d] < 0 {
+			s.pos[i][d] += s.sys.Box[d]
+			s.image[i][d]--
+		}
+		for s.pos[i][d] >= s.sys.Box[d] {
+			s.pos[i][d] -= s.sys.Box[d]
+			s.image[i][d]++
+		}
+	}
+}
+
+// encode flattens atom i for the wire.
+func (s *slab) encode(dst []float64, i int) {
+	dst[0] = float64(s.id[i])
+	dst[1] = float64(s.typ[i])
+	dst[2], dst[3], dst[4] = s.pos[i][0], s.pos[i][1], s.pos[i][2]
+	dst[5], dst[6], dst[7] = s.vel[i][0], s.vel[i][1], s.vel[i][2]
+	dst[8], dst[9], dst[10] = float64(s.image[i][0]), float64(s.image[i][1]), float64(s.image[i][2])
+}
+
+// appendDecoded appends atoms from a wire payload to the slab.
+func (s *slab) appendDecoded(data []float64) {
+	for off := 0; off+atomMsgLen <= len(data); off += atomMsgLen {
+		s.id = append(s.id, int32(data[off]))
+		s.typ = append(s.typ, Species(data[off+1]))
+		s.pos = append(s.pos, Vec3{data[off+2], data[off+3], data[off+4]})
+		s.vel = append(s.vel, Vec3{data[off+5], data[off+6], data[off+7]})
+		s.image = append(s.image, [3]int32{int32(data[off+8]), int32(data[off+9]), int32(data[off+10])})
+	}
+}
+
+// migrate ships atoms that left the slab to their new owners. With slab
+// width >= cutoff and small dt, atoms move at most one slab per step.
+func (s *slab) migrate() error {
+	if s.p == 1 {
+		return nil
+	}
+	left := (s.rank.ID() - 1 + s.p) % s.p
+	right := (s.rank.ID() + 1) % s.p
+	var toLeft, toRight []float64
+	keep := 0
+	for i := range s.id {
+		owner := s.owner(s.pos[i][0])
+		switch {
+		case owner == s.rank.ID():
+			s.keepAtom(keep, i)
+			keep++
+		case owner == left || (owner < s.rank.ID() && owner != right):
+			buf := make([]float64, atomMsgLen)
+			s.encode(buf, i)
+			toLeft = append(toLeft, buf...)
+		default:
+			buf := make([]float64, atomMsgLen)
+			s.encode(buf, i)
+			toRight = append(toRight, buf...)
+		}
+	}
+	s.truncate(keep)
+
+	s.rank.Send(left, tagMigrate, toLeft)
+	s.rank.Send(right, tagMigrate, toRight)
+	fromRight, _, err := s.rank.Recv(right, tagMigrate)
+	if err != nil {
+		return err
+	}
+	fromLeft, _, err := s.rank.Recv(left, tagMigrate)
+	if err != nil {
+		return err
+	}
+	// With p == 2 both payloads come from the same rank as two separate
+	// messages matched FIFO; decoding both is correct in every topology.
+	s.appendDecoded(fromRight)
+	s.appendDecoded(fromLeft)
+	s.force = make([]Vec3, len(s.id))
+	return nil
+}
+
+func (s *slab) keepAtom(dst, src int) {
+	if dst == src {
+		return
+	}
+	s.id[dst] = s.id[src]
+	s.typ[dst] = s.typ[src]
+	s.pos[dst] = s.pos[src]
+	s.vel[dst] = s.vel[src]
+	s.image[dst] = s.image[src]
+}
+
+func (s *slab) truncate(n int) {
+	s.id = s.id[:n]
+	s.typ = s.typ[:n]
+	s.pos = s.pos[:n]
+	s.vel = s.vel[:n]
+	s.image = s.image[:n]
+}
+
+// haloExchange returns the neighbor atoms (type + position) within one
+// cutoff of this slab's boundaries. Payloads carry the global atom id so a
+// receiver can drop duplicates: with two slabs, an atom sitting within the
+// cutoff of both of its slab's boundaries is shipped through both, and the
+// minimum-image force evaluation must see it only once (the box is at least
+// two cutoffs wide whenever the decomposition is legal, so a single image
+// is always the physical one).
+func (s *slab) haloExchange() (typ []Species, pos []Vec3, err error) {
+	if s.p == 1 {
+		return nil, nil, nil
+	}
+	left := (s.rank.ID() - 1 + s.p) % s.p
+	right := (s.rank.ID() + 1) % s.p
+	lo := float64(s.rank.ID()) * s.w
+	hi := lo + s.w
+
+	var toLeft, toRight []float64
+	for i := range s.id {
+		x := s.pos[i][0]
+		if x-lo < s.sys.Cutoff {
+			toLeft = append(toLeft, float64(s.id[i]), float64(s.typ[i]), s.pos[i][0], s.pos[i][1], s.pos[i][2])
+		}
+		if hi-x < s.sys.Cutoff {
+			toRight = append(toRight, float64(s.id[i]), float64(s.typ[i]), s.pos[i][0], s.pos[i][1], s.pos[i][2])
+		}
+	}
+	s.rank.Send(left, tagHalo, toLeft)
+	s.rank.Send(right, tagHalo, toRight)
+	seen := make(map[int32]bool)
+	decode := func(data []float64) {
+		for off := 0; off+5 <= len(data); off += 5 {
+			id := int32(data[off])
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			typ = append(typ, Species(data[off+1]))
+			pos = append(pos, Vec3{data[off+2], data[off+3], data[off+4]})
+		}
+	}
+	fromRight, _, err := s.rank.Recv(right, tagHalo)
+	if err != nil {
+		return nil, nil, err
+	}
+	fromLeft, _, err := s.rank.Recv(left, tagHalo)
+	if err != nil {
+		return nil, nil, err
+	}
+	decode(fromRight)
+	decode(fromLeft)
+	return typ, pos, nil
+}
+
+// computeForces evaluates LJ forces on owned atoms against owned + halo
+// atoms. O(n^2) within the slab neighborhood — adequate at test scale and
+// trivially correct against the serial cell-list path.
+func (s *slab) computeForces() error {
+	haloTyp, haloPos, err := s.haloExchange()
+	if err != nil {
+		return err
+	}
+	cut2 := s.sys.Cutoff * s.sys.Cutoff
+	for i := range s.id {
+		var f Vec3
+		ti := s.typ[i]
+		add := func(tj Species, pj Vec3) {
+			d := s.sys.MinImage(s.pos[i], pj)
+			r2 := d.Norm2()
+			if r2 >= cut2 || r2 == 0 {
+				return
+			}
+			sig2 := s.sys.sigma2[ti][tj]
+			eps := s.sys.eps[ti][tj]
+			sr2 := sig2 / r2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			fmag := 24 * eps * (2*sr12 - sr6) / r2
+			f[0] += fmag * d[0]
+			f[1] += fmag * d[1]
+			f[2] += fmag * d[2]
+		}
+		for j := range s.id {
+			if i == j {
+				continue
+			}
+			add(s.typ[j], s.pos[j])
+		}
+		for j := range haloTyp {
+			add(haloTyp[j], haloPos[j])
+		}
+		s.force[i] = f
+	}
+	return nil
+}
+
+// writeBack copies the slab's owned atoms into the shared System. Ids are
+// disjoint across ranks, so concurrent writes do not overlap.
+func (s *slab) writeBack() {
+	for i, id := range s.id {
+		s.sys.Pos[id] = s.pos[i]
+		s.sys.Vel[id] = s.vel[i]
+		s.sys.Image[id] = s.image[i]
+	}
+}
+
+// KineticEnergyDistributed computes the kinetic energy via an Allreduce
+// across slab ranks — a correctness cross-check used by tests.
+func KineticEnergyDistributed(sys *System, ranks int) (float64, error) {
+	world, err := comm.NewWorld(ranks)
+	if err != nil {
+		return 0, err
+	}
+	var out float64
+	err = world.Run(func(r *comm.Rank) error {
+		local := 0.0
+		for i := r.ID(); i < sys.N; i += r.Size() {
+			local += 0.5 * sys.Params[sys.Type[i]].Mass * sys.Vel[i].Norm2()
+		}
+		sum, err := r.Allreduce([]float64{local}, comm.Sum)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			out = sum[0]
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(out) {
+		return 0, fmt.Errorf("md: NaN kinetic energy")
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package md
+
+import (
+	"math"
+	"testing"
+)
+
+// serialReference advances a copy of the system serially and returns it.
+func serialReference(t *testing.T, n, steps int, dt float64) *System {
+	t.Helper()
+	s, err := NewWaterIons(Config{NAtoms: n, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(steps, dt)
+	return s
+}
+
+func distributedRun(t *testing.T, n, ranks, steps int, dt float64) *System {
+	t.Helper()
+	s, err := NewWaterIons(Config{NAtoms: n, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunDistributed(s, ranks, steps, dt); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDistributedSingleRankMatchesSerialClosely(t *testing.T) {
+	// One rank, no halos: the only difference from the serial path is the
+	// pair iteration order, so trajectories must agree very tightly over a
+	// few steps.
+	const n, steps, dt = 600, 5, 0.002
+	ref := serialReference(t, n, steps, dt)
+	got := distributedRun(t, n, 1, steps, dt)
+	for i := 0; i < n; i++ {
+		d := got.Pos[i].Sub(ref.Pos[i])
+		if math.Sqrt(d.Norm2()) > 1e-7 {
+			t.Fatalf("atom %d drifted %g from serial reference", i, math.Sqrt(d.Norm2()))
+		}
+	}
+}
+
+func TestDistributedMultiRankMatchesSerial(t *testing.T) {
+	const n, steps, dt = 900, 5, 0.002
+	ref := serialReference(t, n, steps, dt)
+	for _, ranks := range []int{2, 3} {
+		got := distributedRun(t, n, ranks, steps, dt)
+		worst := 0.0
+		for i := 0; i < n; i++ {
+			d := got.Pos[i].Sub(ref.Pos[i])
+			// Positions wrap, so compare through the minimum image.
+			d = ref.MinImage(got.Pos[i], ref.Pos[i])
+			if r := math.Sqrt(d.Norm2()); r > worst {
+				worst = r
+			}
+		}
+		if worst > 1e-6 {
+			t.Fatalf("ranks=%d: max deviation %g from serial run", ranks, worst)
+		}
+	}
+}
+
+func TestDistributedEnergyStable(t *testing.T) {
+	const n, dt = 1200, 0.002
+	s, err := NewWaterIons(Config{NAtoms: n, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ke0 := s.KineticEnergy()
+	if err := RunDistributed(s, 3, 40, dt); err != nil {
+		t.Fatal(err)
+	}
+	ke1 := s.KineticEnergy()
+	// A stable liquid must not blow up: kinetic energy stays within a
+	// factor of a few of its equilibrated value.
+	if ke1 <= 0 || ke1 > 5*ke0 || math.IsNaN(ke1) {
+		t.Fatalf("kinetic energy unstable: %g -> %g", ke0, ke1)
+	}
+}
+
+func TestDistributedConservesAtoms(t *testing.T) {
+	const n = 800
+	s, err := NewWaterIons(Config{NAtoms: n, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Species]int{}
+	for _, sp := range s.Type {
+		counts[sp]++
+	}
+	if err := RunDistributed(s, 4, 25, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	after := map[Species]int{}
+	for _, sp := range s.Type {
+		after[sp]++
+	}
+	for sp, c := range counts {
+		if after[sp] != c {
+			t.Fatalf("species %v count changed: %d -> %d", sp, c, after[sp])
+		}
+	}
+	for i := 0; i < s.N; i++ {
+		for d := 0; d < 3; d++ {
+			if s.Pos[i][d] < 0 || s.Pos[i][d] >= s.Box[d] {
+				t.Fatalf("atom %d escaped the box: %v", i, s.Pos[i])
+			}
+		}
+	}
+}
+
+func TestDistributedTooManyRanks(t *testing.T) {
+	s, err := NewWaterIons(Config{NAtoms: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 atoms -> box ~6.6; cutoff 2.5 allows at most 2 slabs.
+	if err := RunDistributed(s, 16, 1, 0.002); err == nil {
+		t.Fatal("expected slab-width error")
+	}
+	if err := RunDistributed(s, 0, 1, 0.002); err == nil {
+		t.Fatal("expected rank-count error")
+	}
+}
+
+func TestDistributedDeterministic(t *testing.T) {
+	a := distributedRun(t, 700, 2, 8, 0.002)
+	b := distributedRun(t, 700, 2, 8, 0.002)
+	for i := 0; i < a.N; i++ {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatalf("nondeterministic distributed run at atom %d", i)
+		}
+	}
+}
+
+func TestKineticEnergyDistributed(t *testing.T) {
+	s, err := NewWaterIons(Config{NAtoms: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.KineticEnergy()
+	got, err := KineticEnergyDistributed(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("distributed KE %g != serial %g", got, want)
+	}
+}

@@ -1,0 +1,92 @@
+package md
+
+import "math"
+
+// Step advances the system one velocity-Verlet step of size dt. Forces must
+// be current on entry (constructors and previous Steps guarantee this).
+func (s *System) Step(dt float64) {
+	half := dt / 2
+	// Kick-drift: v(t+dt/2), x(t+dt).
+	for i := 0; i < s.N; i++ {
+		invM := 1 / s.Params[s.Type[i]].Mass
+		s.Vel[i] = s.Vel[i].Add(s.Force[i].Scale(half * invM))
+		s.Pos[i] = s.Pos[i].Add(s.Vel[i].Scale(dt))
+		s.wrap(i)
+	}
+	// New forces, second kick: v(t+dt).
+	s.ComputeForces()
+	for i := 0; i < s.N; i++ {
+		invM := 1 / s.Params[s.Type[i]].Mass
+		s.Vel[i] = s.Vel[i].Add(s.Force[i].Scale(half * invM))
+	}
+	s.StepCount++
+}
+
+// Run advances the system n steps.
+func (s *System) Run(n int, dt float64) {
+	for k := 0; k < n; k++ {
+		s.Step(dt)
+	}
+}
+
+// KineticEnergy returns the total kinetic energy.
+func (s *System) KineticEnergy() float64 {
+	ke := 0.0
+	for i := 0; i < s.N; i++ {
+		ke += 0.5 * s.Params[s.Type[i]].Mass * s.Vel[i].Norm2()
+	}
+	return ke
+}
+
+// TotalEnergy returns kinetic plus potential energy of the last force
+// evaluation.
+func (s *System) TotalEnergy() float64 {
+	return s.KineticEnergy() + s.PotEnergy
+}
+
+// Temperature returns the instantaneous reduced temperature 2K/(3N).
+func (s *System) Temperature() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return 2 * s.KineticEnergy() / (3 * float64(s.N))
+}
+
+// Rescale applies a velocity-rescaling thermostat toward temperature T.
+func (s *System) Rescale(temp float64) {
+	cur := s.Temperature()
+	if cur <= 0 {
+		return
+	}
+	f := math.Sqrt(temp / cur)
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Scale(f)
+	}
+}
+
+// Momentum returns the total linear momentum vector.
+func (s *System) Momentum() Vec3 {
+	var p Vec3
+	for i := 0; i < s.N; i++ {
+		p = p.Add(s.Vel[i].Scale(s.Params[s.Type[i]].Mass))
+	}
+	return p
+}
+
+// Frame serializes positions and velocities as float32 for trajectory
+// output: 6 fields per atom (x y z vx vy vz).
+func (s *System) Frame() []float32 {
+	out := make([]float32, 6*s.N)
+	for i := 0; i < s.N; i++ {
+		out[6*i+0] = float32(s.Pos[i][0])
+		out[6*i+1] = float32(s.Pos[i][1])
+		out[6*i+2] = float32(s.Pos[i][2])
+		out[6*i+3] = float32(s.Vel[i][0])
+		out[6*i+4] = float32(s.Vel[i][1])
+		out[6*i+5] = float32(s.Vel[i][2])
+	}
+	return out
+}
+
+// FrameFields is the number of float32 values per atom in Frame output.
+const FrameFields = 6

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.traj")
+	w, err := NewWriter(path, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	frames := [][]float32{}
+	for f := 0; f < 4; f++ {
+		data := make([]float32, 15)
+		for i := range data {
+			data[i] = rng.Float32()
+		}
+		frames = append(frames, data)
+		if err := w.WriteFrame(int64(f*100), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Frames() != 4 {
+		t.Fatalf("frames = %d", w.Frames())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumAtoms() != 5 || r.Fields() != 3 {
+		t.Fatalf("header = %d/%d", r.NumAtoms(), r.Fields())
+	}
+	for f := 0; f < 4; f++ {
+		step, data, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step != int64(f*100) {
+			t.Fatalf("step = %d, want %d", step, f*100)
+		}
+		for i := range data {
+			if data[i] != frames[f][i] {
+				t.Fatalf("frame %d value %d = %g, want %g", f, i, data[i], frames[f][i])
+			}
+		}
+	}
+	if _, _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	if _, err := NewWriter(filepath.Join(t.TempDir(), "x"), 0, 3); err == nil {
+		t.Fatal("expected geometry error")
+	}
+	path := filepath.Join(t.TempDir(), "t.traj")
+	w, err := NewWriter(path, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(0, make([]float32, 3)); err == nil {
+		t.Fatal("expected frame-size error")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+	if err := w.WriteFrame(0, make([]float32, 4)); err == nil {
+		t.Fatal("write after close must fail")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(path, []byte("not a trajectory at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(path); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := OpenReader(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected open error")
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.traj")
+	w, err := NewWriter(path, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(1, make([]float32, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop off the last 4 bytes.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := r.ReadFrame(); err == nil || err == io.EOF {
+		t.Fatalf("expected truncation error, got %v", err)
+	}
+}
+
+func TestBytesPerFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.traj")
+	w, err := NewWriter(path, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := w.BytesPerFrame(); got != 8+4*10*6 {
+		t.Fatalf("bytes per frame = %d", got)
+	}
+}
+
+func TestOnDiskSizeMatchesModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.traj")
+	natoms, fields, frames := 100, 6, 7
+	w, err := NewWriter(path, natoms, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < frames; f++ {
+		if err := w.WriteFrame(int64(f), make([]float32, natoms*fields)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bpf := w.BytesPerFrame()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(16) + bpf*int64(frames) // 8 magic + 8 header
+	if fi.Size() != want {
+		t.Fatalf("file size = %d, want %d", fi.Size(), want)
+	}
+}
+
+func TestSkipFramesAndCount(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.traj")
+	w, err := NewWriter(path, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 5; f++ {
+		data := make([]float32, 6)
+		data[0] = float32(f)
+		if err := w.WriteFrame(int64(f), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := CountFrames(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("frames = %d, want 5", n)
+	}
+
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.SkipFrames(3); err != nil {
+		t.Fatal(err)
+	}
+	step, data, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 3 || data[0] != 3 {
+		t.Fatalf("after skip: step %d data %v", step, data[:1])
+	}
+	if err := r.SkipFrames(5); err == nil {
+		t.Fatal("expected EOF-ish error skipping past the end")
+	}
+	if _, err := CountFrames(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected open error")
+	}
+}
