@@ -6,6 +6,7 @@
 //
 //	flashsim [-blocks 4] [-nb 8] [-steps 100] [-threshold-pct 10]
 //	         [-interval 10] [-ranks 4] [-weights 1,1,1]
+//	         [-trace trace.json] [-metrics metrics.txt]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"insitu/internal/analysis/amrkernels"
 	"insitu/internal/core"
 	"insitu/internal/coupling"
+	"insitu/internal/obs"
 	"insitu/internal/sim/amr"
 )
 
@@ -31,10 +33,12 @@ func main() {
 	interval := flag.Int("interval", 10, "minimum interval between analysis steps")
 	ranks := flag.Int("ranks", 4, "analysis reduction ranks")
 	weights := flag.String("weights", "1,1,1", "importance weights for F1,F2,F3")
+	tracePath := flag.String("trace", "", "write the executed run as Chrome trace JSON to this file")
+	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	render := flag.Bool("render", false, "print an ASCII density slice after the run")
 	flag.Parse()
 
-	if err := run(*blocks, *nb, *steps, *thresholdPct, *interval, *ranks, *weights, *render); err != nil {
+	if err := run(*blocks, *nb, *steps, *thresholdPct, *interval, *ranks, *weights, *render, *tracePath, *metricsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "flashsim:", err)
 		os.Exit(1)
 	}
@@ -56,7 +60,7 @@ func parseWeights(s string) ([3]float64, error) {
 	return w, nil
 }
 
-func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weightStr string, render bool) error {
+func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weightStr string, render bool, tracePath, metricsPath string) error {
 	w, err := parseWeights(weightStr)
 	if err != nil {
 		return err
@@ -126,13 +130,33 @@ func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weigh
 	for _, k := range kernels {
 		byName[k.Name()] = k
 	}
-	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res}
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	var reg *obs.Registry
+	if metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Trace: tracer, Metrics: reg}
 	rep, err := runner.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nexecuted: sim=%v analyses=%v (%.1f%% of threshold)\n",
 		rep.SimTime, rep.AnalysisTime, rep.Utilization(res)*100)
+	if tracePath != "" {
+		if err := obs.WriteTraceFile(tracePath, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace (%d events) to %s\n", tracer.Len(), tracePath)
+	}
+	if metricsPath != "" {
+		if err := obs.WriteMetricsFile(metricsPath, reg); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics to %s\n", metricsPath)
+	}
 	ref := amr.NewSedovReference(grid.Gamma)
 	fmt.Printf("shock radius after %d steps: %.4f (Sedov-Taylor %.4f at t=%.4f)\n",
 		grid.StepCount, grid.ShockRadius(), ref.ShockRadius(grid.Time), grid.Time)

@@ -22,7 +22,7 @@ func TestRunSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full pipeline too heavy for -short")
 	}
-	if err := run(2, 6, 10, 20, 5, 2, "1,1,1", false); err != nil {
+	if err := run(2, 6, 10, 20, 5, 2, "1,1,1", false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -24,6 +24,12 @@
 // -full selects the time-indexed formulation (small step counts only),
 // -coupling prints Figure-1 style coupling strings, and -json emits the
 // recommendation as JSON instead of text.
+//
+// -trace records the branch-and-bound search as Chrome trace JSON: one span
+// for the solve with one instant event per explored node (carrying the node
+// bound and incumbent) plus bound/incumbent counter tracks. -metrics writes
+// solver counters (nodes, relaxations, simplex pivots, incumbents) in
+// Prometheus text format, or JSON when the path ends in .json.
 package main
 
 import (
@@ -35,6 +41,8 @@ import (
 	"os"
 
 	"insitu/internal/core"
+	"insitu/internal/milp"
+	"insitu/internal/obs"
 )
 
 type inputAnalysis struct {
@@ -69,9 +77,11 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the recommendation as JSON")
 	exportLP := flag.String("export-lp", "", "write the model in CPLEX LP format to this file (for cross-checking with external solvers)")
 	sensitivity := flag.Bool("sensitivity", false, "report the threshold at which each analysis gains one more step")
+	tracePath := flag.String("trace", "", "write the branch-and-bound search as Chrome trace JSON to this file")
+	metricsPath := flag.String("metrics", "", "write solver metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-export-lp model.lp] [-sensitivity] problem.json")
+		fmt.Fprintln(os.Stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] problem.json")
 		os.Exit(2)
 	}
 
@@ -105,9 +115,47 @@ func main() {
 	if *full {
 		solve = core.SolveFull
 	}
-	rec, err := solve(specs, res, core.SolveOptions{})
+	var tracer *obs.Tracer
+	opts := core.SolveOptions{}
+	var solveSpan *obs.Span
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		solveSpan = tracer.Begin("solve", "solver")
+		opts.Observer = func(ev milp.NodeEvent) {
+			args := map[string]float64{"node": float64(ev.Node), "depth": float64(ev.Depth), "bound": ev.Bound}
+			if ev.HasInc {
+				args["incumbent"] = ev.Incumbent
+				tracer.Counter("incumbent", ev.Incumbent)
+			}
+			tracer.Instant("node/"+ev.Action, "solver", args)
+			tracer.Counter("bound", ev.Bound)
+		}
+	}
+	rec, err := solve(specs, res, opts)
 	if err != nil {
 		fatal(err)
+	}
+	solveSpan.End()
+	if *tracePath != "" {
+		if err := obs.WriteTraceFile(*tracePath, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace (%d events) to %s\n", tracer.Len(), *tracePath)
+	}
+	if *metricsPath != "" {
+		reg := obs.NewRegistry()
+		st := rec.Stats
+		reg.Counter("solver_nodes_total", nil).Add(float64(st.Nodes))
+		reg.Counter("solver_relaxations_total", nil).Add(float64(st.Relaxations))
+		reg.Counter("solver_pivots_total", nil).Add(float64(st.Pivots))
+		reg.Counter("solver_incumbents_total", nil).Add(float64(len(st.Incumbents)))
+		reg.Gauge("solver_best_bound", nil).Set(st.BestBound)
+		reg.Gauge("solver_objective", nil).Set(rec.Objective)
+		reg.Counter("solver_solve_seconds_total", nil).Add(st.SolveTime.Seconds())
+		if err := obs.WriteMetricsFile(*metricsPath, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *metricsPath)
 	}
 
 	if *asJSON {

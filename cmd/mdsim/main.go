@@ -8,6 +8,11 @@
 //
 //	mdsim [-system water|rhodopsin] [-atoms 4000] [-steps 200]
 //	      [-threshold-pct 10] [-interval 20] [-ranks 4] [-out results.txt]
+//	      [-trace trace.json] [-metrics metrics.txt]
+//
+// -trace writes the executed run as Chrome trace JSON (load in
+// chrome://tracing or Perfetto); -metrics writes run counters in Prometheus
+// text format (or a JSON snapshot when the path ends in .json).
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"insitu/internal/analysis/mdkernels"
 	"insitu/internal/core"
 	"insitu/internal/coupling"
+	"insitu/internal/obs"
 	"insitu/internal/sim/md"
 )
 
@@ -32,6 +38,8 @@ func main() {
 	interval := flag.Int("interval", 20, "minimum interval between analysis steps")
 	ranks := flag.Int("ranks", 4, "analysis reduction ranks")
 	outPath := flag.String("out", "", "write analysis output to this file (default: discard)")
+	tracePath := flag.String("trace", "", "write the executed run as Chrome trace JSON to this file")
+	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	render := flag.Bool("render", false, "print a Figure-3 style ASCII snapshot before running")
 	flag.Parse()
 
@@ -43,7 +51,7 @@ func main() {
 		}
 		fmt.Print(sys.RenderSlice(72, 28, sys.Box[1]/4))
 	}
-	if err := run(*system, *atoms, *steps, *thresholdPct, *interval, *ranks, *outPath); err != nil {
+	if err := run(*system, *atoms, *steps, *thresholdPct, *interval, *ranks, *outPath, *tracePath, *metricsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)
 		os.Exit(1)
 	}
@@ -60,7 +68,7 @@ func buildSystem(system string, atoms int) (*md.System, error) {
 	return nil, fmt.Errorf("unknown system %q", system)
 }
 
-func run(system string, atoms, steps int, thresholdPct float64, interval, ranks int, outPath string) error {
+func run(system string, atoms, steps int, thresholdPct float64, interval, ranks int, outPath, tracePath, metricsPath string) error {
 	cfg := md.Config{NAtoms: atoms, Seed: 1}
 	var sys *md.System
 	var err error
@@ -156,7 +164,15 @@ func run(system string, atoms, steps int, thresholdPct float64, interval, ranks 
 	for _, k := range kernels {
 		byName[k.Name()] = k
 	}
-	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Output: out}
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	var reg *obs.Registry
+	if metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Output: out, Trace: tracer, Metrics: reg}
 	rep, err := runner.Run()
 	if err != nil {
 		return err
@@ -166,6 +182,18 @@ func run(system string, atoms, steps int, thresholdPct float64, interval, ranks 
 	for _, kr := range rep.Kernels {
 		fmt.Printf("  %-24s analyses=%d outputs=%d total=%v out_bytes=%d\n",
 			kr.Name, kr.Analyses, kr.Outputs, kr.Total(), kr.OutBytes)
+	}
+	if tracePath != "" {
+		if err := obs.WriteTraceFile(tracePath, tracer); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace (%d events) to %s\n", tracer.Len(), tracePath)
+	}
+	if metricsPath != "" {
+		if err := obs.WriteMetricsFile(metricsPath, reg); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics to %s\n", metricsPath)
 	}
 	return nil
 }

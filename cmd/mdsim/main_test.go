@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildSystem(t *testing.T) {
+	if _, err := buildSystem("water", 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildSystem("nope", 500); err == nil {
+		t.Fatal("expected error for unknown system")
+	}
+}
+
+// chromeEvent mirrors the trace_event JSON schema the -trace flag emits.
+type chromeEvent struct {
+	Name  string             `json:"name"`
+	Cat   string             `json:"cat"`
+	Phase string             `json:"ph"`
+	TID   int                `json:"tid"`
+	TS    float64            `json:"ts"`
+	Dur   float64            `json:"dur"`
+	Args  map[string]float64 `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func TestRunWritesValidChromeTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline too heavy for -short")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	if err := run("water", 600, 20, 20, 5, 2, "", tracePath, metricsPath); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace file is not valid Chrome trace JSON: %v", err)
+	}
+	var steps, kernels []chromeEvent
+	for _, e := range tr.TraceEvents {
+		if e.Phase != "X" {
+			continue
+		}
+		switch {
+		case e.Name == "step" && e.Cat == "sim":
+			steps = append(steps, e)
+		case e.Cat == "kernel" && !strings.HasSuffix(e.Name, "/setup"):
+			kernels = append(kernels, e)
+		}
+	}
+	if len(steps) != 20 {
+		t.Fatalf("step spans = %d, want 20", len(steps))
+	}
+	if len(kernels) == 0 {
+		t.Fatal("no kernel spans recorded")
+	}
+	// Every kernel invocation span must nest inside exactly one step span.
+	for _, k := range kernels {
+		hits := 0
+		for _, s := range steps {
+			if s.TID == k.TID && s.TS <= k.TS && k.TS+k.Dur <= s.TS+s.Dur {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Errorf("kernel span %q at ts=%v nests in %d step spans, want 1", k.Name, k.TS, hits)
+		}
+	}
+
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(metrics)
+	if !strings.Contains(text, "coupling_steps_total 20") {
+		t.Errorf("metrics file missing step counter:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE coupling_step_seconds histogram") {
+		t.Errorf("metrics file missing step-duration histogram:\n%s", text)
+	}
+}

@@ -10,6 +10,7 @@ package campaign
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"insitu/internal/coupling"
 	"insitu/internal/iosim"
 	"insitu/internal/machine"
+	"insitu/internal/obs"
 )
 
 // Simulation is the minimal contract a simulation code implements to join a
@@ -83,6 +85,13 @@ type Config struct {
 	ProbeSteps int
 	// Output receives analysis output during execution (default discard).
 	Output io.Writer
+
+	// Trace, when non-nil, records the executed run as a timeline (see
+	// obs.Tracer); it is handed to the coupling runner unchanged.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, collects run counters; Outcome.Metrics holds a
+	// snapshot taken after execution and Summary appends it.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -128,6 +137,9 @@ type Outcome struct {
 	// WithinThreshold reports whether the executed analysis time stayed
 	// inside the budget.
 	WithinThreshold bool
+	// Metrics is a snapshot of the campaign's metrics registry taken right
+	// after execution (nil when the campaign is uninstrumented).
+	Metrics []obs.Metric
 }
 
 // Campaign drives one simulation-plus-analyses run.
@@ -217,16 +229,22 @@ func (c *Campaign) Execute(p *Plan) (*Outcome, error) {
 		Rec:     p.Rec,
 		Res:     p.Resources,
 		Output:  c.cfg.Output,
+		Trace:   c.cfg.Trace,
+		Metrics: c.cfg.Metrics,
 	}
 	rep, err := runner.Run()
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{
+	out := &Outcome{
 		Plan:            p,
 		Report:          rep,
 		WithinThreshold: rep.AnalysisTime.Seconds() <= p.Resources.TimeThreshold,
-	}, nil
+	}
+	if c.cfg.Metrics != nil {
+		out.Metrics = c.cfg.Metrics.Snapshot()
+	}
+	return out, nil
 }
 
 // Run plans and executes in one call.
@@ -251,6 +269,26 @@ func (o *Outcome) Summary() string {
 	for _, kr := range o.Report.Kernels {
 		fmt.Fprintf(&b, "  %-26s analyses=%-4d outputs=%-4d total=%v\n",
 			kr.Name, kr.Analyses, kr.Outputs, kr.Total())
+	}
+	if len(o.Metrics) > 0 {
+		b.WriteString("metrics:\n")
+		for _, m := range o.Metrics {
+			label := ""
+			if len(m.Labels) > 0 {
+				var parts []string
+				for k, v := range m.Labels {
+					parts = append(parts, k+"="+v)
+				}
+				sort.Strings(parts)
+				label = "{" + strings.Join(parts, ",") + "}"
+			}
+			switch m.Kind {
+			case "histogram":
+				fmt.Fprintf(&b, "  %s%s count=%d sum=%g\n", m.Name, label, m.Count, m.Value)
+			default:
+				fmt.Fprintf(&b, "  %s%s %g\n", m.Name, label, m.Value)
+			}
+		}
 	}
 	return b.String()
 }

@@ -9,6 +9,7 @@ import (
 	"insitu/internal/analysis"
 	"insitu/internal/analysis/amrkernels"
 	"insitu/internal/analysis/mdkernels"
+	"insitu/internal/obs"
 	"insitu/internal/sim/amr"
 	"insitu/internal/sim/md"
 )
@@ -153,3 +154,32 @@ func (dummyKernel) PreStep(int) (int64, error)      { return 0, nil }
 func (dummyKernel) Analyze(int) (int64, error)      { return 0, nil }
 func (dummyKernel) Output(io.Writer) (int64, error) { return 0, nil }
 func (dummyKernel) Free()                           {}
+
+func TestCampaignInstrumented(t *testing.T) {
+	c := mdCampaign(t, 20, 0)
+	c.cfg.Trace = obs.NewTracer()
+	c.cfg.Metrics = obs.NewRegistry()
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Metrics) == 0 {
+		t.Fatal("instrumented campaign produced no metrics snapshot")
+	}
+	var steps float64
+	for _, m := range out.Metrics {
+		if m.Name == "coupling_steps_total" {
+			steps = m.Value
+		}
+	}
+	if steps != 40 {
+		t.Errorf("coupling_steps_total = %v, want 40", steps)
+	}
+	if c.cfg.Trace.Len() == 0 {
+		t.Error("instrumented campaign recorded no trace events")
+	}
+	sum := out.Summary()
+	if !strings.Contains(sum, "metrics:") || !strings.Contains(sum, "coupling_steps_total 40") {
+		t.Errorf("summary missing metrics section:\n%s", sum)
+	}
+}

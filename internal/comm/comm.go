@@ -17,6 +17,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"insitu/internal/obs"
 )
 
 // message is a tagged payload in flight between two ranks.
@@ -79,6 +81,11 @@ const AnySource = -1
 type World struct {
 	size  int
 	boxes []*mailbox
+	// Telemetry handles resolved once by Instrument; all remain nil-safe
+	// no-ops when the world is uninstrumented, so Send stays branch-free.
+	mMsgs  *obs.Counter
+	mBytes *obs.Counter
+	mColl  map[string]*obs.Counter
 }
 
 // NewWorld creates a world with the given number of ranks.
@@ -95,6 +102,27 @@ func NewWorld(size int) (*World, error) {
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
+
+// Instrument registers the world's traffic counters with reg:
+// comm_messages_total and comm_bytes_total (payload bytes, 8 per float64)
+// incremented on every Send, and comm_collectives_total{op=...} incremented
+// once per rank entering each collective. Call before Run — the handles are
+// cached without synchronization.
+func (w *World) Instrument(reg *obs.Registry) {
+	w.mMsgs = reg.Counter("comm_messages_total", nil)
+	w.mBytes = reg.Counter("comm_bytes_total", nil)
+	w.mColl = make(map[string]*obs.Counter)
+	for _, op := range []string{"barrier", "reduce", "bcast", "allreduce", "gather", "allgather"} {
+		w.mColl[op] = reg.Counter("comm_collectives_total", obs.Labels{"op": op})
+	}
+}
+
+// collective counts one rank's entry into the named collective.
+func (w *World) collective(op string) {
+	if w.mColl != nil {
+		w.mColl[op].Inc()
+	}
+}
 
 // Run executes fn concurrently on every rank and waits for all of them. The
 // first non-nil error is returned; if any rank fails, mailboxes are closed so
@@ -147,6 +175,8 @@ func (r *Rank) Send(to, tag int, data []float64) {
 		panic(fmt.Sprintf("comm: send to rank %d of %d", to, r.w.size))
 	}
 	cp := append([]float64(nil), data...)
+	r.w.mMsgs.Inc()
+	r.w.mBytes.Add(float64(8 * len(data)))
 	r.w.boxes[to].put(message{from: r.id, tag: tag, data: cp})
 }
 
@@ -173,6 +203,7 @@ const (
 // Barrier blocks until every rank has entered it. Implemented as a reduce to
 // rank 0 followed by a broadcast over a binomial tree: 2*ceil(log2 P) rounds.
 func (r *Rank) Barrier() error {
+	r.w.collective("barrier")
 	if _, err := r.reduceTree(0, tagBarrier, nil, Sum); err != nil {
 		return err
 	}
@@ -273,17 +304,20 @@ func (r *Rank) bcastTree(root, tag int, vals []float64) ([]float64, error) {
 // Reduce combines vals from all ranks onto root with op. The reduced vector
 // is returned at root; other ranks receive nil.
 func (r *Rank) Reduce(root int, vals []float64, op Op) ([]float64, error) {
+	r.w.collective("reduce")
 	return r.reduceTree(root, tagReduce, vals, op)
 }
 
 // Bcast distributes root's vals to every rank and returns them.
 func (r *Rank) Bcast(root int, vals []float64) ([]float64, error) {
+	r.w.collective("bcast")
 	return r.bcastTree(root, tagBcast, vals)
 }
 
 // Allreduce combines vals across all ranks with op and returns the result on
 // every rank (reduce + broadcast).
 func (r *Rank) Allreduce(vals []float64, op Op) ([]float64, error) {
+	r.w.collective("allreduce")
 	red, err := r.reduceTree(0, tagReduce, vals, op)
 	if err != nil {
 		return nil, err
@@ -294,6 +328,11 @@ func (r *Rank) Allreduce(vals []float64, op Op) ([]float64, error) {
 // Gather collects each rank's vals at root. Root receives a slice indexed by
 // rank; other ranks receive nil. Contributions may have different lengths.
 func (r *Rank) Gather(root int, vals []float64) ([][]float64, error) {
+	r.w.collective("gather")
+	return r.gather(root, vals)
+}
+
+func (r *Rank) gather(root int, vals []float64) ([][]float64, error) {
 	if r.id != root {
 		r.Send(root, tagGather, vals)
 		return nil, nil
@@ -312,7 +351,8 @@ func (r *Rank) Gather(root int, vals []float64) ([][]float64, error) {
 
 // Allgather collects every rank's vals on every rank.
 func (r *Rank) Allgather(vals []float64) ([][]float64, error) {
-	parts, err := r.Gather(0, vals)
+	r.w.collective("allgather")
+	parts, err := r.gather(0, vals)
 	if err != nil {
 		return nil, err
 	}

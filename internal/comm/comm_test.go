@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"insitu/internal/obs"
 )
 
 func run(t *testing.T, size int, fn func(r *Rank) error) {
@@ -341,4 +343,68 @@ func TestAllreduceValueStability(t *testing.T) {
 		}
 		return nil
 	})
+}
+
+func TestInstrumentedWorldCounters(t *testing.T) {
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	w.Instrument(reg)
+	err = w.Run(func(r *Rank) error {
+		out, err := r.Allreduce([]float64{float64(r.ID())}, Sum)
+		if err != nil {
+			return err
+		}
+		if out[0] != 6 {
+			return fmt.Errorf("allreduce got %v", out[0])
+		}
+		return r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name, op string) float64 {
+		for _, m := range reg.Snapshot() {
+			if m.Name == name && (op == "" || m.Labels["op"] == op) {
+				return m.Value
+			}
+		}
+		t.Fatalf("metric %s{op=%q} not found", name, op)
+		return 0
+	}
+	if v := find("comm_collectives_total", "allreduce"); v != 4 {
+		t.Errorf("allreduce count = %v, want 4 (one per rank)", v)
+	}
+	if v := find("comm_collectives_total", "barrier"); v != 4 {
+		t.Errorf("barrier count = %v, want 4", v)
+	}
+	msgs := find("comm_messages_total", "")
+	bytes := find("comm_bytes_total", "")
+	if msgs <= 0 {
+		t.Errorf("comm_messages_total = %v, want > 0", msgs)
+	}
+	// Allreduce payloads are one float64 (8 bytes); barrier messages are
+	// empty, so bytes counts only the allreduce traffic.
+	if bytes != 8*3*2 { // 3 reduce sends + 3 bcast sends of 1 float64 each
+		t.Errorf("comm_bytes_total = %v, want 48", bytes)
+	}
+}
+
+func TestUninstrumentedWorldIsNoop(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Instrument call: Send and collectives must not panic.
+	err = w.Run(func(r *Rank) error {
+		if _, err := r.Allreduce([]float64{1}, Sum); err != nil {
+			return err
+		}
+		return r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }

@@ -16,6 +16,15 @@ type SolveOptions struct {
 	// MaxCount caps the modes enumerated per analysis; 0 uses the natural
 	// bound Steps/MinInterval.
 	MaxCount int
+	// Observer, when non-nil, streams one event per explored
+	// branch-and-bound node; the telemetry layer uses it to trace the
+	// search.
+	Observer func(milp.NodeEvent)
+}
+
+// milpOptions translates the core options into solver options.
+func (o SolveOptions) milpOptions() milp.Options {
+	return milp.Options{MaxNodes: o.MaxNodes, Observer: o.Observer}
 }
 
 // mode is one candidate (count, output-stride) schedule for an analysis.
@@ -154,7 +163,7 @@ func Solve(specs []AnalysisSpec, res Resources, opts SolveOptions) (*Recommendat
 	prob, refs := buildCompactProblem(norm, res, opts)
 
 	start := time.Now()
-	sol, err := milp.Solve(prob, milp.Options{MaxNodes: opts.MaxNodes})
+	sol, err := milp.Solve(prob, opts.milpOptions())
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -163,7 +172,7 @@ func Solve(specs []AnalysisSpec, res Resources, opts SolveOptions) (*Recommendat
 		return nil, fmt.Errorf("core: compact model solve failed: %v", sol.Status)
 	}
 
-	rec := &Recommendation{SolveTime: elapsed, Nodes: sol.Nodes}
+	rec := &Recommendation{SolveTime: elapsed, Nodes: sol.Nodes, Stats: sol.Stats}
 	chosen := make(map[int]mode)
 	for v, ref := range refs {
 		if sol.HasX && sol.X[v] > 0.5 {

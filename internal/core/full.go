@@ -28,7 +28,7 @@ func SolveFull(specs []AnalysisSpec, res Resources, opts SolveOptions) (*Recomme
 	prob, aVar, oVar := buildFullProblem(norm, res)
 
 	start := time.Now()
-	sol, err := milp.Solve(prob, milp.Options{MaxNodes: opts.MaxNodes})
+	sol, err := milp.Solve(prob, opts.milpOptions())
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -38,7 +38,7 @@ func SolveFull(specs []AnalysisSpec, res Resources, opts SolveOptions) (*Recomme
 	}
 
 	S := res.Steps
-	rec := &Recommendation{SolveTime: elapsed, Nodes: sol.Nodes}
+	rec := &Recommendation{SolveTime: elapsed, Nodes: sol.Nodes, Stats: sol.Stats}
 	for i, a := range norm {
 		var as, os []int
 		for j := 1; j <= S; j++ {

@@ -94,6 +94,8 @@ type PlacementRecommendation struct {
 	SimSiteTime float64
 	StageTime   float64
 	SolveTime   time.Duration
+	// Stats instruments the branch-and-bound search (see milp.Stats).
+	Stats milp.Stats
 }
 
 // Schedule returns the placement schedule for the named analysis, or nil.
@@ -223,7 +225,7 @@ func SolvePlacement(specs []PlacementSpec, res PlacementResources, opts SolveOpt
 	}
 
 	start := time.Now()
-	sol, err := milp.Solve(prob, milp.Options{MaxNodes: opts.MaxNodes})
+	sol, err := milp.Solve(prob, opts.milpOptions())
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -232,7 +234,7 @@ func SolvePlacement(specs []PlacementSpec, res PlacementResources, opts SolveOpt
 		return nil, fmt.Errorf("core: placement solve failed: %v", sol.Status)
 	}
 
-	rec := &PlacementRecommendation{SolveTime: elapsed}
+	rec := &PlacementRecommendation{SolveTime: elapsed, Stats: sol.Stats}
 	chosen := make(map[int]placementMode)
 	for v, ref := range refs {
 		if sol.HasX && sol.X[v] > 0.5 {

@@ -31,6 +31,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"insitu/internal/milp"
 )
 
 // AnalysisSpec carries the Table-1 input parameters for one analysis.
@@ -176,6 +178,10 @@ type Recommendation struct {
 	SolveTime time.Duration
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// Stats instruments the branch-and-bound search that produced this
+	// recommendation (nodes, relaxations, simplex pivots, incumbent
+	// trajectory, terminal bound).
+	Stats milp.Stats
 }
 
 // Schedule returns the schedule for the named analysis, or nil.

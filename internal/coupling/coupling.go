@@ -13,6 +13,7 @@ import (
 
 	"insitu/internal/analysis"
 	"insitu/internal/core"
+	"insitu/internal/obs"
 )
 
 // Runner couples one simulation with a set of kernels under a schedule.
@@ -27,6 +28,13 @@ type Runner struct {
 	Res core.Resources
 	// Output receives analysis output; defaults to io.Discard.
 	Output io.Writer
+	// Trace, when non-nil, records the run as a timeline: one span per
+	// simulation step (category "sim") containing one span per kernel
+	// invocation (category "kernel") and output flush (category "output").
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives step counters, per-kernel analysis
+	// and output counters, and a step-duration histogram.
+	Metrics *obs.Registry
 }
 
 // KernelReport summarizes one kernel's execution.
@@ -90,7 +98,14 @@ func (r *Runner) Run() (*Report, error) {
 		kernel   analysis.Kernel
 		isA, isO map[int]bool
 		report   *KernelReport
+		// Telemetry handles, resolved once so the loop stays cheap; all
+		// are nil-safe no-ops when Metrics is nil.
+		mAnalyses *obs.Counter
+		mOutputs  *obs.Counter
+		mOutBytes *obs.Counter
 	}
+	mSteps := r.Metrics.Counter("coupling_steps_total", nil)
+	mStepDur := r.Metrics.Histogram("coupling_step_seconds", nil, nil)
 	rep := &Report{Steps: r.Res.Steps}
 	// Preallocate so &rep.Kernels[i] stays valid across iterations.
 	for _, s := range r.Rec.Schedules {
@@ -110,23 +125,35 @@ func (r *Runner) Run() (*Report, error) {
 		}
 		kr := &rep.Kernels[slot]
 		slot++
+		sp := r.Trace.Begin(s.Name+"/setup", "kernel")
 		t0 := time.Now()
 		if _, err := k.Setup(); err != nil {
 			return nil, fmt.Errorf("coupling: setup %s: %w", s.Name, err)
 		}
 		kr.SetupTime = time.Since(t0)
+		sp.End()
+		labels := obs.Labels{"kernel": s.Name}
 		run = append(run, active{
-			kernel: k,
-			isA:    intSet(s.AnalysisSteps),
-			isO:    intSet(s.OutputSteps),
-			report: kr,
+			kernel:    k,
+			isA:       intSet(s.AnalysisSteps),
+			isO:       intSet(s.OutputSteps),
+			report:    kr,
+			mAnalyses: r.Metrics.Counter("coupling_analyses_total", labels),
+			mOutputs:  r.Metrics.Counter("coupling_outputs_total", labels),
+			mOutBytes: r.Metrics.Counter("coupling_output_bytes_total", labels),
 		})
 	}
 
 	for step := 1; step <= r.Res.Steps; step++ {
+		stepSpan := r.Trace.Begin("step", "sim").Arg("step", float64(step))
+		advSpan := r.Trace.Begin("advance", "sim")
 		t0 := time.Now()
 		r.Step()
-		rep.SimTime += time.Since(t0)
+		dt := time.Since(t0)
+		advSpan.End()
+		rep.SimTime += dt
+		mSteps.Inc()
+		mStepDur.Observe(dt.Seconds())
 
 		for _, a := range run {
 			t1 := time.Now()
@@ -136,14 +163,18 @@ func (r *Runner) Run() (*Report, error) {
 			a.report.PreTime += time.Since(t1)
 
 			if a.isA[step] {
+				sp := r.Trace.Begin(a.report.Name+"/analyze", "kernel").Arg("step", float64(step))
 				t2 := time.Now()
 				if _, err := a.kernel.Analyze(step); err != nil {
 					return nil, fmt.Errorf("coupling: analyze %s at %d: %w", a.report.Name, step, err)
 				}
 				a.report.Analyze += time.Since(t2)
 				a.report.Analyses++
+				sp.End()
+				a.mAnalyses.Inc()
 			}
 			if a.isO[step] {
+				sp := r.Trace.Begin(a.report.Name+"/output", "output").Arg("step", float64(step))
 				t3 := time.Now()
 				n, err := a.kernel.Output(out)
 				if err != nil {
@@ -152,8 +183,12 @@ func (r *Runner) Run() (*Report, error) {
 				a.report.OutputTime += time.Since(t3)
 				a.report.OutBytes += n
 				a.report.Outputs++
+				sp.End()
+				a.mOutputs.Inc()
+				a.mOutBytes.Add(float64(n))
 			}
 		}
+		stepSpan.End()
 	}
 	for i := range rep.Kernels {
 		rep.AnalysisTime += rep.Kernels[i].Total()

@@ -8,6 +8,7 @@ import (
 
 	"insitu/internal/analysis"
 	"insitu/internal/core"
+	"insitu/internal/obs"
 )
 
 // StagedAnalysis is an analysis executed in co-analysis mode: at each
@@ -35,6 +36,12 @@ type PlacementRunner struct {
 	Rec     *core.PlacementRecommendation
 	Res     core.PlacementResources
 	Workers int // staging workers (default 2)
+	// Trace, when non-nil, records the run as a timeline: the simulation
+	// loop on track 0 (step, in-situ kernel, and capture/transfer spans)
+	// and each staging worker on track 1+w.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives run counters and transfer volumes.
+	Metrics *obs.Registry
 }
 
 // PlacementReport is the outcome of a placed run.
@@ -117,17 +124,21 @@ func (r *PlacementRunner) Run() (*PlacementReport, error) {
 	}
 	jobs := make(chan job, workers*2)
 	errCh := make(chan error, workers)
+	mStagedRuns := r.Metrics.Counter("placement_staged_runs_total", nil)
 	var wg sync.WaitGroup
 	var stageMu sync.Mutex
 	var stageStart, stageEnd time.Time
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(track int) {
 			defer wg.Done()
 			for j := range jobs {
+				sp := r.Trace.BeginOn(track, j.name+"/staged", "staged")
 				t0 := time.Now()
 				err := j.fn()
 				dt := time.Since(t0)
+				sp.End()
+				mStagedRuns.Inc()
 				stageMu.Lock()
 				rep.StageTime += dt
 				if stageStart.IsZero() {
@@ -143,7 +154,7 @@ func (r *PlacementRunner) Run() (*PlacementReport, error) {
 					}
 				}
 			}
-		}()
+		}(1 + w)
 	}
 
 	fail := func(err error) (*PlacementReport, error) {
@@ -152,10 +163,15 @@ func (r *PlacementRunner) Run() (*PlacementReport, error) {
 		return nil, err
 	}
 
+	mSteps := r.Metrics.Counter("placement_steps_total", nil)
+	mInSituRuns := r.Metrics.Counter("placement_insitu_runs_total", nil)
+	mTransfer := r.Metrics.Counter("placement_transfer_bytes_total", nil)
 	for step := 1; step <= r.Res.Steps; step++ {
+		stepSpan := r.Trace.Begin("step", "sim").Arg("step", float64(step))
 		t0 := time.Now()
 		r.Step()
 		rep.SimTime += time.Since(t0)
+		mSteps.Inc()
 
 		for _, a := range inSitu {
 			t1 := time.Now()
@@ -163,15 +179,20 @@ func (r *PlacementRunner) Run() (*PlacementReport, error) {
 				return fail(err)
 			}
 			if a.isA[step] {
+				sp := r.Trace.Begin(a.name+"/analyze", "kernel").Arg("step", float64(step))
 				if _, err := a.kernel.Analyze(step); err != nil {
 					return fail(err)
 				}
+				sp.End()
 				rep.InSituRuns[a.name]++
+				mInSituRuns.Inc()
 			}
 			if a.isO[step] {
+				sp := r.Trace.Begin(a.name+"/output", "output").Arg("step", float64(step))
 				if _, err := a.kernel.Output(io.Discard); err != nil {
 					return fail(err)
 				}
+				sp.End()
 			}
 			rep.SimSiteTime += time.Since(t1)
 		}
@@ -179,15 +200,19 @@ func (r *PlacementRunner) Run() (*PlacementReport, error) {
 			if !s.isA[step] {
 				continue
 			}
+			sp := r.Trace.Begin(s.sa.Name+"/capture", "transfer").Arg("step", float64(step))
 			t1 := time.Now()
 			fn, bytes, err := s.sa.Capture(step)
 			if err != nil {
 				return fail(fmt.Errorf("coupling: capture %s at %d: %w", s.sa.Name, step, err))
 			}
 			rep.SimSiteTime += time.Since(t1) // only the transfer blocks the simulation
+			sp.Arg("bytes", float64(bytes)).End()
 			rep.Transferred += bytes
+			mTransfer.Add(float64(bytes))
 			jobs <- job{name: s.sa.Name, fn: fn}
 		}
+		stepSpan.End()
 		select {
 		case err := <-errCh:
 			return fail(err)

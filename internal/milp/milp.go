@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"insitu/internal/lp"
 )
@@ -82,8 +83,49 @@ type Solution struct {
 	Status    Status
 	X         []float64
 	Objective float64
-	Nodes     int  // branch-and-bound nodes explored
+	Nodes     int  // branch-and-bound nodes explored (mirrors Stats.Nodes)
 	HasX      bool // whether X holds an incumbent (false for Infeasible)
+	// Bound is the best remaining upper bound on the objective at
+	// termination. At proven optimality it equals the incumbent objective
+	// (so Bound >= Objective always holds up to tolerance); under a node
+	// limit it is the tightest bound the open nodes still allow, making
+	// Bound-Objective the residual optimality gap CPLEX would report.
+	Bound float64
+	// Stats describes the search that produced this solution.
+	Stats Stats
+}
+
+// Stats instruments one branch-and-bound search — the reproduction's
+// counterpart of the solve statistics CPLEX prints (the paper reports
+// 0.17-1.36 s solve times on its instances; these counters show where that
+// time goes).
+type Stats struct {
+	Nodes       int           // nodes explored (root included)
+	Relaxations int           // LP relaxations solved, heuristic re-solves included
+	Pivots      int           // simplex iterations across all relaxations
+	Incumbents  []Incumbent   // improvement trajectory, in discovery order
+	BestBound   float64       // best remaining bound at termination (== Solution.Bound)
+	SolveTime   time.Duration // wall time of the search
+}
+
+// Incumbent is one point of the incumbent-improvement trajectory.
+type Incumbent struct {
+	Node      int     // node count when the incumbent was found (0 = root heuristic)
+	Objective float64 // incumbent objective
+	Bound     float64 // global upper bound at that moment
+}
+
+// NodeEvent is streamed to Options.Observer once per explored node.
+type NodeEvent struct {
+	Node      int     // 1-based node count, root is 1
+	Depth     int     // branching depth (root is 0)
+	Bound     float64 // the node's LP relaxation bound
+	Incumbent float64 // best integer objective known so far
+	HasInc    bool    // whether Incumbent is meaningful
+	// Action describes how the node was resolved: "integral" (relaxation
+	// was integer feasible), "infeasible", "branched", or "pruned"
+	// (dominated by the incumbent after its relaxation solved).
+	Action string
 }
 
 // Options tune the branch-and-bound search. The zero value selects defaults.
@@ -95,6 +137,14 @@ type Options struct {
 	// Gap is the relative optimality gap at which search stops (default 0:
 	// prove optimality).
 	Gap float64
+	// Observer, when non-nil, is called once per explored node with the
+	// node's outcome. It runs synchronously inside the search loop, so it
+	// must be cheap; it is the hook the telemetry layer uses to stream the
+	// search into a trace.
+	Observer func(NodeEvent)
+	// Now is the clock used for Stats.SolveTime (default time.Now);
+	// injectable so tests are deterministic.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +153,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 	return o
 }
@@ -131,6 +184,17 @@ func (q *nodeQueue) Pop() interface{} {
 // Solve runs branch and bound and returns the best integer-feasible solution.
 func Solve(p *Problem, opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
+	started := opts.Now()
+	var stats Stats
+	// finish stamps the search statistics and the terminal bound onto sol.
+	finish := func(sol *Solution, bound float64) *Solution {
+		stats.Nodes = sol.Nodes
+		stats.BestBound = bound
+		stats.SolveTime = opts.Now().Sub(started)
+		sol.Bound = bound
+		sol.Stats = stats
+		return sol
+	}
 	if len(p.Integer) != p.LP.NumVars() {
 		return nil, fmt.Errorf("milp: integrality vector has %d entries for %d variables", len(p.Integer), p.LP.NumVars())
 	}
@@ -179,11 +243,13 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	stats.Relaxations++
+	stats.Pivots += relax.Iters
 	switch relax.Status {
 	case lp.Infeasible:
-		return &Solution{Status: Infeasible}, nil
+		return finish(&Solution{Status: Infeasible}, math.Inf(-1)), nil
 	case lp.Unbounded:
-		return &Solution{Status: Unbounded}, nil
+		return finish(&Solution{Status: Unbounded}, math.Inf(1)), nil
 	case lp.IterationLimit:
 		return nil, fmt.Errorf("milp: root relaxation hit the simplex iteration limit")
 	}
@@ -193,9 +259,16 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	queue := &nodeQueue{}
 	heap.Init(queue)
 
+	// recordIncumbent extends the improvement trajectory; bound is the
+	// tightest global bound known at that moment.
+	recordIncumbent := func(nodes int, obj, bound float64) {
+		stats.Incumbents = append(stats.Incumbents, Incumbent{Node: nodes, Objective: obj, Bound: bound})
+	}
+
 	// Seed the incumbent by rounding the root relaxation.
-	if x, ok := roundHeuristic(p, relax.X, opts.IntTol); ok {
+	if x, ok := roundHeuristic(p, relax.X, opts.IntTol, &stats); ok {
 		best = &Solution{Status: Optimal, X: x, Objective: p.LP.Eval(x), HasX: true}
+		recordIncumbent(0, best.Objective, root.bound)
 	}
 
 	expand := func(nd *node, relaxSol *lp.Solution) {
@@ -223,12 +296,42 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	}
 
 	nodes := 1
+	observe := func(nd *node, bound float64, action string) {
+		if opts.Observer == nil {
+			return
+		}
+		opts.Observer(NodeEvent{
+			Node:      nodes,
+			Depth:     nd.depth,
+			Bound:     bound,
+			Incumbent: best.Objective,
+			HasInc:    best.HasX,
+			Action:    action,
+		})
+	}
+	// globalBound is the best remaining upper bound: the maximum of the
+	// open nodes' bounds (the heap keeps the best first) and the incumbent.
+	globalBound := func() float64 {
+		b := math.Inf(-1)
+		if best.HasX {
+			b = best.Objective
+		}
+		if queue.Len() > 0 && (*queue)[0].bound > b {
+			b = (*queue)[0].bound
+		}
+		return b
+	}
 	if intFeasible(p, relax.X, opts.IntTol) {
 		x := snap(p, relax.X)
 		if p.LP.Feasible(x, 1e-6) {
-			return &Solution{Status: Optimal, X: x, Objective: p.LP.Eval(x), Nodes: nodes, HasX: true}, nil
+			obj := p.LP.Eval(x)
+			best = &Solution{Status: Optimal, X: x, Objective: obj, Nodes: nodes, HasX: true}
+			recordIncumbent(nodes, obj, root.bound)
+			observe(root, root.bound, "integral")
+			return finish(best, obj), nil
 		}
 	}
+	observe(root, root.bound, "branched")
 	expand(root, relax)
 
 	for queue.Len() > 0 {
@@ -236,45 +339,59 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 			out := *best
 			out.Status = NodeLimit
 			out.Nodes = nodes
-			return &out, nil
+			return finish(&out, globalBound()), nil
 		}
 		nd := heap.Pop(queue).(*node)
 		if best.HasX && nd.bound <= best.Objective+pruneTol(best.Objective, best.HasX) {
-			continue // pruned by bound
+			continue // pruned by bound before solving; not an explored node
 		}
 		relaxSol, err := solveRelaxation(work, nd)
 		if err != nil {
 			return nil, err
 		}
 		nodes++
+		stats.Relaxations++
+		stats.Pivots += relaxSol.Iters
 		if relaxSol.Status != lp.Optimal {
+			observe(nd, nd.bound, "infeasible")
 			continue // infeasible subtree (unbounded cannot appear below a bounded root)
 		}
 		if best.HasX && relaxSol.Objective <= best.Objective+pruneTol(best.Objective, best.HasX) {
+			observe(nd, relaxSol.Objective, "pruned")
 			continue
 		}
 		if intFeasible(p, relaxSol.X, opts.IntTol) {
 			x := snap(p, relaxSol.X)
 			if obj := p.LP.Eval(x); !best.HasX || obj > best.Objective {
 				best = &Solution{Status: Optimal, X: x, Objective: obj, HasX: true}
+				recordIncumbent(nodes, obj, math.Max(relaxSol.Objective, globalBound()))
 			}
+			observe(nd, relaxSol.Objective, "integral")
 			continue
 		}
 		// Rounding heuristic: costs two extra LP solves, so throttle it to
 		// early nodes where finding an incumbent matters most.
 		if nodes < 16 || nodes%32 == 0 {
-			if x, ok := roundHeuristic(p, relaxSol.X, opts.IntTol); ok {
+			if x, ok := roundHeuristic(p, relaxSol.X, opts.IntTol, &stats); ok {
 				if obj := p.LP.Eval(x); !best.HasX || obj > best.Objective {
 					best = &Solution{Status: Optimal, X: x, Objective: obj, HasX: true}
+					recordIncumbent(nodes, obj, math.Max(relaxSol.Objective, globalBound()))
 				}
 			}
 		}
+		observe(nd, relaxSol.Objective, "branched")
 		expand(nd, relaxSol)
 	}
 
 	out := *best
 	out.Nodes = nodes
-	return &out, nil
+	// Queue exhausted: the search proved nothing above the incumbent
+	// remains, so the terminal bound collapses onto the objective.
+	bound := math.Inf(-1)
+	if out.HasX {
+		bound = out.Objective
+	}
+	return finish(&out, bound), nil
 }
 
 func boundTol(incumbent, gap float64) float64 {
@@ -347,7 +464,9 @@ func snap(p *Problem, x []float64) []float64 {
 
 // roundHeuristic fixes fractional integer variables to rounded values and
 // re-solves the continuous remainder, returning a feasible point if found.
-func roundHeuristic(p *Problem, x []float64, tol float64) ([]float64, bool) {
+// Its LP work is charged to st so Stats.Relaxations/Pivots cover the whole
+// search, heuristics included.
+func roundHeuristic(p *Problem, x []float64, tol float64, st *Stats) ([]float64, bool) {
 	if intFeasible(p, x, tol) {
 		cand := snap(p, x)
 		if p.LP.Feasible(cand, 1e-6) {
@@ -368,6 +487,10 @@ func roundHeuristic(p *Problem, x []float64, tol float64) ([]float64, bool) {
 			work.Lower[j], work.Upper[j] = v, v
 		}
 		sol, err := lp.Solve(work)
+		if err == nil {
+			st.Relaxations++
+			st.Pivots += sol.Iters
+		}
 		if err == nil && sol.Status == lp.Optimal {
 			cand := snap(p, sol.X)
 			if p.LP.Feasible(cand, 1e-6) {

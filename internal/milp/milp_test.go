@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"insitu/internal/lp"
 )
@@ -26,7 +27,21 @@ func solveOK(t *testing.T, p *Problem) *Solution {
 			t.Fatalf("variable %d = %g not integral", j, sol.X[j])
 		}
 	}
+	checkBound(t, sol)
 	return sol
+}
+
+// checkBound asserts the terminal-bound invariant: the best remaining bound
+// can never sit below the incumbent objective.
+func checkBound(t *testing.T, sol *Solution) {
+	t.Helper()
+	const tol = 1e-6
+	if sol.HasX && sol.Bound < sol.Objective-tol {
+		t.Fatalf("Bound = %g below Objective = %g", sol.Bound, sol.Objective)
+	}
+	if sol.Bound != sol.Stats.BestBound {
+		t.Fatalf("Bound = %g disagrees with Stats.BestBound = %g", sol.Bound, sol.Stats.BestBound)
+	}
 }
 
 func TestKnapsack(t *testing.T) {
@@ -328,6 +343,7 @@ func TestNodeLimitKeepsIncumbent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkBound(t, sol)
 	if sol.HasX {
 		if viol := p.LP.FirstViolation(sol.X, 1e-6); viol != "" {
 			t.Fatalf("node-limited incumbent infeasible: %s", viol)
@@ -337,5 +353,119 @@ func TestNodeLimitKeepsIncumbent(t *testing.T) {
 				t.Fatalf("node-limited incumbent fractional at %d", j)
 			}
 		}
+	}
+}
+
+// hardInstance builds a knapsack that needs real branching, so the search
+// statistics have something to count.
+func hardInstance(seed int64, n int) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem(&lp.Problem{})
+	idx := make([]int, n)
+	coef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.AddBinVar(1+rng.Float64()*4, "")
+		idx[j] = j
+		coef[j] = 1 + rng.Float64()*3
+	}
+	p.LP.AddConstraint(idx, coef, lp.LE, float64(n)/2, "cap")
+	return p
+}
+
+func TestSolveStats(t *testing.T) {
+	p := hardInstance(5, 14)
+	sol := solveOK(t, p)
+	st := sol.Stats
+	if st.Nodes == 0 || st.Relaxations == 0 || st.Pivots == 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	if st.Nodes != sol.Nodes {
+		t.Fatalf("Stats.Nodes = %d, Solution.Nodes = %d", st.Nodes, sol.Nodes)
+	}
+	// The heuristic re-solves are charged too, so relaxations can exceed
+	// nodes but never undercut them.
+	if st.Relaxations < st.Nodes {
+		t.Fatalf("relaxations %d < nodes %d", st.Relaxations, st.Nodes)
+	}
+	if len(st.Incumbents) == 0 {
+		t.Fatal("no incumbent trajectory recorded")
+	}
+	// Trajectory must strictly improve and end at the returned objective,
+	// with each bound at or above its incumbent.
+	prev := math.Inf(-1)
+	for i, inc := range st.Incumbents {
+		if inc.Objective <= prev {
+			t.Fatalf("incumbent %d objective %g does not improve on %g", i, inc.Objective, prev)
+		}
+		if inc.Bound < inc.Objective-1e-6 {
+			t.Fatalf("incumbent %d bound %g below objective %g", i, inc.Bound, inc.Objective)
+		}
+		prev = inc.Objective
+	}
+	if last := st.Incumbents[len(st.Incumbents)-1]; math.Abs(last.Objective-sol.Objective) > 1e-9 {
+		t.Fatalf("trajectory ends at %g, solution objective %g", last.Objective, sol.Objective)
+	}
+}
+
+func TestSolveTimeInjectedClock(t *testing.T) {
+	// A clock advancing 1ms per reading makes SolveTime deterministic and
+	// nonzero regardless of host speed.
+	fake := time.Unix(0, 0)
+	now := func() time.Time {
+		fake = fake.Add(time.Millisecond)
+		return fake
+	}
+	sol, err := Solve(hardInstance(5, 10), Options{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.SolveTime <= 0 {
+		t.Fatalf("SolveTime = %v", sol.Stats.SolveTime)
+	}
+}
+
+func TestObserverStreamsNodes(t *testing.T) {
+	var events []NodeEvent
+	p := hardInstance(5, 14)
+	sol, err := Solve(p, Options{Observer: func(e NodeEvent) { events = append(events, e) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if len(events) != sol.Stats.Nodes {
+		t.Fatalf("observer saw %d events for %d explored nodes", len(events), sol.Stats.Nodes)
+	}
+	valid := map[string]bool{"integral": true, "infeasible": true, "branched": true, "pruned": true}
+	lastNode := 0
+	for i, e := range events {
+		if !valid[e.Action] {
+			t.Fatalf("event %d has unknown action %q", i, e.Action)
+		}
+		if e.Node <= lastNode {
+			t.Fatalf("event %d node %d not increasing past %d", i, e.Node, lastNode)
+		}
+		lastNode = e.Node
+		if e.HasInc && e.Bound < sol.Objective-1e-6 && e.Action == "branched" {
+			// A node branched with a bound below the final optimum would
+			// have been pruned by a consistent search.
+			t.Fatalf("event %d branched below final objective: bound %g < %g", i, e.Bound, sol.Objective)
+		}
+	}
+	// Infeasible root: observer stays silent but Bound is still stamped.
+	bad := NewProblem(&lp.Problem{})
+	x := bad.AddBinVar(1, "x")
+	bad.LP.AddConstraint([]int{x}, []float64{1}, lp.GE, 2, "")
+	events = nil
+	sol, err = Solve(bad, Options{Observer: func(e NodeEvent) { events = append(events, e) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible || len(events) != 0 {
+		t.Fatalf("infeasible root: status %v, %d events", sol.Status, len(events))
+	}
+	if !math.IsInf(sol.Bound, -1) {
+		t.Fatalf("infeasible bound = %g", sol.Bound)
 	}
 }

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"os"
+	"strings"
+)
+
+// WriteTraceFile writes t's timeline as Chrome trace JSON to path
+// (chrome://tracing / Perfetto format). A nil tracer writes an empty trace.
+func WriteTraceFile(path string, t *Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteMetricsFile writes r's snapshot to path: JSON when the path ends in
+// .json, Prometheus text exposition format otherwise. A nil registry writes
+// an empty snapshot.
+func WriteMetricsFile(path string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	write := r.WritePrometheus
+	if strings.HasSuffix(path, ".json") {
+		write = r.WriteJSON
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase identifies the trace_event phase of an Event.
+type Phase byte
+
+// Event phases, a subset of the Chrome trace_event vocabulary.
+const (
+	PhaseComplete Phase = 'X' // a span with a start and a duration
+	PhaseInstant  Phase = 'i' // a point event
+	PhaseCounter  Phase = 'C' // a sampled counter value
+)
+
+// Event is one entry of a recorded timeline. Times are offsets from the
+// tracer's epoch, so timelines built under an injected clock are
+// deterministic.
+type Event struct {
+	Name  string
+	Cat   string
+	Phase Phase
+	Track int           // rendered as the tid lane in Chrome/Perfetto
+	Start time.Duration // offset from the tracer epoch
+	Dur   time.Duration // only for PhaseComplete
+	Args  map[string]float64
+}
+
+// Tracer records spans and events against a monotonic epoch. The zero value
+// is not ready for use; call NewTracer. A nil *Tracer is a valid no-op sink.
+type Tracer struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	epoch  time.Time
+	events []Event
+}
+
+// NewTracer returns a tracer whose epoch is the current wall-clock time.
+func NewTracer() *Tracer {
+	t := &Tracer{now: time.Now}
+	t.epoch = t.now()
+	return t
+}
+
+// SetClock replaces the tracer's clock and re-anchors the epoch at the
+// clock's current reading; tests use it for determinism, exactly like
+// perfmodel.Profiler.SetClock.
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	t.epoch = now()
+}
+
+// Span is an open interval on the timeline; End closes it and records a
+// PhaseComplete event. A nil *Span is a valid no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	track int
+	start time.Duration
+	args  map[string]float64
+	done  bool
+}
+
+// Begin opens a span on track 0.
+func (t *Tracer) Begin(name, cat string) *Span { return t.BeginOn(0, name, cat) }
+
+// BeginOn opens a span on the given track (Chrome renders each track as one
+// tid lane; use distinct tracks for concurrent actors such as staging
+// workers).
+func (t *Tracer) BeginOn(track int, name, cat string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	start := t.now().Sub(t.epoch)
+	t.mu.Unlock()
+	return &Span{t: t, name: name, cat: cat, track: track, start: start}
+}
+
+// Arg attaches a numeric argument to the span and returns it for chaining.
+func (s *Span) Arg(key string, v float64) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = make(map[string]float64)
+	}
+	s.args[key] = v
+	return s
+}
+
+// End closes the span and records it. End is idempotent.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.now().Sub(t.epoch)
+	t.events = append(t.events, Event{
+		Name:  s.name,
+		Cat:   s.cat,
+		Phase: PhaseComplete,
+		Track: s.track,
+		Start: s.start,
+		Dur:   end - s.start,
+		Args:  s.args,
+	})
+}
+
+// Instant records a point event on track 0.
+func (t *Tracer) Instant(name, cat string, args map[string]float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{
+		Name:  name,
+		Cat:   cat,
+		Phase: PhaseInstant,
+		Start: t.now().Sub(t.epoch),
+		Args:  args,
+	})
+}
+
+// Counter records a sampled counter value; Chrome renders a stacked area
+// chart per counter name.
+func (t *Tracer) Counter(name string, value float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{
+		Name:  name,
+		Cat:   "counter",
+		Phase: PhaseCounter,
+		Start: t.now().Sub(t.epoch),
+		Args:  map[string]float64{"value": value},
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded timeline ordered by start time
+// (ties broken by longer-span-first so parents sort before children).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Dur > out[j].Dur
+	})
+	return out
+}
+
+// micros renders a duration as trace_event microseconds (a JSON double).
+func micros(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e3)
+}
+
+// WriteChromeTrace emits the timeline in Chrome trace_event "JSON object
+// format": {"traceEvents": [...]}. Load it in chrome://tracing or Perfetto.
+// Event ordering and argument key ordering are deterministic.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(`{"traceEvents":[`)
+	for i, e := range t.Events() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		nameJSON, err := json.Marshal(e.Name)
+		if err != nil {
+			return err
+		}
+		catJSON, err := json.Marshal(e.Cat)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, `{"name":%s,"cat":%s,"ph":"%c","pid":1,"tid":%d,"ts":%s`,
+			nameJSON, catJSON, e.Phase, e.Track, micros(e.Start))
+		if e.Phase == PhaseComplete {
+			fmt.Fprintf(&b, `,"dur":%s`, micros(e.Dur))
+		}
+		if e.Phase == PhaseInstant {
+			b.WriteString(`,"s":"t"`)
+		}
+		if len(e.Args) > 0 {
+			b.WriteString(`,"args":{`)
+			keys := make([]string, 0, len(e.Args))
+			for k := range e.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for ki, k := range keys {
+				if ki > 0 {
+					b.WriteByte(',')
+				}
+				keyJSON, err := json.Marshal(k)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(&b, `%s:%g`, keyJSON, e.Args[k])
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the timeline as a plain CSV with a header row:
+// track,phase,cat,name,start_us,dur_us. Args are omitted.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "track,phase,cat,name,start_us,dur_us\n"); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		name := strings.ReplaceAll(e.Name, ",", ";")
+		cat := strings.ReplaceAll(e.Cat, ",", ";")
+		if _, err := fmt.Fprintf(w, "%d,%c,%s,%s,%s,%s\n",
+			e.Track, e.Phase, cat, name, micros(e.Start), micros(e.Dur)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

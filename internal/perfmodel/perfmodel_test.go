@@ -1,7 +1,9 @@
 package perfmodel
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -217,5 +219,53 @@ func TestRelError(t *testing.T) {
 	}
 	if got := RelError(94, 100); math.Abs(got-0.06) > 1e-12 {
 		t.Fatalf("RelError = %g (must be symmetric)", got)
+	}
+}
+
+// TestProfilerConcurrentUse drives Start/Add/Alloc/Regions from many
+// goroutines at once; run under -race this pins the profiler's mutex
+// discipline, and the final totals check that no increment was lost.
+func TestProfilerConcurrentUse(t *testing.T) {
+	p := NewProfiler()
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				stop := p.Start("shared")
+				stop()
+				p.Add("shared", time.Microsecond)
+				p.Alloc("shared", 16)
+				p.Add(fmt.Sprintf("own-%d", w), time.Millisecond)
+				if i%32 == 0 {
+					_ = p.Regions()
+					_ = p.Region("shared")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	shared := p.Region("shared")
+	if shared.Calls != workers*iters*2 { // Start+Add each count a call
+		t.Errorf("shared calls = %d, want %d", shared.Calls, workers*iters*2)
+	}
+	if shared.CurBytes != workers*iters*16 || shared.MaxBytes != shared.CurBytes {
+		t.Errorf("shared bytes cur=%d max=%d, want both %d", shared.CurBytes, shared.MaxBytes, workers*iters*16)
+	}
+	if shared.Total < workers*iters*time.Microsecond {
+		t.Errorf("shared total = %v, want >= %v", shared.Total, workers*iters*time.Microsecond)
+	}
+	if got := len(p.Regions()); got != workers+1 {
+		t.Errorf("regions = %d, want %d", got, workers+1)
+	}
+	for w := 0; w < workers; w++ {
+		r := p.Region(fmt.Sprintf("own-%d", w))
+		if r.Calls != iters {
+			t.Errorf("own-%d calls = %d, want %d", w, r.Calls, iters)
+		}
 	}
 }
