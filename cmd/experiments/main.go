@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	experiments [-only table5] [-quick] [-verify]
+//	experiments [-only table5] [-quick] [-verify] [-golden dir]
 //
 // -only selects a single experiment (table4..table8, figure2, figure4,
 // figure5, ablations, moldable, solver); the default runs everything.
 // -quick shrinks the measured (laptop-scale) experiments so the full suite
 // finishes in seconds. -verify checks the scheduling experiments against the
-// paper's published rows and exits nonzero on any mismatch.
+// paper's published rows and exits nonzero on any mismatch. -golden writes
+// the deterministic golden snapshots (the same files the regression test in
+// internal/experiments compares against) to the given directory and exits.
 package main
 
 import (
@@ -27,7 +29,17 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (table4..table8, figure2, figure4, figure5, ablations, moldable, solver)")
 	quick := flag.Bool("quick", false, "shrink measured experiments for a fast pass")
 	verify := flag.Bool("verify", false, "check the scheduling experiments against the paper's published values and exit")
+	golden := flag.String("golden", "", "write the golden snapshot files to this directory and exit")
 	flag.Parse()
+
+	if *golden != "" {
+		if err := experiments.WriteGolden(*golden); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: golden: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote golden snapshots to %s\n", *golden)
+		return
+	}
 
 	if *verify {
 		checks, err := experiments.VerifyAll()

@@ -184,9 +184,18 @@ type Figure4Row struct {
 	RelMem  float64
 }
 
-// Figure4 measures all ten analyses of the paper on the mini-apps and
-// reports their relative execution-time and memory profiles.
-func Figure4(atoms int) ([]Figure4Row, error) {
+// Figure4Entry pairs one of the paper's ten kernels with the stepper of the
+// mini-app it is attached to.
+type Figure4Entry struct {
+	Kernel analysis.Kernel
+	Step   func()
+}
+
+// Figure4Kernels constructs the full ten-kernel roster of the paper's
+// Figure 4 (A1-A4 on water+ions, R1-R3 on rhodopsin, F1-F3 on FLASH Sedov)
+// at the given atom count without measuring anything. Figure4 measures this
+// roster; the golden-snapshot harness pins its composition.
+func Figure4Kernels(atoms int) ([]Figure4Entry, error) {
 	if atoms == 0 {
 		atoms = 4000
 	}
@@ -203,20 +212,16 @@ func Figure4(atoms int) ([]Figure4Row, error) {
 		return nil, err
 	}
 
-	type entry struct {
-		kernel analysis.Kernel
-		step   func()
-	}
 	waterStep := func() { water.Step(0.002) }
 	rhodoStep := func() { rhodo.Step(0.002) }
 	sedovStep := func() { sedov.StepCFL() }
 
-	var entries []entry
+	var entries []Figure4Entry
 	add := func(k analysis.Kernel, err error, step func()) error {
 		if err != nil {
 			return err
 		}
-		entries = append(entries, entry{k, step})
+		entries = append(entries, Figure4Entry{k, step})
 		return nil
 	}
 	a1, err := mdkernels.NewHydroniumRDF(water, mdkernels.RDFConfig{Ranks: 2})
@@ -259,12 +264,21 @@ func Figure4(atoms int) ([]Figure4Row, error) {
 	if err := add(f3, err, sedovStep); err != nil {
 		return nil, err
 	}
+	return entries, nil
+}
 
+// Figure4 measures all ten analyses of the paper on the mini-apps and
+// reports their relative execution-time and memory profiles.
+func Figure4(atoms int) ([]Figure4Row, error) {
+	entries, err := Figure4Kernels(atoms)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Figure4Row
 	var maxT time.Duration
 	var maxM int64
 	for _, e := range entries {
-		costs, err := analysis.Measure(e.kernel, e.step, 4, 2)
+		costs, err := analysis.Measure(e.Kernel, e.Step, 4, 2)
 		if err != nil {
 			return nil, err
 		}

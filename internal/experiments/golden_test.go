@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot files")
+
+// TestGoldenSnapshots regenerates every experiment snapshot and compares it
+// byte-for-byte against testdata/golden. Run with -update to accept changes:
+//
+//	go test ./internal/experiments -run TestGoldenSnapshots -update
+//
+// A diff here means a solver, model, or profile change altered a paper
+// experiment's output — intentional changes update the files in the same
+// commit, so the review diff shows exactly which rows moved.
+func TestGoldenSnapshots(t *testing.T) {
+	snaps, err := GoldenSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "golden")
+	if *update {
+		if err := WriteGolden(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range snaps {
+		seen[s.Name+".json"] = true
+		t.Run(s.Name, func(t *testing.T) {
+			got, err := goldenJSON(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, s.Name+".json")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("snapshot %s drifted from %s:\n%s\n(run with -update to accept)",
+					s.Name, path, diffPreview(want, got))
+			}
+		})
+	}
+
+	// A snapshot that stops being generated must not linger on disk as a
+	// stale promise of coverage.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if !seen[f.Name()] {
+			t.Errorf("stale golden file %s: no snapshot generates it", f.Name())
+		}
+	}
+}
+
+// TestGoldenRegenerationIsIdempotent pins the -update contract: regenerating
+// on an unchanged tree must be byte-identical, or -update would dirty the
+// working copy on every run.
+func TestGoldenRegenerationIsIdempotent(t *testing.T) {
+	a, err := GoldenSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GoldenSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("snapshot count changed between runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ja, err := goldenJSON(a[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := goldenJSON(b[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ja, jb) {
+			t.Errorf("snapshot %s is not deterministic across regenerations", a[i].Name)
+		}
+	}
+}
+
+// diffPreview renders the first divergent region of two byte slices, enough
+// context to see which field moved without dumping whole files.
+func diffPreview(want, got []byte) string {
+	i := 0
+	for i < len(want) && i < len(got) && want[i] == got[i] {
+		i++
+	}
+	start := i - 120
+	if start < 0 {
+		start = 0
+	}
+	clip := func(b []byte) []byte {
+		end := i + 120
+		if end > len(b) {
+			end = len(b)
+		}
+		if start > len(b) {
+			return nil
+		}
+		return b[start:end]
+	}
+	return fmt.Sprintf("--- want (around byte %d)\n%s\n--- got\n%s", i, clip(want), clip(got))
+}

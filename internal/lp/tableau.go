@@ -172,14 +172,21 @@ func (t *tableau) solve() *Solution {
 				}
 			}
 		}
-		// Forbid nonbasic artificials from re-entering.
+		// Forbid artificials from re-entering or growing. Nonbasic artificial
+		// columns are destroyed outright. An artificial that is still basic
+		// (at value zero, in a row where no resting-at-lower column could
+		// host the swap above) keeps its column — it is the row's identity
+		// column — but is clamped to an upper bound of zero so the phase-2
+		// ratio test blocks any move that would lift it off zero. Without
+		// the clamp its +Inf bound lets phase 2 grow it freely, silently
+		// relaxing the underlying equality constraint.
 		for j := t.n; j < t.n+t.nArt; j++ {
 			if !t.inBasis[j] {
 				for i := 0; i < t.m; i++ {
 					t.a[i][j] = 0
 				}
-				t.u[j] = 0
 			}
+			t.u[j] = 0
 		}
 	}
 

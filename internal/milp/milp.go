@@ -501,10 +501,34 @@ func roundHeuristic(p *Problem, x []float64, tol float64, st *Stats) ([]float64,
 	return nil, false
 }
 
+// BruteForceMaxAssignments caps the assignment space BruteForce is willing to
+// enumerate. Each assignment costs one LP solve, so anything near the limit
+// already takes seconds; beyond it BruteForce refuses with a *TooLargeError
+// instead of silently grinding (or overflowing) on instances it was never
+// meant for.
+const BruteForceMaxAssignments = 1 << 20
+
+// TooLargeError reports that BruteForce refused an instance because its
+// integer assignment space exceeds the enumeration limit. Callers that use
+// BruteForce as a differential oracle size-gate on it with errors.As.
+type TooLargeError struct {
+	// Assignments is the size of the integer assignment space (the product
+	// of the integer variables' bound ranges). It is a float64 because the
+	// product can overflow int64 long before the limit check matters.
+	Assignments float64
+	// Limit is the enumeration cap that was exceeded.
+	Limit int
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("milp: brute force would enumerate %g integer assignments (limit %d)", e.Assignments, e.Limit)
+}
+
 // BruteForce exhaustively enumerates all integer assignments (continuous
 // variables are optimized by LP for each assignment) and returns the optimum.
 // It is exponential and exists only to validate Solve in tests on tiny
-// models.
+// models; instances whose assignment space exceeds BruteForceMaxAssignments
+// are rejected with a *TooLargeError.
 func BruteForce(p *Problem) (*Solution, error) {
 	var ints []int
 	for j, isInt := range p.Integer {
@@ -513,6 +537,20 @@ func BruteForce(p *Problem) (*Solution, error) {
 		}
 	}
 	sort.Ints(ints)
+	assignments := 1.0
+	for _, j := range ints {
+		if math.IsInf(p.LP.Upper[j], 1) {
+			return nil, fmt.Errorf("milp: integer variable %d (%s) has infinite upper bound", j, name(p.LP, j))
+		}
+		lo := math.Ceil(p.LP.Lower[j] - 1e-9)
+		hi := math.Floor(p.LP.Upper[j] + 1e-9)
+		if span := hi - lo + 1; span > 1 {
+			assignments *= span
+		}
+		if assignments > BruteForceMaxAssignments {
+			return nil, &TooLargeError{Assignments: assignments, Limit: BruteForceMaxAssignments}
+		}
+	}
 	best := &Solution{Status: Infeasible, Objective: math.Inf(-1)}
 	work := p.LP.Clone()
 	var rec func(k int) error

@@ -1,8 +1,10 @@
 package milp
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -467,5 +469,48 @@ func TestObserverStreamsNodes(t *testing.T) {
 	}
 	if !math.IsInf(sol.Bound, -1) {
 		t.Fatalf("infeasible bound = %g", sol.Bound)
+	}
+}
+
+func TestBruteForceTooManyBinaries(t *testing.T) {
+	p := NewProblem(&lp.Problem{})
+	for i := 0; i < 25; i++ { // 2^25 assignments > BruteForceMaxAssignments
+		p.AddBinVar(1, "")
+	}
+	_, err := BruteForce(p)
+	var tooLarge *TooLargeError
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("BruteForce error = %v, want *TooLargeError", err)
+	}
+	if tooLarge.Limit != BruteForceMaxAssignments {
+		t.Fatalf("Limit = %d, want %d", tooLarge.Limit, BruteForceMaxAssignments)
+	}
+	if tooLarge.Assignments <= BruteForceMaxAssignments {
+		t.Fatalf("Assignments = %g, want > %d", tooLarge.Assignments, BruteForceMaxAssignments)
+	}
+	if msg := tooLarge.Error(); !strings.Contains(msg, "brute force") {
+		t.Fatalf("unhelpful error message %q", msg)
+	}
+}
+
+func TestBruteForceWideIntegerRangeRejected(t *testing.T) {
+	// A few wide general-integer ranges blow the assignment space just as
+	// surely as many binaries.
+	p := NewProblem(&lp.Problem{})
+	for i := 0; i < 4; i++ {
+		p.AddIntVar(1, 0, 99, "")
+	}
+	var tooLarge *TooLargeError
+	if _, err := BruteForce(p); !errors.As(err, &tooLarge) {
+		t.Fatalf("BruteForce error = %v, want *TooLargeError", err)
+	}
+}
+
+func TestBruteForceInfiniteBoundRejected(t *testing.T) {
+	p := NewProblem(&lp.Problem{})
+	p.AddIntVar(1, 0, math.Inf(1), "free")
+	p.LP.AddConstraint([]int{0}, []float64{1}, lp.LE, 3, "cap")
+	if _, err := BruteForce(p); err == nil {
+		t.Fatal("BruteForce accepted an infinite integer bound")
 	}
 }

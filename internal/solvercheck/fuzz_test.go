@@ -1,0 +1,54 @@
+package solvercheck
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Native fuzz targets: the fuzzer steers the generator seed and shape knobs,
+// and the differential oracles act as crash/feasibility detectors. Under
+// plain `go test` only the seed corpus runs (fast); CI adds a short-budget
+// `-fuzz` smoke pass per target.
+
+func FuzzLPSolve(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3))
+	f.Add(int64(42), uint8(8), uint8(6))
+	f.Add(int64(-7), uint8(1), uint8(0))
+	f.Add(int64(1<<40), uint8(12), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, vars, cons uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := LPConfig{MaxVars: 1 + int(vars%12), MaxCons: 1 + int(cons%9)}
+		p := RandLP(rng, cfg)
+		if err := CheckLP(rng, p); err != nil {
+			t.Fatalf("seed %d cfg %+v: %v", seed, cfg, err)
+		}
+	})
+}
+
+func FuzzMILPSolve(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3))
+	f.Add(int64(99), uint8(9), uint8(5))
+	f.Add(int64(-3), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, bins, cons uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := MILPConfig{MaxBinaries: 2 + int(bins%9), MaxCons: 1 + int(cons%5)}
+		p := RandBinaryMILP(rng, cfg)
+		if err := CheckMILP(rng, p); err != nil {
+			t.Fatalf("seed %d cfg %+v: %v", seed, cfg, err)
+		}
+	})
+}
+
+func FuzzScenarioSolve(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(8))
+	f.Add(int64(17), uint8(1), uint8(4))
+	f.Add(int64(-11), uint8(2), uint8(10))
+	f.Fuzz(func(t *testing.T, seed int64, analyses, steps uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := ScenarioConfig{MaxAnalyses: 1 + int(analyses%2), MaxSteps: 2 + int(steps%9)}
+		specs, res := RandScenario(rng, cfg)
+		if err := CheckScenario(rng, specs, res, ScenarioChecks{BruteForce: true}); err != nil {
+			t.Fatalf("seed %d cfg %+v specs %+v res %+v: %v", seed, cfg, specs, res, err)
+		}
+	})
+}
