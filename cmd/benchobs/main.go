@@ -1,0 +1,263 @@
+// Command benchobs is the performance observatory's front door: it runs the
+// canonical benchmark suites, compares runs against the committed baselines,
+// serves live metrics and profiles over HTTP, and reconstructs per-step
+// timelines from JSONL run ledgers.
+//
+// Usage:
+//
+//	benchobs run [-quick] [-suite name] [-out dir]
+//	benchobs compare -current dir [-baseline dir] [-slack f] [-json file]
+//	benchobs serve [-addr host:port]
+//	benchobs summarize -ledger run.jsonl
+//
+// run executes the solver, pipeline, and iosim suites and writes one
+// BENCH_<suite>.json per suite (the files committed at the repo root are its
+// output). compare diffs a run against a baseline using the per-metric
+// relative thresholds recorded in the baseline file and exits 1 when any
+// gated metric regresses. serve loops the instrumented pipeline workload
+// forever and exposes the live registry at /metrics (Prometheus text),
+// /metrics.json, and the process at /debug/pprof/. summarize replays a run
+// ledger into a per-step activity table.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"insitu/internal/obs"
+	"insitu/internal/perfbench"
+)
+
+const usageText = `usage: benchobs <command> [flags]
+
+commands:
+  run        run the canonical suites and write BENCH_<suite>.json files
+  compare    diff a run against baseline files; exit 1 on any regression
+  serve      expose live /metrics and /debug/pprof over a looping workload
+  summarize  reconstruct per-step timelines from a JSONL run ledger
+
+run 'benchobs <command> -h' for the flags of each command.
+`
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches to a subcommand and returns the process exit code: 0 ok,
+// 1 failure (including benchmark regressions), 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, usageText)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "compare":
+		return cmdCompare(args[1:], stdout, stderr)
+	case "serve":
+		return cmdServe(args[1:], stdout, stderr)
+	case "summarize":
+		return cmdSummarize(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(stdout, usageText)
+		return 0
+	}
+	fmt.Fprintf(stderr, "benchobs: unknown command %q\n%s", args[0], usageText)
+	return 2
+}
+
+// suiteList resolves the -suite flag: empty means every canonical suite.
+func suiteList(only string) ([]string, error) {
+	if only == "" {
+		return perfbench.SuiteNames, nil
+	}
+	for _, s := range perfbench.SuiteNames {
+		if s == only {
+			return []string{only}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown suite %q (have %v)", only, perfbench.SuiteNames)
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchobs run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "fewer repetitions, no outlier trim (CI smoke settings)")
+	out := fs.String("out", ".", "directory to write BENCH_<suite>.json files into")
+	only := fs.String("suite", "", "run a single suite (solver, pipeline, iosim)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	names, err := suiteList(*only)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 2
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 1
+	}
+	r := perfbench.NewRunner()
+	if *quick {
+		r = perfbench.QuickRunner()
+	}
+	for _, name := range names {
+		ws, err := perfbench.Workloads(name)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchobs: %v\n", err)
+			return 2
+		}
+		s, err := r.RunSuite(name, ws, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchobs: suite %s: %v\n", name, err)
+			return 1
+		}
+		path := filepath.Join(*out, perfbench.BenchFileName(name))
+		if err := s.WriteFile(path); err != nil {
+			fmt.Fprintf(stderr, "benchobs: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d workloads)\n", path, len(s.Workloads))
+	}
+	return 0
+}
+
+func cmdCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchobs compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", ".", "directory holding the baseline BENCH_<suite>.json files")
+	current := fs.String("current", "", "directory holding the run under test (required)")
+	slack := fs.Float64("slack", 1, "multiplier widening every metric's threshold (CI uses 2)")
+	jsonOut := fs.String("json", "", "also write the machine-readable diff (JSON) to this file")
+	only := fs.String("suite", "", "compare a single suite (solver, pipeline, iosim)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *current == "" {
+		fmt.Fprintln(stderr, "benchobs: compare needs -current")
+		fs.Usage()
+		return 2
+	}
+	names, err := suiteList(*only)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 2
+	}
+	var results []perfbench.CompareResult
+	regressions := 0
+	for _, name := range names {
+		file := perfbench.BenchFileName(name)
+		base, err := perfbench.ReadFile(filepath.Join(*baseline, file))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchobs: baseline: %v\n", err)
+			return 2
+		}
+		cur, err := perfbench.ReadFile(filepath.Join(*current, file))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchobs: current: %v\n", err)
+			return 2
+		}
+		res := perfbench.Compare(base, cur, *slack)
+		if err := res.WriteTable(stdout); err != nil {
+			fmt.Fprintf(stderr, "benchobs: %v\n", err)
+			return 1
+		}
+		regressions += len(res.Regressions())
+		results = append(results, res)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "benchobs: %v\n", err)
+			return 1
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchobs: %d regression(s) past threshold\n", regressions)
+		return 1
+	}
+	return 0
+}
+
+// serveLoop drives the instrumented pipeline workload against reg until stop
+// closes (or, when iterations > 0, for that many runs), so the served
+// /metrics endpoint always has live counters moving underneath it.
+func serveLoop(reg *obs.Registry, stop <-chan struct{}, iterations int) error {
+	for n := 0; iterations == 0 || n < iterations; n++ {
+		if _, err := perfbench.InstrumentedPipeline(nil, reg, nil).Run(); err != nil {
+			return err
+		}
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+	}
+	return nil
+}
+
+func cmdServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchobs serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8089", "listen address for /metrics and /debug/pprof")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 1
+	}
+	reg := obs.NewRegistry()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		if err := serveLoop(reg, stop, 0); err != nil {
+			fmt.Fprintf(stderr, "benchobs: workload loop: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(stdout, "benchobs: serving http://%s/metrics (also /metrics.json, /debug/pprof/)\n", ln.Addr())
+	if err := http.Serve(ln, obs.NewServeMux(reg)); err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func cmdSummarize(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchobs summarize", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ledger := fs.String("ledger", "", "JSONL run ledger to summarize (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	path := *ledger
+	if path == "" {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		fmt.Fprintln(stderr, "benchobs: summarize needs -ledger file.jsonl")
+		fs.Usage()
+		return 2
+	}
+	events, err := obs.ReadLedgerFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 1
+	}
+	if err := obs.SummarizeLedger(events).WriteTimeline(stdout); err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"insitu/internal/obs"
+	"insitu/internal/perfbench"
+)
+
+func TestUsageAndUnknownCommands(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Fatalf("no args -> %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "usage: benchobs") {
+		t.Fatalf("usage missing: %s", errBuf.String())
+	}
+	if code := run([]string{"nope"}, &out, &errBuf); code != 2 {
+		t.Fatal("unknown command accepted")
+	}
+	out.Reset()
+	if code := run([]string{"help"}, &out, &errBuf); code != 0 || !strings.Contains(out.String(), "summarize") {
+		t.Fatalf("help -> %d, %s", code, out.String())
+	}
+	// Bad flag values and bad suite names are usage errors.
+	if code := run([]string{"run", "-suite", "nope"}, &out, &errBuf); code != 2 {
+		t.Fatal("unknown suite accepted")
+	}
+	if code := run([]string{"compare", "-suite", "nope", "-current", "x"}, &out, &errBuf); code != 2 {
+		t.Fatal("unknown compare suite accepted")
+	}
+	if code := run([]string{"compare"}, &out, &errBuf); code != 2 {
+		t.Fatal("compare without -current accepted")
+	}
+	if code := run([]string{"summarize"}, &out, &errBuf); code != 2 {
+		t.Fatal("summarize without -ledger accepted")
+	}
+}
+
+func TestRunAndCompareEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick benchmark catalog twice")
+	}
+	baseDir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"run", "-quick", "-out", baseDir}, &out, &errBuf); code != 0 {
+		t.Fatalf("run -> %d: %s", code, errBuf.String())
+	}
+	for _, suite := range perfbench.SuiteNames {
+		s, err := perfbench.ReadFile(filepath.Join(baseDir, perfbench.BenchFileName(suite)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Workloads) == 0 {
+			t.Fatalf("suite %s empty", suite)
+		}
+	}
+
+	// A solver-only re-run compares clean against its own baseline even at
+	// slack 1 (deterministic gated metrics; wall gate is wide).
+	curDir := t.TempDir()
+	if code := run([]string{"run", "-quick", "-suite", "solver", "-out", curDir}, &out, &errBuf); code != 0 {
+		t.Fatalf("solver run -> %d: %s", code, errBuf.String())
+	}
+	out.Reset()
+	jsonPath := filepath.Join(curDir, "diff.json")
+	code := run([]string{"compare", "-suite", "solver", "-baseline", baseDir, "-current", curDir, "-json", jsonPath}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("compare -> %d:\n%s\n%s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("table = %s", out.String())
+	}
+	var results []perfbench.CompareResult
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Suite != "solver" || len(results[0].Deltas) == 0 {
+		t.Fatalf("machine diff = %+v", results)
+	}
+
+	// Poison a deterministic counter in the current run: compare must fail.
+	cur, err := perfbench.ReadFile(filepath.Join(curDir, perfbench.BenchFileName("solver")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cur.Workloads[0].Metric("solver_nodes_per_op")
+	if m == nil {
+		t.Fatal("no solver_nodes_per_op on first workload")
+	}
+	m.Value *= 2
+	if err := cur.WriteFile(filepath.Join(curDir, perfbench.BenchFileName("solver"))); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errBuf.Reset()
+	code = run([]string{"compare", "-suite", "solver", "-baseline", baseDir, "-current", curDir}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("poisoned compare -> %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(errBuf.String(), "regression(s)") {
+		t.Fatalf("poisoned compare output:\n%s\n%s", out.String(), errBuf.String())
+	}
+
+	// Missing baseline directory is a usage error, not a pass.
+	if code := run([]string{"compare", "-baseline", filepath.Join(baseDir, "absent"), "-current", curDir}, &out, &errBuf); code != 2 {
+		t.Fatalf("absent baseline -> %d", code)
+	}
+}
+
+func TestServeLoopFeedsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	if err := serveLoop(reg, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	var steps float64
+	for _, m := range reg.Snapshot() {
+		if m.Name == "coupling_steps_total" {
+			steps = m.Value
+		}
+	}
+	if steps != 240 {
+		t.Fatalf("steps_total = %g after one pipeline run, want 240", steps)
+	}
+	// A pre-closed stop channel still completes the in-flight run, then exits.
+	stop := make(chan struct{})
+	close(stop)
+	if err := serveLoop(reg, stop, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	led, err := obs.OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Append(obs.LedgerEvent{Type: obs.LedgerRunStart, Name: "mdsim", Args: map[string]float64{"steps": 2}})
+	led.Append(obs.LedgerEvent{Type: obs.LedgerSolve, Name: "plan", Dur: 12, Args: map[string]float64{"nodes": 5, "pivots": 40, "objective": 21}})
+	led.Event(obs.LedgerStep, "", 1, 100*time.Microsecond)
+	led.Event(obs.LedgerAnalysis, "rdf", 1, 30*time.Microsecond)
+	led.Event(obs.LedgerStep, "", 2, 110*time.Microsecond)
+	led.Append(obs.LedgerEvent{Type: obs.LedgerOutput, Name: "rdf", Step: 2, Dur: 9, Bytes: 4096})
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"summarize", "-ledger", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("summarize -> %d: %s", code, errBuf.String())
+	}
+	text := out.String()
+	for _, want := range []string{"run: mdsim", "solve plan", "rdf/analyze 30us", "rdf/output 9us", "total step time: 210 us"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary missing %q:\n%s", want, text)
+		}
+	}
+	if code := run([]string{"summarize", "-ledger", filepath.Join(dir, "absent.jsonl")}, &out, &errBuf); code != 1 {
+		t.Fatal("absent ledger accepted")
+	}
+}

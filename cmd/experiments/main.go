@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-only table5] [-quick] [-verify] [-golden dir]
+//	            [-trace trace.json] [-metrics metrics.txt]
 //
 // -only selects a single experiment (table4..table8, figure2, figure4,
 // figure5, ablations, moldable, solver); the default runs everything.
@@ -12,17 +13,22 @@
 // paper's published rows and exits nonzero on any mismatch. -golden writes
 // the deterministic golden snapshots (the same files the regression test in
 // internal/experiments compares against) to the given directory and exits.
+// -trace records one span per experiment section as Chrome trace JSON;
+// -metrics writes section counters and durations in Prometheus text format
+// (or a JSON snapshot when the path ends in .json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"insitu/internal/core"
 	"insitu/internal/experiments"
 	"insitu/internal/machine"
 	"insitu/internal/moldable"
+	"insitu/internal/obs"
 )
 
 func main() {
@@ -30,6 +36,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink measured experiments for a fast pass")
 	verify := flag.Bool("verify", false, "check the scheduling experiments against the paper's published values and exit")
 	golden := flag.String("golden", "", "write the golden snapshot files to this directory and exit")
+	tracePath := flag.String("trace", "", "write the run as Chrome trace JSON (one span per experiment section)")
+	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	flag.Parse()
 
 	if *golden != "" {
@@ -56,100 +64,134 @@ func main() {
 		return
 	}
 
-	run := func(name string) bool { return *only == "" || *only == name }
-	fail := func(name string, err error) {
-		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-		os.Exit(1)
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		tracer.SetProcessName("experiments")
+		tracer.SetTrackName(0, "sections")
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
 	}
 
-	if run("table4") {
+	// section runs one experiment when selected, as one trace span and one
+	// duration observation. Both handles are nil-safe, so uninstrumented
+	// runs take the same path.
+	section := func(name string, fn func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		sp := tracer.Begin(name, "experiment")
+		t0 := time.Now()
+		err := fn()
+		dt := time.Since(t0)
+		sp.End()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		reg.Counter("experiments_sections_total", nil).Inc()
+		reg.Histogram("experiments_section_seconds", nil, obs.Labels{"section": name}).Observe(dt.Seconds())
+	}
+
+	section("table4", func() error {
 		cfg := experiments.Table4Config{}
 		if *quick {
 			cfg = experiments.Table4Config{Atoms: []int{3000, 8000}, Steps: 30, OutputEvery: 10}
 		}
 		rows, err := experiments.Table4(cfg)
 		if err != nil {
-			fail("table4", err)
+			return err
 		}
 		fmt.Println(experiments.FormatTable4(rows))
-	}
-	if run("table5") {
+		return nil
+	})
+	section("table5", func() error {
 		rows, err := experiments.Table5()
 		if err != nil {
-			fail("table5", err)
+			return err
 		}
 		fmt.Println(experiments.FormatTable5(rows))
-	}
-	if run("table6") {
+		return nil
+	})
+	section("table6", func() error {
 		rows, err := experiments.Table6()
 		if err != nil {
-			fail("table6", err)
+			return err
 		}
 		fmt.Println(experiments.FormatTable6(rows))
-	}
-	if run("table7") {
+		return nil
+	})
+	section("table7", func() error {
 		rows, err := experiments.Table7()
 		if err != nil {
-			fail("table7", err)
+			return err
 		}
 		nvram, err := experiments.Table7NVRAM()
 		if err != nil {
-			fail("table7-nvram", err)
+			return fmt.Errorf("nvram: %w", err)
 		}
 		rows = append(rows, nvram)
 		out := experiments.FormatTable7(rows)
 		fmt.Println(out + "(last row: outputs redirected to an NVRAM burst buffer, §5.3.5 what-if)")
 		fmt.Println()
-	}
-	if run("table8") {
+		return nil
+	})
+	section("table8", func() error {
 		rows, err := experiments.Table8()
 		if err != nil {
-			fail("table8", err)
+			return err
 		}
 		fmt.Println(experiments.FormatTable8(rows))
-	}
-	if run("figure2") {
+		return nil
+	})
+	section("figure2", func() error {
 		cfg := experiments.Figure2Config{}
 		if *quick {
 			cfg = experiments.Figure2Config{Sizes: []int{1500, 3000, 6000}, StepsPerSample: 4}
 		}
 		r, err := experiments.Figure2(cfg)
 		if err != nil {
-			fail("figure2", err)
+			return err
 		}
 		fmt.Println(experiments.FormatFigure2(r))
-	}
-	if run("figure4") {
+		return nil
+	})
+	section("figure4", func() error {
 		atoms := 4000
 		if *quick {
 			atoms = 3000
 		}
 		rows, err := experiments.Figure4(atoms)
 		if err != nil {
-			fail("figure4", err)
+			return err
 		}
 		fmt.Println(experiments.FormatFigure4(rows))
-	}
-	if run("figure5") {
+		return nil
+	})
+	section("figure5", func() error {
 		rows, err := experiments.Figure5()
 		if err != nil {
-			fail("figure5", err)
+			return err
 		}
 		fmt.Println(experiments.FormatFigure5(rows))
-	}
-	if run("ablations") {
+		return nil
+	})
+	section("ablations", func() error {
 		rows, err := experiments.MemorySweep()
 		if err != nil {
-			fail("ablations", err)
+			return err
 		}
 		fmt.Println(experiments.FormatMemorySweep(rows))
 		v, err := experiments.ValidateCoupling(0, 0, 0)
 		if err != nil {
-			fail("coupling-validation", err)
+			return fmt.Errorf("coupling validation: %w", err)
 		}
 		fmt.Println(experiments.FormatCouplingValidation(v))
-	}
-	if run("moldable") {
+		return nil
+	})
+	section("moldable", func() error {
 		var cands []moldable.Candidate
 		for _, ranks := range []int{2048, 4096, 8192, 16384, 32768} {
 			all := experiments.WaterIonsSpecs(ranks)
@@ -163,17 +205,34 @@ func main() {
 		for _, obj := range []moldable.Objective{moldable.MaxScience, moldable.MaxSciencePerNodeHour, moldable.MinRuntime} {
 			advice, err := moldable.Advise(machine.Mira(), cands, cfg, obj)
 			if err != nil {
-				fail("moldable", err)
+				return err
 			}
 			fmt.Print(advice.String())
 			fmt.Println()
 		}
-	}
-	if run("solver") {
+		return nil
+	})
+	section("solver", func() error {
 		min, max, err := experiments.SolverRuntime()
 		if err != nil {
-			fail("solver", err)
+			return err
 		}
 		fmt.Printf("Solver runtime across Tables 5-6 instances: %v - %v (paper: 0.17 s - 1.36 s with CPLEX 12.6.1)\n", min, max)
+		return nil
+	})
+
+	if *tracePath != "" {
+		if err := obs.WriteTraceFile(*tracePath, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace (%d events) to %s\n", tracer.Len(), *tracePath)
+	}
+	if *metricsPath != "" {
+		if err := obs.WriteMetricsFile(*metricsPath, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsPath)
 	}
 }

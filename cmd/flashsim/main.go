@@ -6,7 +6,7 @@
 //
 //	flashsim [-blocks 4] [-nb 8] [-steps 100] [-threshold-pct 10]
 //	         [-interval 10] [-ranks 4] [-weights 1,1,1]
-//	         [-trace trace.json] [-metrics metrics.txt]
+//	         [-trace trace.json] [-metrics metrics.txt] [-ledger run.jsonl]
 package main
 
 import (
@@ -35,10 +35,11 @@ func main() {
 	weights := flag.String("weights", "1,1,1", "importance weights for F1,F2,F3")
 	tracePath := flag.String("trace", "", "write the executed run as Chrome trace JSON to this file")
 	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
+	ledgerPath := flag.String("ledger", "", "write the run as a JSONL event ledger to this file")
 	render := flag.Bool("render", false, "print an ASCII density slice after the run")
 	flag.Parse()
 
-	if err := run(*blocks, *nb, *steps, *thresholdPct, *interval, *ranks, *weights, *render, *tracePath, *metricsPath); err != nil {
+	if err := run(*blocks, *nb, *steps, *thresholdPct, *interval, *ranks, *weights, *render, *tracePath, *metricsPath, *ledgerPath); err != nil {
 		fmt.Fprintln(os.Stderr, "flashsim:", err)
 		os.Exit(1)
 	}
@@ -60,7 +61,7 @@ func parseWeights(s string) ([3]float64, error) {
 	return w, nil
 }
 
-func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weightStr string, render bool, tracePath, metricsPath string) error {
+func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weightStr string, render bool, tracePath, metricsPath, ledgerPath string) error {
 	w, err := parseWeights(weightStr)
 	if err != nil {
 		return err
@@ -138,7 +139,24 @@ func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weigh
 	if metricsPath != "" {
 		reg = obs.NewRegistry()
 	}
-	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Trace: tracer, Metrics: reg}
+	var ledger *obs.EventLog
+	if ledgerPath != "" {
+		ledger, err = obs.OpenEventLog(ledgerPath)
+		if err != nil {
+			return err
+		}
+		ledger.Append(obs.LedgerEvent{
+			Type: obs.LedgerSolve, Name: "schedule",
+			Dur: float64(rec.SolveTime.Nanoseconds()) / 1e3,
+			Args: map[string]float64{
+				"nodes":     float64(rec.Stats.Nodes),
+				"pivots":    float64(rec.Stats.Pivots),
+				"objective": rec.Objective,
+				"threshold": res.TimeThreshold,
+			},
+		})
+	}
+	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Trace: tracer, Metrics: reg, Ledger: ledger, App: "flashsim/sedov"}
 	rep, err := runner.Run()
 	if err != nil {
 		return err
@@ -156,6 +174,12 @@ func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weigh
 			return err
 		}
 		fmt.Printf("wrote metrics to %s\n", metricsPath)
+	}
+	if ledgerPath != "" {
+		if err := ledger.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote ledger (%d events) to %s\n", ledger.Len(), ledgerPath)
 	}
 	ref := amr.NewSedovReference(grid.Gamma)
 	fmt.Printf("shock radius after %d steps: %.4f (Sedov-Taylor %.4f at t=%.4f)\n",

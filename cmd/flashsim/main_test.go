@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"insitu/internal/obs"
+)
 
 func TestParseWeights(t *testing.T) {
 	w, err := parseWeights("2, 1,2")
@@ -22,7 +27,16 @@ func TestRunSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full pipeline too heavy for -short")
 	}
-	if err := run(2, 6, 10, 20, 5, 2, "1,1,1", false, "", ""); err != nil {
+	ledgerPath := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := run(2, 6, 10, 20, 5, 2, "1,1,1", false, "", "", ledgerPath); err != nil {
 		t.Fatal(err)
+	}
+	events, err := obs.ReadLedgerFile(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := obs.SummarizeLedger(events)
+	if sum.App != "flashsim/sedov" || len(sum.Steps) != 10 || len(sum.Solves) != 1 {
+		t.Fatalf("ledger app=%q steps=%d solves=%d", sum.App, len(sum.Steps), len(sum.Solves))
 	}
 }

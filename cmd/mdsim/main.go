@@ -8,11 +8,13 @@
 //
 //	mdsim [-system water|rhodopsin] [-atoms 4000] [-steps 200]
 //	      [-threshold-pct 10] [-interval 20] [-ranks 4] [-out results.txt]
-//	      [-trace trace.json] [-metrics metrics.txt]
+//	      [-trace trace.json] [-metrics metrics.txt] [-ledger run.jsonl]
 //
 // -trace writes the executed run as Chrome trace JSON (load in
 // chrome://tracing or Perfetto); -metrics writes run counters in Prometheus
-// text format (or a JSON snapshot when the path ends in .json).
+// text format (or a JSON snapshot when the path ends in .json); -ledger
+// writes the run as a JSONL event ledger that `benchobs summarize` replays
+// into a per-step timeline.
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 	outPath := flag.String("out", "", "write analysis output to this file (default: discard)")
 	tracePath := flag.String("trace", "", "write the executed run as Chrome trace JSON to this file")
 	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
+	ledgerPath := flag.String("ledger", "", "write the run as a JSONL event ledger to this file")
 	render := flag.Bool("render", false, "print a Figure-3 style ASCII snapshot before running")
 	flag.Parse()
 
@@ -51,7 +54,7 @@ func main() {
 		}
 		fmt.Print(sys.RenderSlice(72, 28, sys.Box[1]/4))
 	}
-	if err := run(*system, *atoms, *steps, *thresholdPct, *interval, *ranks, *outPath, *tracePath, *metricsPath); err != nil {
+	if err := run(*system, *atoms, *steps, *thresholdPct, *interval, *ranks, *outPath, *tracePath, *metricsPath, *ledgerPath); err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)
 		os.Exit(1)
 	}
@@ -68,7 +71,7 @@ func buildSystem(system string, atoms int) (*md.System, error) {
 	return nil, fmt.Errorf("unknown system %q", system)
 }
 
-func run(system string, atoms, steps int, thresholdPct float64, interval, ranks int, outPath, tracePath, metricsPath string) error {
+func run(system string, atoms, steps int, thresholdPct float64, interval, ranks int, outPath, tracePath, metricsPath, ledgerPath string) error {
 	cfg := md.Config{NAtoms: atoms, Seed: 1}
 	var sys *md.System
 	var err error
@@ -172,7 +175,24 @@ func run(system string, atoms, steps int, thresholdPct float64, interval, ranks 
 	if metricsPath != "" {
 		reg = obs.NewRegistry()
 	}
-	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Output: out, Trace: tracer, Metrics: reg}
+	var ledger *obs.EventLog
+	if ledgerPath != "" {
+		ledger, err = obs.OpenEventLog(ledgerPath)
+		if err != nil {
+			return err
+		}
+		ledger.Append(obs.LedgerEvent{
+			Type: obs.LedgerSolve, Name: "schedule",
+			Dur: float64(rec.SolveTime.Nanoseconds()) / 1e3,
+			Args: map[string]float64{
+				"nodes":     float64(rec.Stats.Nodes),
+				"pivots":    float64(rec.Stats.Pivots),
+				"objective": rec.Objective,
+				"threshold": res.TimeThreshold,
+			},
+		})
+	}
+	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Output: out, Trace: tracer, Metrics: reg, Ledger: ledger, App: "mdsim/" + system}
 	rep, err := runner.Run()
 	if err != nil {
 		return err
@@ -194,6 +214,12 @@ func run(system string, atoms, steps int, thresholdPct float64, interval, ranks 
 			return err
 		}
 		fmt.Printf("wrote metrics to %s\n", metricsPath)
+	}
+	if ledgerPath != "" {
+		if err := ledger.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote ledger (%d events) to %s\n", ledger.Len(), ledgerPath)
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"insitu/internal/obs"
 )
 
 func TestBuildSystem(t *testing.T) {
@@ -18,14 +20,15 @@ func TestBuildSystem(t *testing.T) {
 }
 
 // chromeEvent mirrors the trace_event JSON schema the -trace flag emits.
+// Args is loosely typed: span args are numeric, metadata args are strings.
 type chromeEvent struct {
-	Name  string             `json:"name"`
-	Cat   string             `json:"cat"`
-	Phase string             `json:"ph"`
-	TID   int                `json:"tid"`
-	TS    float64            `json:"ts"`
-	Dur   float64            `json:"dur"`
-	Args  map[string]float64 `json:"args"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TID   int            `json:"tid"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	Args  map[string]any `json:"args"`
 }
 
 type chromeTrace struct {
@@ -39,7 +42,8 @@ func TestRunWritesValidChromeTrace(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "trace.json")
 	metricsPath := filepath.Join(dir, "metrics.txt")
-	if err := run("water", 600, 20, 20, 5, 2, "", tracePath, metricsPath); err != nil {
+	ledgerPath := filepath.Join(dir, "run.jsonl")
+	if err := run("water", 600, 20, 20, 5, 2, "", tracePath, metricsPath, ledgerPath); err != nil {
 		t.Fatal(err)
 	}
 
@@ -92,5 +96,17 @@ func TestRunWritesValidChromeTrace(t *testing.T) {
 	}
 	if !strings.Contains(text, "# TYPE coupling_step_seconds histogram") {
 		t.Errorf("metrics file missing step-duration histogram:\n%s", text)
+	}
+
+	events, err := obs.ReadLedgerFile(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := obs.SummarizeLedger(events)
+	if sum.App != "mdsim/water" || len(sum.Steps) != 20 {
+		t.Fatalf("ledger app=%q steps=%d, want mdsim/water with 20 steps", sum.App, len(sum.Steps))
+	}
+	if len(sum.Solves) != 1 || sum.Solves[0].Name != "schedule" {
+		t.Fatalf("ledger solves = %+v", sum.Solves)
 	}
 }

@@ -92,6 +92,11 @@ type Config struct {
 	// Metrics, when non-nil, collects run counters; Outcome.Metrics holds a
 	// snapshot taken after execution and Summary appends it.
 	Metrics *obs.Registry
+	// Ledger, when non-nil, receives the campaign as a JSONL run ledger: a
+	// solve event from Plan (branch-and-bound nodes, pivots, objective, and
+	// solve time) followed by the executed run's events from the coupling
+	// runner. benchobs summarize reconstructs the timeline from the file.
+	Ledger *obs.EventLog
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -214,6 +219,16 @@ func (c *Campaign) Plan() (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Ledger.Append(obs.LedgerEvent{
+		Type: obs.LedgerSolve, Name: "plan",
+		Dur: float64(rec.SolveTime.Nanoseconds()) / 1e3,
+		Args: map[string]float64{
+			"nodes":     float64(rec.Stats.Nodes),
+			"pivots":    float64(rec.Stats.Pivots),
+			"objective": rec.Objective,
+			"threshold": res.TimeThreshold,
+		},
+	})
 	return &Plan{Specs: specs, Resources: res, Rec: rec, SimSecPerStep: simPerStep}, nil
 }
 
@@ -231,6 +246,8 @@ func (c *Campaign) Execute(p *Plan) (*Outcome, error) {
 		Output:  c.cfg.Output,
 		Trace:   c.cfg.Trace,
 		Metrics: c.cfg.Metrics,
+		Ledger:  c.cfg.Ledger,
+		App:     c.cfg.Sim.Name(),
 	}
 	rep, err := runner.Run()
 	if err != nil {

@@ -14,7 +14,7 @@ import (
 	"insitu/internal/sim/md"
 )
 
-func mdCampaign(t *testing.T, pct, total float64) *Campaign {
+func mdCampaign(t *testing.T, pct, total float64, mutate ...func(*Config)) *Campaign {
 	t.Helper()
 	sys, err := md.NewWaterIons(md.Config{NAtoms: 1500, Seed: 21})
 	if err != nil {
@@ -28,7 +28,7 @@ func mdCampaign(t *testing.T, pct, total float64) *Campaign {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{
+	cfg := Config{
 		Sim: SimFunc{
 			AppName:  "water+ions",
 			StepFn:   func() { sys.Step(0.002) },
@@ -39,7 +39,11 @@ func mdCampaign(t *testing.T, pct, total float64) *Campaign {
 		MinInterval:      5,
 		ThresholdPercent: pct,
 		TotalThreshold:   total,
-	})
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	c, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

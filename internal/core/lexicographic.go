@@ -89,6 +89,10 @@ func SolveLexicographic(specs []AnalysisSpec, res Resources, opts SolveOptions) 
 		}
 		out.SolveTime += rec.SolveTime
 		out.Nodes += rec.Nodes
+		out.Stats.Nodes += rec.Stats.Nodes
+		out.Stats.Relaxations += rec.Stats.Relaxations
+		out.Stats.Pivots += rec.Stats.Pivots
+		out.Stats.SolveTime += rec.Stats.SolveTime
 	}
 	out.PeakMemory = exactPeakMemory(norm, res, out.Schedules)
 	if err := out.Validate(specs, res); err != nil {

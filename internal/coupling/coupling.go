@@ -35,6 +35,13 @@ type Runner struct {
 	// Metrics, when non-nil, receives step counters, per-kernel analysis
 	// and output counters, and a step-duration histogram.
 	Metrics *obs.Registry
+	// Ledger, when non-nil, receives the run as schema-versioned JSONL
+	// events: run_start/run_end around the run, one step event per
+	// simulation step, and one analysis/output event per kernel invocation
+	// (with duration and output bytes). See obs.EventLog.
+	Ledger *obs.EventLog
+	// App names the application on the ledger's run_start event.
+	App string
 }
 
 // KernelReport summarizes one kernel's execution.
@@ -93,6 +100,7 @@ func (r *Runner) Run() (*Report, error) {
 	if out == nil {
 		out = io.Discard
 	}
+	r.Trace.SetTrackName(0, "sim+analysis")
 
 	type active struct {
 		kernel   analysis.Kernel
@@ -144,6 +152,9 @@ func (r *Runner) Run() (*Report, error) {
 		})
 	}
 
+	r.Ledger.Append(obs.LedgerEvent{Type: obs.LedgerRunStart, Name: r.App, Args: map[string]float64{
+		"steps": float64(r.Res.Steps), "kernels": float64(len(run)),
+	}})
 	for step := 1; step <= r.Res.Steps; step++ {
 		stepSpan := r.Trace.Begin("step", "sim").Arg("step", float64(step))
 		advSpan := r.Trace.Begin("advance", "sim")
@@ -154,6 +165,7 @@ func (r *Runner) Run() (*Report, error) {
 		rep.SimTime += dt
 		mSteps.Inc()
 		mStepDur.Observe(dt.Seconds())
+		r.Ledger.Event(obs.LedgerStep, "", step, dt)
 
 		for _, a := range run {
 			t1 := time.Now()
@@ -168,10 +180,12 @@ func (r *Runner) Run() (*Report, error) {
 				if _, err := a.kernel.Analyze(step); err != nil {
 					return nil, fmt.Errorf("coupling: analyze %s at %d: %w", a.report.Name, step, err)
 				}
-				a.report.Analyze += time.Since(t2)
+				da := time.Since(t2)
+				a.report.Analyze += da
 				a.report.Analyses++
 				sp.End()
 				a.mAnalyses.Inc()
+				r.Ledger.Event(obs.LedgerAnalysis, a.report.Name, step, da)
 			}
 			if a.isO[step] {
 				sp := r.Trace.Begin(a.report.Name+"/output", "output").Arg("step", float64(step))
@@ -180,12 +194,17 @@ func (r *Runner) Run() (*Report, error) {
 				if err != nil {
 					return nil, fmt.Errorf("coupling: output %s at %d: %w", a.report.Name, step, err)
 				}
-				a.report.OutputTime += time.Since(t3)
+				do := time.Since(t3)
+				a.report.OutputTime += do
 				a.report.OutBytes += n
 				a.report.Outputs++
 				sp.End()
 				a.mOutputs.Inc()
 				a.mOutBytes.Add(float64(n))
+				r.Ledger.Append(obs.LedgerEvent{
+					Type: obs.LedgerOutput, Name: a.report.Name, Step: step,
+					Dur: float64(do.Nanoseconds()) / 1e3, Bytes: n,
+				})
 			}
 		}
 		stepSpan.End()
@@ -193,6 +212,10 @@ func (r *Runner) Run() (*Report, error) {
 	for i := range rep.Kernels {
 		rep.AnalysisTime += rep.Kernels[i].Total()
 	}
+	r.Ledger.Append(obs.LedgerEvent{Type: obs.LedgerRunEnd, Args: map[string]float64{
+		"sim_seconds":      rep.SimTime.Seconds(),
+		"analysis_seconds": rep.AnalysisTime.Seconds(),
+	}})
 	return rep, nil
 }
 

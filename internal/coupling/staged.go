@@ -128,7 +128,9 @@ func (r *PlacementRunner) Run() (*PlacementReport, error) {
 	var wg sync.WaitGroup
 	var stageMu sync.Mutex
 	var stageStart, stageEnd time.Time
+	r.Trace.SetTrackName(0, "simulation")
 	for w := 0; w < workers; w++ {
+		r.Trace.SetTrackName(1+w, fmt.Sprintf("staging-%d", w))
 		wg.Add(1)
 		go func(track int) {
 			defer wg.Done()

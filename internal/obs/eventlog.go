@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LedgerSchemaVersion is the schema carried in every ledger line; readers
+// reject lines from a newer schema rather than misinterpreting them.
+const LedgerSchemaVersion = 1
+
+// Ledger event types. The set is open — emitters may add their own — but
+// these are the ones the coupling runner and campaign write and that
+// SummarizeLedger understands.
+const (
+	LedgerRunStart = "run_start" // one per run: args carry steps, kernels
+	LedgerRunEnd   = "run_end"   // one per run: args carry totals
+	LedgerStep     = "step"      // one per simulation step
+	LedgerPhase    = "phase"     // a named phase inside a step or run (advance, plan, ...)
+	LedgerAnalysis = "analysis"  // one kernel analysis invocation
+	LedgerOutput   = "output"    // one kernel output invocation
+	LedgerSolve    = "solve"     // one MILP solve: args carry nodes, pivots, objective
+)
+
+// LedgerEvent is one line of the JSONL run ledger. Times are offsets from
+// the log's epoch in microseconds, like the Chrome trace export, so ledgers
+// written under an injected clock are deterministic.
+type LedgerEvent struct {
+	Schema int    `json:"v"`
+	Type   string `json:"type"`
+	// Name identifies the actor: the kernel for analysis/output events, the
+	// phase name for phase events, the application for run_start.
+	Name string `json:"name,omitempty"`
+	// Step is the 1-based simulation step, 0 for run-level events.
+	Step int     `json:"step,omitempty"`
+	TS   float64 `json:"ts_us"`            // offset from the ledger epoch
+	Dur  float64 `json:"dur_us,omitempty"` // duration, when the event is a span
+	// Bytes carries output volume for output events.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Mem carries a memory reading in bytes, when the emitter has one.
+	Mem int64 `json:"mem,omitempty"`
+	// Args carries any further numeric payload (solver nodes/pivots,
+	// objective, thresholds, ...), keys sorted on encode.
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// EventLog appends schema-versioned LedgerEvents to a writer as JSON lines.
+// It is safe for concurrent use and nil-safe: a nil *EventLog drops every
+// event, so instrumented code paths need no enable checks. Write errors are
+// sticky — the first one is kept and reported by Err/Close, and later
+// appends become no-ops.
+type EventLog struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	now    func() time.Time
+	epoch  time.Time
+	err    error
+	count  int
+}
+
+// NewEventLog starts a ledger on w with the epoch at the current time.
+func NewEventLog(w io.Writer) *EventLog {
+	l := &EventLog{w: bufio.NewWriter(w), now: time.Now}
+	if c, ok := w.(io.Closer); ok {
+		l.closer = c
+	}
+	l.epoch = l.now()
+	return l
+}
+
+// OpenEventLog creates (or truncates) a ledger file at path.
+func OpenEventLog(path string) (*EventLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewEventLog(f), nil
+}
+
+// SetClock replaces the log's clock and re-anchors the epoch, exactly like
+// Tracer.SetClock; tests use it for byte-stable ledgers.
+func (l *EventLog) SetClock(now func() time.Time) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+	l.epoch = now()
+}
+
+// Append stamps e (schema version and, when unset, the timestamp) and
+// writes it as one JSON line.
+func (l *EventLog) Append(e LedgerEvent) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	e.Schema = LedgerSchemaVersion
+	if e.TS == 0 {
+		e.TS = float64(l.now().Sub(l.epoch).Nanoseconds()) / 1e3
+	}
+	line, err := marshalLedgerEvent(e)
+	if err != nil {
+		l.err = err
+		return
+	}
+	if _, err := l.w.Write(line); err != nil {
+		l.err = err
+		return
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		l.err = err
+		return
+	}
+	// Flush per line: the ledger is an audit trail, so a crash mid-run must
+	// not lose the steps that already completed, and a tailing summarizer
+	// sees whole lines only.
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return
+	}
+	l.count++
+}
+
+// Event appends a span-style event of the given type.
+func (l *EventLog) Event(typ, name string, step int, dur time.Duration) {
+	l.Append(LedgerEvent{Type: typ, Name: name, Step: step, Dur: float64(dur.Nanoseconds()) / 1e3})
+}
+
+// Len returns the number of events appended so far.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Err returns the first write or encode error, if any.
+func (l *EventLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes the ledger and closes the underlying file when the log owns
+// one. Close reports the first error seen over the log's lifetime.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.closer != nil {
+		if err := l.closer.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+		l.closer = nil
+	}
+	return l.err
+}
+
+// marshalLedgerEvent encodes with sorted Args keys (encoding/json already
+// sorts map keys) and no HTML escaping, so ledgers are byte-stable.
+func marshalLedgerEvent(e LedgerEvent) ([]byte, error) {
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(e); err != nil {
+		return nil, err
+	}
+	return []byte(strings.TrimSuffix(b.String(), "\n")), nil
+}
+
+// ReadLedger parses a JSONL ledger stream. Blank lines are skipped; a line
+// with an unknown schema version or malformed JSON is an error carrying the
+// 1-based line number.
+func ReadLedger(r io.Reader) ([]LedgerEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []LedgerEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var e LedgerEvent
+		if err := json.Unmarshal([]byte(raw), &e); err != nil {
+			return nil, fmt.Errorf("obs: ledger line %d: %w", line, err)
+		}
+		if e.Schema != LedgerSchemaVersion {
+			return nil, fmt.Errorf("obs: ledger line %d: schema v%d, this reader understands v%d", line, e.Schema, LedgerSchemaVersion)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: ledger scan: %w", err)
+	}
+	return out, nil
+}
+
+// ReadLedgerFile parses the ledger at path.
+func ReadLedgerFile(path string) ([]LedgerEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadLedger(f)
+}
+
+// StepTimeline is one simulation step reconstructed from a ledger.
+type StepTimeline struct {
+	Step     int
+	SimUS    float64            // duration of the step event itself
+	Analyses map[string]float64 // kernel -> analysis us
+	Outputs  map[string]float64 // kernel -> output us
+	Bytes    int64              // output bytes across all kernels
+}
+
+// LedgerSummary is the reconstruction SummarizeLedger returns.
+type LedgerSummary struct {
+	App     string // Name of the run_start event, if present
+	Steps   []StepTimeline
+	Solves  []LedgerEvent // solve events in order
+	Runs    int           // run_start events seen
+	TotalUS float64       // summed step durations
+}
+
+// SummarizeLedger reconstructs per-step timelines from a ledger: one
+// StepTimeline per distinct step, ordered by step number, with analysis and
+// output durations grouped by kernel name.
+func SummarizeLedger(events []LedgerEvent) LedgerSummary {
+	var s LedgerSummary
+	byStep := map[int]*StepTimeline{}
+	stepAt := func(n int) *StepTimeline {
+		st, ok := byStep[n]
+		if !ok {
+			st = &StepTimeline{Step: n, Analyses: map[string]float64{}, Outputs: map[string]float64{}}
+			byStep[n] = st
+		}
+		return st
+	}
+	for _, e := range events {
+		switch e.Type {
+		case LedgerRunStart:
+			s.Runs++
+			if s.App == "" {
+				s.App = e.Name
+			}
+		case LedgerStep:
+			st := stepAt(e.Step)
+			st.SimUS += e.Dur
+			s.TotalUS += e.Dur
+		case LedgerAnalysis:
+			stepAt(e.Step).Analyses[e.Name] += e.Dur
+		case LedgerOutput:
+			st := stepAt(e.Step)
+			st.Outputs[e.Name] += e.Dur
+			st.Bytes += e.Bytes
+		case LedgerSolve:
+			s.Solves = append(s.Solves, e)
+		}
+	}
+	steps := make([]int, 0, len(byStep))
+	for n := range byStep {
+		steps = append(steps, n)
+	}
+	sort.Ints(steps)
+	for _, n := range steps {
+		s.Steps = append(s.Steps, *byStep[n])
+	}
+	return s
+}
+
+// WriteTimeline renders a ledger summary as a per-step text table.
+func (s LedgerSummary) WriteTimeline(w io.Writer) error {
+	if s.App != "" {
+		if _, err := fmt.Fprintf(w, "run: %s (%d run(s), %d step(s))\n", s.App, s.Runs, len(s.Steps)); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.Solves {
+		if _, err := fmt.Fprintf(w, "solve %-20s nodes=%-6.0f pivots=%-8.0f objective=%g (%.0f us)\n",
+			e.Name, e.Args["nodes"], e.Args["pivots"], e.Args["objective"], e.Dur); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%6s %12s  %s\n", "step", "sim_us", "kernel activity"); err != nil {
+		return err
+	}
+	for _, st := range s.Steps {
+		var parts []string
+		names := make([]string, 0, len(st.Analyses))
+		for n := range st.Analyses {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s/analyze %.0fus", n, st.Analyses[n]))
+		}
+		names = names[:0]
+		for n := range st.Outputs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s/output %.0fus", n, st.Outputs[n]))
+		}
+		if _, err := fmt.Fprintf(w, "%6d %12.0f  %s\n", st.Step, st.SimUS, strings.Join(parts, ", ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "total step time: %.0f us\n", s.TotalUS)
+	return err
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.SetClock(newFakeClock(time.Millisecond).now)
+
+	l.Append(LedgerEvent{Type: LedgerRunStart, Name: "mdsim", Args: map[string]float64{"steps": 4}})
+	l.Event(LedgerStep, "", 1, 2*time.Millisecond)
+	l.Append(LedgerEvent{Type: LedgerAnalysis, Name: "rdf", Step: 1, Dur: 500})
+	l.Append(LedgerEvent{Type: LedgerOutput, Name: "rdf", Step: 1, Dur: 120, Bytes: 4096})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len = %d", l.Len())
+	}
+
+	events, err := ReadLedger(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("read %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if e.Schema != LedgerSchemaVersion {
+			t.Fatalf("event %d schema = %d", i, e.Schema)
+		}
+	}
+	if events[0].Type != LedgerRunStart || events[0].Args["steps"] != 4 {
+		t.Fatalf("run_start = %+v", events[0])
+	}
+	if events[1].Dur != 2000 {
+		t.Fatalf("step dur = %g us, want 2000", events[1].Dur)
+	}
+	if events[3].Bytes != 4096 {
+		t.Fatalf("output bytes = %d", events[3].Bytes)
+	}
+}
+
+func TestEventLogDeterministicBytes(t *testing.T) {
+	write := func() string {
+		var buf bytes.Buffer
+		l := NewEventLog(&buf)
+		l.SetClock(newFakeClock(time.Millisecond).now)
+		l.Append(LedgerEvent{Type: LedgerSolve, Name: "plan", Dur: 10,
+			Args: map[string]float64{"nodes": 3, "pivots": 17, "objective": 41}})
+		l.Close()
+		return buf.String()
+	}
+	a, b := write(), write()
+	if a != b {
+		t.Fatalf("ledger not byte-stable:\n%s\n%s", a, b)
+	}
+	// Map keys are sorted by encoding/json, so the line is a fixed string.
+	want := `{"v":1,"type":"solve","name":"plan","ts_us":1000,"dur_us":10,"args":{"nodes":3,"objective":41,"pivots":17}}` + "\n"
+	if a != want {
+		t.Fatalf("ledger line:\n got %s\nwant %s", a, want)
+	}
+}
+
+func TestEventLogSchemaRejection(t *testing.T) {
+	if _, err := ReadLedger(strings.NewReader(`{"v":99,"type":"step"}`)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+	if _, err := ReadLedger(strings.NewReader("not json")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	// Blank lines are fine.
+	events, err := ReadLedger(strings.NewReader("\n\n" + `{"v":1,"type":"step","step":1}` + "\n\n"))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events=%v err=%v", events, err)
+	}
+}
+
+func TestEventLogNilAndErrors(t *testing.T) {
+	var l *EventLog
+	l.Append(LedgerEvent{Type: LedgerStep})
+	l.Event(LedgerStep, "", 1, time.Second)
+	l.SetClock(time.Now)
+	if l.Len() != 0 || l.Err() != nil || l.Close() != nil {
+		t.Fatal("nil event log not a no-op")
+	}
+
+	// Write failures are sticky.
+	fl := NewEventLog(failWriter{})
+	fl.Append(LedgerEvent{Type: LedgerStep, Step: 1})
+	if fl.Err() == nil {
+		t.Fatal("failing writer error not captured")
+	}
+	before := fl.Err()
+	fl.Append(LedgerEvent{Type: LedgerStep, Step: 2})
+	if fl.Err() != before {
+		t.Fatal("first error not sticky")
+	}
+}
+
+func TestEventLogFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Event(LedgerStep, "", 1, time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadLedgerFile(path)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events=%v err=%v", events, err)
+	}
+	if _, err := OpenEventLog(filepath.Join(t.TempDir(), "no", "such", "dir", "x.jsonl")); err == nil {
+		t.Fatal("unwritable ledger path accepted")
+	}
+	if _, err := ReadLedgerFile(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("absent ledger file accepted")
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Event(LedgerStep, "", g*50+i, time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 400 {
+		t.Fatalf("events = %d, want 400", len(events))
+	}
+}
+
+func TestSummarizeLedger(t *testing.T) {
+	events := []LedgerEvent{
+		{Type: LedgerRunStart, Name: "mdsim"},
+		{Type: LedgerSolve, Name: "plan", Dur: 99, Args: map[string]float64{"nodes": 5, "pivots": 40, "objective": 12}},
+		{Type: LedgerStep, Step: 1, Dur: 100},
+		{Type: LedgerAnalysis, Name: "rdf", Step: 1, Dur: 30},
+		{Type: LedgerStep, Step: 2, Dur: 110},
+		{Type: LedgerAnalysis, Name: "rdf", Step: 2, Dur: 31},
+		{Type: LedgerAnalysis, Name: "msd", Step: 2, Dur: 55},
+		{Type: LedgerOutput, Name: "rdf", Step: 2, Dur: 7, Bytes: 1024},
+		{Type: LedgerRunEnd},
+	}
+	s := SummarizeLedger(events)
+	if s.App != "mdsim" || s.Runs != 1 {
+		t.Fatalf("summary header = %+v", s)
+	}
+	if len(s.Steps) != 2 || s.Steps[0].Step != 1 || s.Steps[1].Step != 2 {
+		t.Fatalf("steps = %+v", s.Steps)
+	}
+	if s.Steps[1].Analyses["msd"] != 55 || s.Steps[1].Outputs["rdf"] != 7 || s.Steps[1].Bytes != 1024 {
+		t.Fatalf("step 2 = %+v", s.Steps[1])
+	}
+	if s.TotalUS != 210 {
+		t.Fatalf("total = %g", s.TotalUS)
+	}
+	if len(s.Solves) != 1 || s.Solves[0].Args["pivots"] != 40 {
+		t.Fatalf("solves = %+v", s.Solves)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"run: mdsim", "msd/analyze 55us", "rdf/output 7us", "total step time: 210 us"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if err := s.WriteTimeline(failWriter{}); err == nil {
+		t.Fatal("timeline to failing writer succeeded")
+	}
+}

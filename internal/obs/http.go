@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves r in Prometheus text exposition format. A nil
+// registry serves an empty exposition, so wiring is unconditional.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// MetricsJSONHandler serves r's snapshot (buckets, quantiles included) as
+// indented JSON.
+func MetricsJSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// NewServeMux builds the observatory endpoint set on one mux:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/metrics.json  JSON snapshot of reg (quantiles included)
+//	/debug/pprof/  the standard runtime profiles (heap, goroutine, profile, ...)
+//
+// The pprof routes mirror net/http/pprof's DefaultServeMux registrations but
+// on an explicit mux, so callers never have to expose DefaultServeMux.
+func NewServeMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/metrics.json", MetricsJSONHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("steps_total", nil).Add(7)
+	srv := httptest.NewServer(NewServeMux(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "steps_total 7") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	code, body = get("/metrics.json")
+	if code != http.StatusOK || !strings.Contains(body, `"name": "steps_total"`) {
+		t.Fatalf("/metrics.json = %d %q", code, body)
+	}
+	// pprof index lists the runtime profiles.
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	code, _ = get("/debug/pprof/heap")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/heap = %d", code)
+	}
+}
+
+func TestMetricsHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	MetricsHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK || rec.Body.Len() != 0 {
+		t.Fatalf("nil registry /metrics = %d %q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	MetricsJSONHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Fatalf("nil registry /metrics.json = %q", rec.Body.String())
+	}
+}

@@ -271,6 +271,56 @@ type Metric struct {
 	Count  int64   `json:"count,omitempty"`
 	// Buckets holds cumulative counts per upper bound for histograms.
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Quantiles holds estimated p50/p90/p99 for non-empty histograms,
+	// linearly interpolated within buckets (see Quantile).
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) of a histogram metric by
+// linear interpolation within the bucket that holds the target rank, the
+// same estimator Prometheus' histogram_quantile uses: the first bucket
+// interpolates from zero, and ranks landing in the +Inf bucket clamp to the
+// highest finite upper bound. It returns NaN for empty or non-histogram
+// metrics.
+func (m Metric) Quantile(q float64) float64 {
+	return bucketQuantile(m.Buckets, q)
+}
+
+func bucketQuantile(buckets []BucketCount, q float64) float64 {
+	if len(buckets) == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var prevCum int64
+	lower := 0.0
+	seenFinite := false
+	for _, b := range buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				// Rank falls past every finite bucket: clamp to the
+				// highest finite bound.
+				if !seenFinite {
+					return math.NaN()
+				}
+				return lower
+			}
+			in := b.Count - prevCum
+			if in == 0 {
+				return b.UpperBound
+			}
+			return lower + (b.UpperBound-lower)*(rank-float64(prevCum))/float64(in)
+		}
+		prevCum = b.Count
+		if !math.IsInf(b.UpperBound, 1) {
+			lower = b.UpperBound
+			seenFinite = true
+		}
+	}
+	return math.NaN()
 }
 
 // BucketCount is one cumulative histogram bucket.
@@ -341,6 +391,20 @@ func (r *Registry) Snapshot() []Metric {
 				cum += s.h.inf.Load()
 				m.Buckets = append(m.Buckets, BucketCount{UpperBound: math.Inf(1), Count: cum})
 				m.Count = cum
+				if cum > 0 {
+					m.Quantiles = map[string]float64{}
+					for _, q := range [...]struct {
+						name string
+						q    float64
+					}{{"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}} {
+						if v := bucketQuantile(m.Buckets, q.q); !math.IsNaN(v) {
+							m.Quantiles[q.name] = v
+						}
+					}
+					if len(m.Quantiles) == 0 {
+						m.Quantiles = nil
+					}
+				}
 			}
 			out = append(out, m)
 		}

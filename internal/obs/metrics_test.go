@@ -174,3 +174,98 @@ func TestLabelKeyCanonical(t *testing.T) {
 		t.Fatalf("empty labelKey = %q", got)
 	}
 }
+
+// TestBucketQuantile drives the interpolation against known distributions.
+func TestBucketQuantile(t *testing.T) {
+	cases := []struct {
+		name    string
+		buckets []float64 // upper bounds
+		obs     []float64
+		q       float64
+		want    float64
+	}{
+		// 100 uniform samples in (0,10]: ranks interpolate linearly.
+		{"uniform-p50", []float64{10}, ramp(100, 0.1), 0.50, 5.0},
+		{"uniform-p90", []float64{10}, ramp(100, 0.1), 0.90, 9.0},
+		{"uniform-p99", []float64{10}, ramp(100, 0.1), 0.99, 9.9},
+		// Two buckets, 10 samples below 1 and 10 in (1,2]: p50 at the seam.
+		{"two-buckets-p50", []float64{1, 2}, append(ramp(10, 0.1), ramp2(10, 1, 0.1)...), 0.50, 1.0},
+		{"two-buckets-p75", []float64{1, 2}, append(ramp(10, 0.1), ramp2(10, 1, 0.1)...), 0.75, 1.5},
+		// First bucket interpolates from zero.
+		{"first-bucket", []float64{4, 8}, ramp(8, 0.5), 0.25, 1.0},
+		// Rank in the +Inf bucket clamps to the highest finite bound.
+		{"inf-clamp", []float64{1}, []float64{5, 6, 7, 8}, 0.90, 1.0},
+		// A single sample interpolates to the middle of its (2,4] bucket.
+		{"single", []float64{1, 2, 4}, []float64{3}, 0.50, 3.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			h := r.Histogram("h", tc.buckets, nil)
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			m := r.Snapshot()[0]
+			got := m.Quantile(tc.q)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("q%.2f = %g, want %g (buckets %+v)", tc.q, got, tc.want, m.Buckets)
+			}
+			if m.Quantiles == nil {
+				t.Fatal("snapshot did not populate Quantiles")
+			}
+			if p50 := m.Quantiles["p50"]; math.Abs(p50-m.Quantile(0.5)) > 1e-12 {
+				t.Fatalf("Quantiles[p50]=%g, Quantile(0.5)=%g", p50, m.Quantile(0.5))
+			}
+		})
+	}
+}
+
+// ramp returns n values step, 2*step, ..., n*step.
+func ramp(n int, step float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i+1) * step
+	}
+	return out
+}
+
+// ramp2 is ramp offset by base.
+func ramp2(n int, base, step float64) []float64 {
+	out := ramp(n, step)
+	for i := range out {
+		out[i] += base
+	}
+	return out
+}
+
+// TestQuantileEdgeCases covers empty histograms and invalid q.
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{1}, nil) // registered, never observed
+	m := r.Snapshot()[0]
+	if m.Quantiles != nil {
+		t.Fatalf("empty histogram grew quantiles: %v", m.Quantiles)
+	}
+	if !math.IsNaN(m.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	if !math.IsNaN(m.Quantile(0)) || !math.IsNaN(m.Quantile(1.5)) {
+		t.Fatal("out-of-range q should be NaN")
+	}
+	if !math.IsNaN((Metric{}).Quantile(0.5)) {
+		t.Fatal("non-histogram metric quantile should be NaN")
+	}
+	// JSON snapshot of a populated histogram carries the quantiles.
+	r.Histogram("h", []float64{1}, nil).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap []Metric
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap[0].Quantiles["p99"] == 0 {
+		t.Fatalf("JSON snapshot lost quantiles: %+v", snap[0])
+	}
+}

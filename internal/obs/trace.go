@@ -36,10 +36,12 @@ type Event struct {
 // Tracer records spans and events against a monotonic epoch. The zero value
 // is not ready for use; call NewTracer. A nil *Tracer is a valid no-op sink.
 type Tracer struct {
-	mu     sync.Mutex
-	now    func() time.Time
-	epoch  time.Time
-	events []Event
+	mu         sync.Mutex
+	now        func() time.Time
+	epoch      time.Time
+	events     []Event
+	procName   string
+	trackNames map[int]string
 }
 
 // NewTracer returns a tracer whose epoch is the current wall-clock time.
@@ -47,6 +49,32 @@ func NewTracer() *Tracer {
 	t := &Tracer{now: time.Now}
 	t.epoch = t.now()
 	return t
+}
+
+// SetProcessName names the pid lane in Chrome/Perfetto renderings (emitted
+// as a process_name metadata event). The default is "insitu".
+func (t *Tracer) SetProcessName(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procName = name
+}
+
+// SetTrackName names a track; Chrome/Perfetto render it as the tid lane
+// label (emitted as a thread_name metadata event). Unnamed tracks keep the
+// bare tid.
+func (t *Tracer) SetTrackName(track int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.trackNames == nil {
+		t.trackNames = make(map[int]string)
+	}
+	t.trackNames[track] = name
 }
 
 // SetClock replaces the tracer's clock and re-anchors the epoch at the
@@ -191,18 +219,46 @@ func micros(d time.Duration) string {
 
 // WriteChromeTrace emits the timeline in Chrome trace_event "JSON object
 // format": {"traceEvents": [...]}. Load it in chrome://tracing or Perfetto.
-// Event ordering and argument key ordering are deterministic.
+// Event ordering and argument key ordering are deterministic. The stream
+// opens with metadata events (a process_name for the pid lane, defaulting to
+// "insitu", and a thread_name per track named via SetTrackName) so Perfetto
+// shows labelled lanes instead of bare pids.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
 		return err
 	}
+	t.mu.Lock()
+	proc := t.procName
+	tracks := make([]int, 0, len(t.trackNames))
+	for id := range t.trackNames {
+		tracks = append(tracks, id)
+	}
+	sort.Ints(tracks)
+	names := make([]string, len(tracks))
+	for i, id := range tracks {
+		names[i] = t.trackNames[id]
+	}
+	t.mu.Unlock()
+	if proc == "" {
+		proc = "insitu"
+	}
 	var b strings.Builder
 	b.WriteString(`{"traceEvents":[`)
-	for i, e := range t.Events() {
-		if i > 0 {
-			b.WriteByte(',')
+	procJSON, err := json.Marshal(proc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, `{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":%s}}`, procJSON)
+	for i, id := range tracks {
+		nameJSON, err := json.Marshal(names[i])
+		if err != nil {
+			return err
 		}
+		fmt.Fprintf(&b, `,{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`, id, nameJSON)
+	}
+	for _, e := range t.Events() {
+		b.WriteByte(',')
 		nameJSON, err := json.Marshal(e.Name)
 		if err != nil {
 			return err
@@ -241,7 +297,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		b.WriteByte('}')
 	}
 	b.WriteString("]}\n")
-	_, err := io.WriteString(w, b.String())
+	_, err = io.WriteString(w, b.String())
 	return err
 }
 

@@ -65,9 +65,9 @@ type chromeEvent struct {
 	Ph   string             `json:"ph"`
 	Pid  int                `json:"pid"`
 	Tid  int                `json:"tid"`
-	Ts   float64            `json:"ts"`
-	Dur  float64            `json:"dur"`
-	Args map[string]float64 `json:"args"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"` // numeric for events, string for metadata
 }
 
 func TestWriteChromeTraceRoundTrip(t *testing.T) {
@@ -86,8 +86,9 @@ func TestWriteChromeTraceRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
 		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
 	}
-	if len(parsed.TraceEvents) != 3 {
-		t.Fatalf("got %d events, want 3", len(parsed.TraceEvents))
+	// Three timeline events plus the process_name metadata event.
+	if len(parsed.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(parsed.TraceEvents))
 	}
 	byPh := map[string]int{}
 	for _, e := range parsed.TraceEvents {
@@ -96,7 +97,7 @@ func TestWriteChromeTraceRoundTrip(t *testing.T) {
 			t.Fatalf("pid = %d", e.Pid)
 		}
 	}
-	if byPh["X"] != 1 || byPh["i"] != 1 || byPh["C"] != 1 {
+	if byPh["X"] != 1 || byPh["i"] != 1 || byPh["C"] != 1 || byPh["M"] != 1 {
 		t.Fatalf("phases = %v", byPh)
 	}
 
@@ -155,6 +156,48 @@ func TestTracerConcurrent(t *testing.T) {
 	if !json.Valid(buf.Bytes()) {
 		t.Fatal("invalid JSON from concurrent trace")
 	}
+}
+
+// TestChromeTraceMetadataGolden pins the exact metadata prelude: Perfetto
+// keys process_name/thread_name off these events, so the golden string is
+// the contract.
+func TestChromeTraceMetadataGolden(t *testing.T) {
+	tr := NewTracer()
+	tr.SetClock(newFakeClock(time.Millisecond).now)
+	tr.SetProcessName("mdsim")
+	tr.SetTrackName(0, "simulation")
+	tr.SetTrackName(1, "staging-0")
+	tr.Begin("step", "sim").End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"mdsim"}},` +
+		`{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"simulation"}},` +
+		`{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"staging-0"}},` +
+		`{"name":"step","cat":"sim","ph":"X","pid":1,"tid":0,"ts":1000.000,"dur":1000.000}` +
+		"]}\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("metadata golden mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestChromeTraceDefaultProcessName checks the unnamed-tracer default.
+func TestChromeTraceDefaultProcessName(t *testing.T) {
+	tr := NewTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"insitu"}}]}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("default metadata:\n got %s\nwant %s", got, want)
+	}
+	var nilTr *Tracer
+	nilTr.SetProcessName("x") // must not panic
+	nilTr.SetTrackName(0, "y")
 }
 
 func TestNilTracerNoOps(t *testing.T) {

@@ -1,0 +1,164 @@
+package perfbench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Delta compares one metric between a baseline and a current run.
+type Delta struct {
+	Workload string  `json:"workload"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Ratio is current/baseline; 1 when both are zero, 0 when only the
+	// baseline is zero (the ratio is undefined, and +Inf does not survive
+	// JSON encoding).
+	Ratio float64 `json:"ratio"`
+	// Allowed is the gate: baseline*(1+threshold*slack). Zero for
+	// informational metrics.
+	Allowed   float64 `json:"allowed,omitempty"`
+	Regressed bool    `json:"regressed"`
+	// Missing marks a metric present on only one side: "current" means the
+	// workload or metric vanished (a coverage regression), "baseline" means
+	// it is new (recorded, not gated).
+	Missing string `json:"missing,omitempty"`
+}
+
+// CompareResult is the full diff of one suite against its baseline.
+type CompareResult struct {
+	Suite  string  `json:"suite"`
+	Slack  float64 `json:"slack"`
+	Deltas []Delta `json:"deltas"`
+}
+
+// Regressions returns the deltas that breach their gate.
+func (c CompareResult) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs current against baseline. slack scales every metric's
+// relative threshold (the CI smoke job passes 2 to trade sensitivity for
+// flake-resistance); slack <= 0 defaults to 1. A workload or gated metric
+// present in the baseline but absent from the current run counts as a
+// regression — losing coverage must not pass silently.
+func Compare(baseline, current Suite, slack float64) CompareResult {
+	if slack <= 0 {
+		slack = 1
+	}
+	res := CompareResult{Suite: baseline.Suite, Slack: slack}
+	for _, bw := range baseline.Workloads {
+		cw := current.Workload(bw.Name)
+		for _, bm := range bw.Metrics {
+			d := Delta{Workload: bw.Name, Metric: bm.Name, Baseline: bm.Value}
+			var cm *Metric
+			if cw != nil {
+				cm = cw.Metric(bm.Name)
+			}
+			if cm == nil {
+				d.Missing = "current"
+				d.Regressed = bm.Threshold > 0
+				res.Deltas = append(res.Deltas, d)
+				continue
+			}
+			d.Current = cm.Value
+			switch {
+			case bm.Value != 0:
+				d.Ratio = cm.Value / bm.Value
+			case cm.Value == 0:
+				d.Ratio = 1
+			default:
+				d.Ratio = 0
+			}
+			if bm.Threshold > 0 {
+				d.Allowed = bm.Value * (1 + bm.Threshold*slack)
+				d.Regressed = cm.Value > d.Allowed
+			}
+			res.Deltas = append(res.Deltas, d)
+		}
+		if cw != nil {
+			// New metrics on the current side: record, don't gate.
+			for _, cm := range cw.Metrics {
+				if bw.Metric(cm.Name) == nil {
+					res.Deltas = append(res.Deltas, Delta{
+						Workload: bw.Name, Metric: cm.Name, Current: cm.Value, Missing: "baseline",
+					})
+				}
+			}
+		}
+	}
+	// Workloads only in the current run: new coverage, record it.
+	for _, cw := range current.Workloads {
+		if baseline.Workload(cw.Name) == nil {
+			for _, cm := range cw.Metrics {
+				res.Deltas = append(res.Deltas, Delta{
+					Workload: cw.Name, Metric: cm.Name, Current: cm.Value, Missing: "baseline",
+				})
+			}
+		}
+	}
+	sort.Slice(res.Deltas, func(i, j int) bool {
+		if res.Deltas[i].Workload != res.Deltas[j].Workload {
+			return res.Deltas[i].Workload < res.Deltas[j].Workload
+		}
+		return res.Deltas[i].Metric < res.Deltas[j].Metric
+	})
+	return res
+}
+
+// WriteTable renders the comparison as a human-readable table: regressions
+// first, then gated passes, then informational rows.
+func (c CompareResult) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "suite %s (slack x%g)\n", c.Suite, c.Slack); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-4s %-32s %-22s %14s %14s %14s %8s\n",
+		"", "workload", "metric", "baseline", "current", "allowed", "ratio"); err != nil {
+		return err
+	}
+	order := func(d Delta) int {
+		switch {
+		case d.Regressed:
+			return 0
+		case d.Allowed > 0:
+			return 1
+		default:
+			return 2
+		}
+	}
+	rows := append([]Delta(nil), c.Deltas...)
+	sort.SliceStable(rows, func(i, j int) bool { return order(rows[i]) < order(rows[j]) })
+	for _, d := range rows {
+		mark := "ok"
+		switch {
+		case d.Regressed:
+			mark = "FAIL"
+		case d.Missing == "baseline":
+			mark = "new"
+		case d.Allowed == 0:
+			mark = "info"
+		}
+		cur := fmt.Sprintf("%14.4g", d.Current)
+		if d.Missing == "current" {
+			cur = fmt.Sprintf("%14s", "(missing)")
+		}
+		if _, err := fmt.Fprintf(w, "%-4s %-32s %-22s %14.4g %s %14.4g %8.3f\n",
+			mark, d.Workload, d.Metric, d.Baseline, cur, d.Allowed, d.Ratio); err != nil {
+			return err
+		}
+	}
+	n := len(c.Regressions())
+	if n > 0 {
+		_, err := fmt.Fprintf(w, "%d regression(s) past threshold\n", n)
+		return err
+	}
+	_, err := fmt.Fprintln(w, "no regressions")
+	return err
+}

@@ -1,0 +1,146 @@
+package perfbench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mkSuite(name string, workloads ...WorkloadResult) Suite {
+	return Suite{Schema: SchemaVersion, Suite: name, Workloads: workloads}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := mkSuite("solver", WorkloadResult{Name: "w", Metrics: []Metric{
+		{Name: "wall_ns_min", Value: 1000, Threshold: 1.5},
+		{Name: "solver_nodes_per_op", Value: 100, Threshold: 0.01},
+		{Name: "peak_heap_bytes", Value: 1 << 20}, // informational
+	}})
+
+	// Within every gate: wall may grow 2.5x, nodes 1%.
+	cur := mkSuite("solver", WorkloadResult{Name: "w", Metrics: []Metric{
+		{Name: "wall_ns_min", Value: 2400, Threshold: 1.5},
+		{Name: "solver_nodes_per_op", Value: 100, Threshold: 0.01},
+		{Name: "peak_heap_bytes", Value: 64 << 20}, // huge, but ungated
+	}})
+	res := Compare(base, cur, 1)
+	if n := len(res.Regressions()); n != 0 {
+		t.Fatalf("unexpected regressions: %+v", res.Regressions())
+	}
+
+	// Wall past the gate.
+	cur.Workloads[0].Metrics[0].Value = 2600
+	res = Compare(base, cur, 1)
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "wall_ns_min" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if regs[0].Allowed != 2500 || regs[0].Ratio != 2.6 {
+		t.Fatalf("delta = %+v", regs[0])
+	}
+
+	// Slack widens the gate: the same run passes at slack 2 (allowed 4000).
+	if regs := Compare(base, cur, 2).Regressions(); len(regs) != 0 {
+		t.Fatalf("slack 2 still regressed: %+v", regs)
+	}
+
+	// A 2% node increase breaches the 1% gate even at slack 1 but not the
+	// wall gate.
+	cur.Workloads[0].Metrics[0].Value = 1000
+	cur.Workloads[0].Metrics[1].Value = 102
+	regs = Compare(base, cur, 1).Regressions()
+	if len(regs) != 1 || regs[0].Metric != "solver_nodes_per_op" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+}
+
+func TestCompareMissingSides(t *testing.T) {
+	base := mkSuite("solver",
+		WorkloadResult{Name: "gone", Metrics: []Metric{{Name: "wall_ns_min", Value: 10, Threshold: 1.5}}},
+		WorkloadResult{Name: "stay", Metrics: []Metric{
+			{Name: "wall_ns_min", Value: 10, Threshold: 1.5},
+			{Name: "dropped_info", Value: 5}, // informational: vanishing is fine
+		}},
+	)
+	cur := mkSuite("solver",
+		WorkloadResult{Name: "stay", Metrics: []Metric{
+			{Name: "wall_ns_min", Value: 10, Threshold: 1.5},
+			{Name: "fresh_metric", Value: 3},
+		}},
+		WorkloadResult{Name: "brand_new", Metrics: []Metric{{Name: "wall_ns_min", Value: 7, Threshold: 1.5}}},
+	)
+	res := Compare(base, cur, 1)
+
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Workload != "gone" || regs[0].Missing != "current" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	var newCount, infoMissing int
+	for _, d := range res.Deltas {
+		if d.Missing == "baseline" {
+			newCount++
+		}
+		if d.Metric == "dropped_info" && d.Regressed {
+			t.Fatal("informational metric loss gated")
+		}
+		if d.Metric == "dropped_info" {
+			infoMissing++
+		}
+	}
+	if newCount != 2 { // fresh_metric + brand_new/wall_ns_min
+		t.Fatalf("new-side deltas = %d, want 2 (%+v)", newCount, res.Deltas)
+	}
+	if infoMissing != 1 {
+		t.Fatal("informational missing metric not recorded")
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := mkSuite("s", WorkloadResult{Name: "w", Metrics: []Metric{{Name: "m", Value: 0, Threshold: 0.01}}})
+	cur := mkSuite("s", WorkloadResult{Name: "w", Metrics: []Metric{{Name: "m", Value: 0, Threshold: 0.01}}})
+	if regs := Compare(base, cur, 1).Regressions(); len(regs) != 0 {
+		t.Fatalf("0 vs 0 regressed: %+v", regs)
+	}
+	cur.Workloads[0].Metrics[0].Value = 5
+	regs := Compare(base, cur, 1).Regressions()
+	if len(regs) != 1 || regs[0].Ratio != 0 {
+		t.Fatalf("0 -> 5 delta = %+v", regs)
+	}
+}
+
+func TestCompareWriteTable(t *testing.T) {
+	base := mkSuite("solver",
+		WorkloadResult{Name: "w", Metrics: []Metric{
+			{Name: "wall_ns_min", Value: 1000, Threshold: 1.5},
+			{Name: "peak_heap_bytes", Value: 100},
+		}},
+	)
+	cur := mkSuite("solver",
+		WorkloadResult{Name: "w", Metrics: []Metric{
+			{Name: "wall_ns_min", Value: 9000, Threshold: 1.5},
+			{Name: "peak_heap_bytes", Value: 120},
+		}},
+	)
+	var buf bytes.Buffer
+	if err := Compare(base, cur, 1).WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FAIL", "wall_ns_min", "info", "1 regression(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// FAIL rows sort first.
+	if strings.Index(out, "FAIL") > strings.Index(out, "info") {
+		t.Fatalf("regressions not first:\n%s", out)
+	}
+
+	var ok bytes.Buffer
+	if err := Compare(base, base, 1).WriteTable(&ok); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ok.String(), "no regressions") {
+		t.Fatalf("clean table = %s", ok.String())
+	}
+}

@@ -1,0 +1,292 @@
+package perfbench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"insitu/internal/analysis"
+	"insitu/internal/core"
+	"insitu/internal/coupling"
+	"insitu/internal/experiments"
+	"insitu/internal/iosim"
+	"insitu/internal/obs"
+	"insitu/internal/solvercheck"
+)
+
+// Suite names, which double as the BENCH_<name>.json file stems.
+const (
+	SuiteSolver   = "solver"
+	SuitePipeline = "pipeline"
+	SuiteIOSim    = "iosim"
+)
+
+// SuiteNames lists the canonical suites in run order.
+var SuiteNames = []string{SuiteSolver, SuitePipeline, SuiteIOSim}
+
+// BenchFileName returns the repo-root baseline file for a suite.
+func BenchFileName(suite string) string { return "BENCH_" + suite + ".json" }
+
+// Workloads returns the canonical workload set for a suite. Every workload
+// is deterministic per iteration (fixed seeds, fixed instances), so its
+// counter metrics are byte-stable across runs and only wall time moves.
+func Workloads(suite string) ([]Workload, error) {
+	switch suite {
+	case SuiteSolver:
+		return solverWorkloads(), nil
+	case SuitePipeline:
+		return pipelineWorkloads(), nil
+	case SuiteIOSim:
+		return iosimWorkloads(), nil
+	}
+	return nil, fmt.Errorf("perfbench: unknown suite %q (have %v)", suite, SuiteNames)
+}
+
+// schedSolve builds a scheduling-solve workload over a fixed instance and
+// reports branch-and-bound effort plus the optimal objective as a model
+// metric (any objective drift is a solver behaviour change).
+func schedSolve(name string, specs []core.AnalysisSpec, res core.Resources) Workload {
+	return Workload{Name: name, Run: func() (Sample, error) {
+		rec, err := core.Solve(specs, res, core.SolveOptions{})
+		if err != nil {
+			return Sample{}, err
+		}
+		return Sample{
+			Nodes:  rec.Stats.Nodes,
+			Pivots: rec.Stats.Pivots,
+			Model:  map[string]float64{"objective": rec.Objective},
+		}, nil
+	}}
+}
+
+// solverWorkloads covers the paper's scheduling instances: LAMMPS
+// water+ions A1-A4 (Table 5), rhodopsin R1-R3 (Table 6), FLASH Sedov F1-F3
+// (Table 8), the placement variant, the lexicographic variant, and a seeded
+// solvercheck differential batch as the verification-throughput proxy.
+func solverWorkloads() []Workload {
+	mem := int64(12) << 30
+	ws := []Workload{
+		schedSolve("sched_waterions_a1a4_t10",
+			experiments.WaterIonsSpecs(16384),
+			core.Resources{Steps: 1000, TimeThreshold: 129.35, MemThreshold: mem}),
+		schedSolve("sched_waterions_a1a4_t5",
+			experiments.WaterIonsSpecs(16384),
+			core.Resources{Steps: 1000, TimeThreshold: 64.69, MemThreshold: mem}),
+		schedSolve("sched_rhodopsin_r1r3_t200",
+			experiments.RhodopsinSpecs(),
+			core.Resources{Steps: 1000, TimeThreshold: 200, MemThreshold: mem}),
+		schedSolve("sched_rhodopsin_r1r3_t20",
+			experiments.RhodopsinSpecs(),
+			core.Resources{Steps: 1000, TimeThreshold: 20, MemThreshold: mem}),
+		schedSolve("sched_flash_f1f3_equal",
+			experiments.FlashSpecs(),
+			core.Resources{Steps: 1000, TimeThreshold: 43.5, MemThreshold: mem}),
+	}
+
+	ws = append(ws, Workload{Name: "sched_flash_f1f3_lexicographic", Run: func() (Sample, error) {
+		specs := experiments.FlashSpecs()
+		specs[0].Weight, specs[1].Weight, specs[2].Weight = 2, 1, 2
+		rec, err := core.SolveLexicographic(specs, core.Resources{Steps: 1000, TimeThreshold: 43.5, MemThreshold: mem}, core.SolveOptions{})
+		if err != nil {
+			return Sample{}, err
+		}
+		return Sample{
+			Nodes:  rec.Stats.Nodes,
+			Pivots: rec.Stats.Pivots,
+			Model:  map[string]float64{"objective": rec.Objective},
+		}, nil
+	}})
+
+	ws = append(ws, Workload{Name: "placement_waterions", Run: func() (Sample, error) {
+		base := experiments.WaterIonsSpecs(16384)
+		specs := make([]core.PlacementSpec, len(base))
+		for i, a := range base {
+			specs[i] = core.PlacementSpec{AnalysisSpec: a, TransferBytes: 1 << 30}
+		}
+		res := core.PlacementResources{
+			Resources:      core.Resources{Steps: 1000, TimeThreshold: 64.69, MemThreshold: mem},
+			NetBandwidth:   2e9,
+			StageMemTotal:  64 << 30,
+			StageTimeTotal: 2000,
+		}
+		rec, err := core.SolvePlacement(specs, res, core.SolveOptions{})
+		if err != nil {
+			return Sample{}, err
+		}
+		return Sample{
+			Nodes:  rec.Stats.Nodes,
+			Pivots: rec.Stats.Pivots,
+			Model:  map[string]float64{"objective": rec.Objective},
+		}, nil
+	}})
+
+	ws = append(ws, Workload{Name: "solvercheck_scenario_batch", Run: func() (Sample, error) {
+		// Fixed seed: the same 24 differential instances every iteration.
+		rng := rand.New(rand.NewSource(1789))
+		for i := 0; i < 24; i++ {
+			specs, res := solvercheck.RandScenario(rng, solvercheck.ScenarioConfig{MaxAnalyses: 3, MaxSteps: 10})
+			if err := solvercheck.CheckScenario(rng, specs, res, solvercheck.ScenarioChecks{BruteForce: true}); err != nil {
+				return Sample{}, fmt.Errorf("instance %d: %w", i, err)
+			}
+		}
+		return Sample{}, nil
+	}})
+
+	return ws
+}
+
+// benchKernel is a deterministic synthetic analysis kernel: Analyze does a
+// fixed amount of arithmetic, Output writes a fixed payload. It keeps the
+// pipeline workloads self-contained and noise-free.
+type benchKernel struct {
+	name    string
+	work    int
+	payload []byte
+	acc     float64
+}
+
+func (k *benchKernel) Name() string                     { return k.name }
+func (k *benchKernel) Setup() (int64, error)            { k.acc = 0; return 1 << 10, nil }
+func (k *benchKernel) PreStep(step int) (int64, error)  { k.acc += float64(step); return 16, nil }
+func (k *benchKernel) Free()                            {}
+func (k *benchKernel) Analyze(step int) (int64, error) {
+	s := k.acc
+	for i := 0; i < k.work; i++ {
+		s += float64(i%7) * 1.0000001
+	}
+	k.acc = s
+	return 1 << 8, nil
+}
+func (k *benchKernel) Output(dst io.Writer) (int64, error) {
+	n, err := dst.Write(k.payload)
+	return int64(n), err
+}
+
+// benchRecommendation builds a fixed schedule: every kernel analyzes every
+// `itv` steps and outputs every other analysis.
+func benchRecommendation(names []string, steps, itv int) *core.Recommendation {
+	rec := &core.Recommendation{}
+	for _, name := range names {
+		var as, os []int
+		for s := itv; s <= steps; s += itv {
+			as = append(as, s)
+			if len(as)%2 == 0 {
+				os = append(os, s)
+			}
+		}
+		rec.Schedules = append(rec.Schedules, core.AnalysisSchedule{
+			Name: name, Enabled: true, Count: len(as), Outputs: len(os),
+			OutputEvery: 2, AnalysisSteps: as, OutputSteps: os,
+		})
+	}
+	return rec
+}
+
+// InstrumentedPipeline builds the canonical pipeline workload — two
+// synthetic kernels on a fixed 240-step schedule — wired to the given
+// observability sinks (each may be nil). The pipeline suite measures it;
+// benchobs serve loops it to keep live counters moving under /metrics.
+func InstrumentedPipeline(tr *obs.Tracer, reg *obs.Registry, led *obs.EventLog) *coupling.Runner {
+	const steps, itv = 240, 4
+	names := []string{"k1", "k2"}
+	kernels := map[string]analysis.Kernel{}
+	for _, n := range names {
+		kernels[n] = &benchKernel{name: n, work: 2000, payload: make([]byte, 4096)}
+	}
+	sink := 0.0
+	return &coupling.Runner{
+		Step: func() {
+			for i := 0; i < 400; i++ {
+				sink += float64(i) * 1.0000001
+			}
+		},
+		Kernels: kernels,
+		Rec:     benchRecommendation(names, steps, itv),
+		Res:     core.Resources{Steps: steps, TimeThreshold: 1000},
+		Trace:   tr,
+		Metrics: reg,
+		Ledger:  led,
+	}
+}
+
+// pipelineWorkloads covers the coupled execution path: the step loop bare,
+// the step loop with full telemetry (tracer + metrics + ledger, measuring
+// observability overhead), and ledger append throughput on its own.
+func pipelineWorkloads() []Workload {
+	return []Workload{
+		{Name: "coupling_runner_bare", Run: func() (Sample, error) {
+			rep, err := InstrumentedPipeline(nil, nil, nil).Run()
+			if err != nil {
+				return Sample{}, err
+			}
+			return Sample{Model: map[string]float64{
+				"analyses": float64(rep.Kernel("k1").Analyses + rep.Kernel("k2").Analyses),
+				"outputs":  float64(rep.Kernel("k1").Outputs + rep.Kernel("k2").Outputs),
+			}}, nil
+		}},
+		{Name: "coupling_runner_instrumented", Run: func() (Sample, error) {
+			tr := obs.NewTracer()
+			reg := obs.NewRegistry()
+			led := obs.NewEventLog(io.Discard)
+			rep, err := InstrumentedPipeline(tr, reg, led).Run()
+			if err != nil {
+				return Sample{}, err
+			}
+			if err := led.Close(); err != nil {
+				return Sample{}, err
+			}
+			return Sample{Model: map[string]float64{
+				"analyses":      float64(rep.Kernel("k1").Analyses + rep.Kernel("k2").Analyses),
+				"trace_events":  float64(tr.Len()),
+				"ledger_events": float64(led.Len()),
+			}}, nil
+		}},
+		{Name: "eventlog_append", Run: func() (Sample, error) {
+			led := obs.NewEventLog(io.Discard)
+			for i := 1; i <= 2000; i++ {
+				led.Event(obs.LedgerStep, "", i, time.Microsecond)
+			}
+			if err := led.Close(); err != nil {
+				return Sample{}, err
+			}
+			return Sample{Model: map[string]float64{"ledger_events": float64(led.Len())}}, nil
+		}},
+	}
+}
+
+// iosimWorkloads covers the storage models: the burst-buffer sustained
+// drain (the Table 7 NVRAM what-if), the backpressure path where outputs
+// outrun the drain, and the plain GPFS write model.
+func iosimWorkloads() []Workload {
+	return []Workload{
+		{Name: "burstbuffer_sustained_drain", Run: func() (Sample, error) {
+			bb := iosim.NewBurstBuffer(1 << 41)
+			var total time.Duration
+			for i := 0; i < 50; i++ {
+				total += bb.SustainedOutputTime(91<<30, 10, 500*time.Second, 32768)
+			}
+			return Sample{Model: map[string]float64{"visible_seconds": total.Seconds() / 50}}, nil
+		}},
+		{Name: "burstbuffer_backpressure", Run: func() (Sample, error) {
+			// Capacity of one write: every subsequent write stalls on the
+			// drain, exercising the backlog arithmetic.
+			bb := iosim.NewBurstBuffer(92 << 30)
+			var total time.Duration
+			for i := 0; i < 50; i++ {
+				total += bb.SustainedOutputTime(91<<30, 10, 30*time.Second, 32768)
+			}
+			return Sample{Model: map[string]float64{"visible_seconds": total.Seconds() / 50}}, nil
+		}},
+		{Name: "gpfs_write_model", Run: func() (Sample, error) {
+			t := iosim.SustainedGPFS()
+			var total time.Duration
+			for w := 1; w <= 4096; w *= 2 {
+				for i := 0; i < 100; i++ {
+					total += t.WriteTime(1<<30, w)
+				}
+			}
+			return Sample{Model: map[string]float64{"visible_seconds": total.Seconds()}}, nil
+		}},
+	}
+}
