@@ -255,6 +255,10 @@ func cmdSummarize(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchobs: %v\n", err)
 		return 1
 	}
+	if len(events) == 0 {
+		fmt.Fprintf(stderr, "benchobs: ledger %s: no events\n", path)
+		return 1
+	}
 	if err := obs.SummarizeLedger(events).WriteTimeline(stdout); err != nil {
 		fmt.Fprintf(stderr, "benchobs: %v\n", err)
 		return 1

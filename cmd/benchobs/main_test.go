@@ -170,4 +170,16 @@ func TestSummarize(t *testing.T) {
 	if code := run([]string{"summarize", "-ledger", filepath.Join(dir, "absent.jsonl")}, &out, &errBuf); code != 1 {
 		t.Fatal("absent ledger accepted")
 	}
+	// An empty ledger file is a one-line error, not a bogus empty table.
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errBuf.Reset()
+	if code := run([]string{"summarize", "-ledger", empty}, &out, &errBuf); code != 1 {
+		t.Fatalf("empty ledger -> %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "no events") {
+		t.Fatalf("stderr = %q", errBuf.String())
+	}
 }

@@ -41,35 +41,11 @@ import (
 	"os"
 
 	"insitu/internal/core"
+	"insitu/internal/explain"
 	"insitu/internal/milp"
 	"insitu/internal/obs"
+	"insitu/internal/scenario"
 )
-
-type inputAnalysis struct {
-	Name        string  `json:"name"`
-	FTSec       float64 `json:"ft_sec"`
-	ITSec       float64 `json:"it_sec"`
-	CTSec       float64 `json:"ct_sec"`
-	OTSec       float64 `json:"ot_sec"`
-	FMBytes     int64   `json:"fm_bytes"`
-	IMBytes     int64   `json:"im_bytes"`
-	CMBytes     int64   `json:"cm_bytes"`
-	OMBytes     int64   `json:"om_bytes"`
-	Weight      float64 `json:"weight"`
-	MinInterval int     `json:"min_interval"`
-}
-
-type inputResources struct {
-	Steps     int     `json:"steps"`
-	TimeSec   float64 `json:"time_threshold_sec"`
-	MemBytes  int64   `json:"mem_threshold_bytes"`
-	Bandwidth float64 `json:"bandwidth_bytes_per_sec"`
-}
-
-type input struct {
-	Resources inputResources  `json:"resources"`
-	Analyses  []inputAnalysis `json:"analyses"`
-}
 
 func main() {
 	full := flag.Bool("full", false, "use the time-indexed formulation (equations 2-9 verbatim; small step counts only)")
@@ -77,11 +53,12 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the recommendation as JSON")
 	exportLP := flag.String("export-lp", "", "write the model in CPLEX LP format to this file (for cross-checking with external solvers)")
 	sensitivity := flag.Bool("sensitivity", false, "report the threshold at which each analysis gains one more step")
+	explainFlag := flag.Bool("explain", false, "print the schedule-explainability report (attribution, duals, search stats; uses the compact model)")
 	tracePath := flag.String("trace", "", "write the branch-and-bound search as Chrome trace JSON to this file")
 	metricsPath := flag.String("metrics", "", "write solver metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] problem.json")
+		fmt.Fprintln(os.Stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-explain] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] problem.json")
 		os.Exit(2)
 	}
 
@@ -193,35 +170,27 @@ func main() {
 			fmt.Printf("\n%s:\n%s\n", s.Name, core.CouplingString(res, s, 0))
 		}
 	}
-}
-
-// loadProblem parses the JSON problem description into solver inputs.
-func loadProblem(path string) ([]core.AnalysisSpec, core.Resources, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, core.Resources{}, err
-	}
-	var in input
-	if err := json.Unmarshal(raw, &in); err != nil {
-		return nil, core.Resources{}, fmt.Errorf("parsing %s: %w", path, err)
-	}
-	specs := make([]core.AnalysisSpec, len(in.Analyses))
-	for i, a := range in.Analyses {
-		specs[i] = core.AnalysisSpec{
-			Name: a.Name,
-			FT:   a.FTSec, IT: a.ITSec, CT: a.CTSec, OT: a.OTSec,
-			FM: a.FMBytes, IM: a.IMBytes, CM: a.CMBytes, OM: a.OMBytes,
-			Weight:      a.Weight,
-			MinInterval: a.MinInterval,
+	if *explainFlag {
+		fmt.Println()
+		if err := writeExplainReport(os.Stdout, specs, res); err != nil {
+			fatal(err)
 		}
 	}
-	res := core.Resources{
-		Steps:         in.Resources.Steps,
-		TimeThreshold: in.Resources.TimeSec,
-		MemThreshold:  in.Resources.MemBytes,
-		Bandwidth:     in.Resources.Bandwidth,
+}
+
+// loadProblem parses the JSON problem description into solver inputs; the
+// format lives in internal/scenario, shared with schedexplain.
+func loadProblem(path string) ([]core.AnalysisSpec, core.Resources, error) {
+	return scenario.LoadSpecs(path)
+}
+
+// writeExplainReport renders the -explain attribution report.
+func writeExplainReport(w io.Writer, specs []core.AnalysisSpec, res core.Resources) error {
+	r, err := explain.Build(specs, res, explain.Options{})
+	if err != nil {
+		return err
 	}
-	return specs, res, nil
+	return r.WriteText(w)
 }
 
 func fatal(err error) {

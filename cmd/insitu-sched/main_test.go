@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"insitu/internal/core"
@@ -55,6 +56,30 @@ func TestLoadProblem(t *testing.T) {
 	}
 	if rec.Schedule("A1").Count != 10 {
 		t.Fatalf("A1 count = %d", rec.Schedule("A1").Count)
+	}
+}
+
+func TestWriteExplainReport(t *testing.T) {
+	path := writeProblem(t, `{
+	  "resources": {"steps": 1000, "time_threshold_sec": 5},
+	  "analyses": [
+	    {"name": "light", "ct_sec": 0.065, "ot_sec": 0.005, "min_interval": 100},
+	    {"name": "heavy", "ct_sec": 30, "min_interval": 100}
+	  ]
+	}`)
+	specs, res, err := loadProblem(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := writeExplainReport(&buf, specs, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== attribution ==", "light", "heavy", "binding=", "infeasible"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain report missing %q:\n%s", want, out)
+		}
 	}
 }
 

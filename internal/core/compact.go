@@ -40,6 +40,15 @@ type mode struct {
 // count from 1 to Steps/itv, k from 1 to count. Modes whose standalone cost
 // already exceeds the thresholds are pruned.
 func enumerateModes(a AnalysisSpec, res Resources, maxCount int) []mode {
+	return enumerateModesPruned(a, res, maxCount, true)
+}
+
+// enumerateModesPruned is enumerateModes with the threshold pruning
+// switchable: the explainability layer enumerates unpruned modes when forcing
+// a disabled analysis on, so the infeasibility diagnosis can name the
+// threshold row that excludes every mode (rather than meeting a model the
+// modes were silently pruned from).
+func enumerateModesPruned(a AnalysisSpec, res Resources, maxCount int, prune bool) []mode {
 	bound := res.Steps / a.MinInterval
 	if maxCount > 0 && bound > maxCount {
 		bound = maxCount
@@ -60,10 +69,10 @@ func enumerateModes(a AnalysisSpec, res Resources, maxCount int) []mode {
 				cost:    modeCost(a, res, count, len(os)),
 				peakMem: modePeakMemory(a, res.Steps, as, os),
 			}
-			if res.TimeThreshold > 0 && m.cost > res.TimeThreshold {
+			if prune && res.TimeThreshold > 0 && m.cost > res.TimeThreshold {
 				continue
 			}
-			if res.MemThreshold > 0 && m.peakMem > res.MemThreshold {
+			if prune && res.MemThreshold > 0 && m.peakMem > res.MemThreshold {
 				continue
 			}
 			// Dominance pruning: for equal count, keep only the cheapest
@@ -93,6 +102,16 @@ type compactRef struct {
 // buildCompactProblem constructs the compact mode-based MILP over the
 // normalized specs. It is shared by Solve and ExportLP.
 func buildCompactProblem(norm []AnalysisSpec, res Resources, opts SolveOptions) (*milp.Problem, []compactRef) {
+	return buildCompactProblemForced(norm, res, opts, -1)
+}
+
+// buildCompactProblemForced builds the compact model with one twist used by
+// the counterfactual probes in Explain: when force is a valid analysis index,
+// that analysis gets a "force[name] >= 1" membership row and its modes are
+// enumerated without threshold pruning, so an impossible forced enablement
+// shows up as an infeasibility between the force row and the threshold rows
+// instead of a silently empty mode set.
+func buildCompactProblemForced(norm []AnalysisSpec, res Resources, opts SolveOptions, force int) (*milp.Problem, []compactRef) {
 	prob := milp.NewProblem(&lp.Problem{})
 	var refs []compactRef
 	var timeIdx []int
@@ -102,7 +121,7 @@ func buildCompactProblem(norm []AnalysisSpec, res Resources, opts SolveOptions) 
 	perAnalysis := make([][]int, len(norm))
 
 	for i, a := range norm {
-		for _, m := range enumerateModes(a, res, opts.MaxCount) {
+		for _, m := range enumerateModesPruned(a, res, opts.MaxCount, i != force) {
 			// Objective: enabling contributes 1 (membership in A) plus
 			// w_i per analysis step.
 			obj := 1 + a.Weight*float64(m.count)
@@ -132,7 +151,31 @@ func buildCompactProblem(norm []AnalysisSpec, res Resources, opts SolveOptions) 
 	if res.MemThreshold > 0 && len(memIdx) > 0 {
 		prob.LP.AddConstraint(memIdx, memCoef, lp.LE, float64(res.MemThreshold), "memory-threshold")
 	}
+	if force >= 0 && force < len(norm) {
+		vars := perAnalysis[force]
+		ones := make([]float64, len(vars))
+		for k := range ones {
+			ones[k] = 1
+		}
+		// With no modes at all (Steps < MinInterval) this is an always-false
+		// zero row, which is exactly the diagnosis: the forced membership
+		// itself is unsatisfiable.
+		prob.LP.AddConstraint(vars, ones, lp.GE, 1, fmt.Sprintf("force[%s]", norm[force].Name))
+	}
 	return prob, refs
+}
+
+// CompactNames returns the variable names of the compact model, in variable
+// order. A milp.TreeRecorder observing a Solve over the same inputs labels its
+// branch edges with these names (the model itself is built inside Solve, out
+// of the caller's reach).
+func CompactNames(specs []AnalysisSpec, res Resources, opts SolveOptions) ([]string, error) {
+	norm, err := normalizeSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	prob, _ := buildCompactProblem(norm, res, opts)
+	return append([]string(nil), prob.LP.Names...), nil
 }
 
 // normalizeSpecs validates and defaults a spec list.

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"insitu/internal/core"
+	"insitu/internal/scenario"
 )
 
 // GoldenSnapshot is one named, deterministic projection of an experiment's
@@ -87,7 +88,32 @@ func GoldenSnapshots() ([]GoldenSnapshot, error) {
 	if err := add("measured_configs", measuredConfigs(), nil); err != nil {
 		return nil, err
 	}
+
+	snaps = append(snaps, scenarioSnapshots()...)
 	return snaps, nil
+}
+
+// scenarioSnapshots pins the paper's scheduling problems serialized in the
+// shared scenario file format, so the insitu-sched and schedexplain CLIs have
+// committed, drift-checked inputs. The CI schedexplain smoke step runs the
+// report CLI over exactly these files.
+func scenarioSnapshots() []GoldenSnapshot {
+	const simPerStep = 646.78 / 1000 // §5.3.2 run: Table 5's threshold basis
+	waterIons := func(pct float64) scenario.Problem {
+		return scenario.FromSpecs(WaterIonsSpecs(16384), core.Resources{
+			Steps:         1000,
+			TimeThreshold: core.PercentThreshold(simPerStep, 1000, pct),
+			MemThreshold:  12 << 30,
+		})
+	}
+	return []GoldenSnapshot{
+		{Name: "scenario_water_ions_10pct", Data: waterIons(10)},
+		{Name: "scenario_water_ions_1pct", Data: waterIons(1)},
+		{Name: "scenario_rhodopsin_100s", Data: scenario.FromSpecs(RhodopsinSpecs(),
+			core.Resources{Steps: 1000, TimeThreshold: 100, MemThreshold: 12 << 30})},
+		{Name: "scenario_flash_43.5s", Data: scenario.FromSpecs(FlashSpecs(),
+			core.Resources{Steps: 1000, TimeThreshold: 43.5, MemThreshold: 12 << 30})},
+	}
 }
 
 // profilesSnapshot pins the paper-derived analysis cost profiles and

@@ -1,0 +1,72 @@
+package explain
+
+import (
+	"sort"
+
+	"insitu/internal/obs"
+)
+
+// KernelAlignment compares one analysis' plan to its ledger record.
+type KernelAlignment struct {
+	Name          string
+	PlannedCount  int     // analysis steps the schedule grants
+	ExecutedCount int     // ledger steps with an analysis event for this kernel
+	PlannedSec    float64 // predicted total analysis time (the model's cost)
+	ExecutedSec   float64 // summed analysis+output durations from the ledger
+}
+
+// Alignment is the planned-vs-executed comparison AlignLedger attaches.
+type Alignment struct {
+	App     string // application named by the ledger's run_start, if any
+	Steps   int    // distinct simulation steps the ledger covers
+	Kernels []KernelAlignment
+}
+
+// AlignLedger reconstructs the ledger's per-step timelines and aligns them
+// with the planned schedule: one row per planned analysis (in schedule order),
+// plus one for any kernel the ledger saw that the plan never mentioned.
+func (r *Report) AlignLedger(events []obs.LedgerEvent) {
+	sum := obs.SummarizeLedger(events)
+	a := &Alignment{App: sum.App, Steps: len(sum.Steps)}
+
+	counts := map[string]int{}
+	seconds := map[string]float64{}
+	for _, st := range sum.Steps {
+		for name, us := range st.Analyses {
+			counts[name]++
+			seconds[name] += us / 1e6
+		}
+		for name, us := range st.Outputs {
+			seconds[name] += us / 1e6
+		}
+	}
+
+	known := map[string]bool{}
+	for _, s := range r.Ex.Rec.Schedules {
+		known[s.Name] = true
+		a.Kernels = append(a.Kernels, KernelAlignment{
+			Name:          s.Name,
+			PlannedCount:  s.Count,
+			ExecutedCount: counts[s.Name],
+			PlannedSec:    s.PredictedTime,
+			ExecutedSec:   seconds[s.Name],
+		})
+	}
+	// Ledger-only kernels: executed but never planned — worth surfacing, the
+	// run did work the schedule does not account for.
+	extra := make([]string, 0, len(counts))
+	for name := range counts {
+		if !known[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		a.Kernels = append(a.Kernels, KernelAlignment{
+			Name:          name,
+			ExecutedCount: counts[name],
+			ExecutedSec:   seconds[name],
+		})
+	}
+	r.Ledger = a
+}

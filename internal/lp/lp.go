@@ -200,6 +200,22 @@ type Solution struct {
 	// their artificial columns are destroyed during phase 1, so their
 	// multipliers are not recoverable from this tableau.
 	Duals []float64
+
+	// ReducedCosts holds, per original variable, c_j - z_j at the optimal
+	// basis: zero for basic variables, <= 0 for nonbasic variables resting
+	// at their lower bound and >= 0 for those at their upper bound (for
+	// this maximization form). It quantifies how much the objective
+	// coefficient of an unused variable would have to improve before the
+	// variable enters the optimal basis — the "how far from being chosen"
+	// number the explainability layer reports per schedule mode.
+	ReducedCosts []float64
+
+	// RowActivity holds a_r·x per constraint at the optimum, and Slacks the
+	// distance to the RHS on the feasible side: RHS - activity for <= rows,
+	// activity - RHS for >= rows, and |activity - RHS| (≈ 0) for equality
+	// rows. A slack within tolerance of zero marks the row as binding.
+	RowActivity []float64
+	Slacks      []float64
 }
 
 // ErrNotSolved indicates the solver terminated without an optimal basis.

@@ -215,7 +215,71 @@ func (t *tableau) solve() *Solution {
 			x[j] = t.p.Upper[j]
 		}
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj + t.cons, Iters: t.iters, Duals: t.duals()}
+	activity, slacks := rowActivity(t.p, x)
+	return &Solution{
+		Status:       Optimal,
+		X:            x,
+		Objective:    obj + t.cons,
+		Iters:        t.iters,
+		Duals:        t.duals(),
+		ReducedCosts: t.reducedCosts(),
+		RowActivity:  activity,
+		Slacks:       slacks,
+	}
+}
+
+// reducedCosts returns c_j - z_j for each original variable at the current
+// basis. Basic variables report exactly zero; near-zero values on nonbasic
+// variables are snapped to zero so degenerate optima read cleanly.
+func (t *tableau) reducedCosts() []float64 {
+	out := make([]float64, t.p.NumVars())
+	for j := range out {
+		if t.inBasis[j] {
+			continue
+		}
+		rc := t.c[j]
+		for i := 0; i < t.m; i++ {
+			if cb := t.c[t.basis[i]]; cb != 0 {
+				rc -= cb * t.a[i][j]
+			}
+		}
+		if math.Abs(rc) < feasTol {
+			rc = 0
+		}
+		out[j] = rc
+	}
+	return out
+}
+
+// rowActivity evaluates each constraint at x, returning the activities a_r·x
+// and the feasible-side slacks (RHS - activity for <=, activity - RHS for >=,
+// |activity - RHS| for equality rows).
+func rowActivity(p *Problem, x []float64) (activity, slacks []float64) {
+	activity = make([]float64, len(p.Constraints))
+	slacks = make([]float64, len(p.Constraints))
+	for r, c := range p.Constraints {
+		act := 0.0
+		for j, v := range c.Coef {
+			if v != 0 {
+				act += v * x[j]
+			}
+		}
+		activity[r] = act
+		var s float64
+		switch c.Sense {
+		case LE:
+			s = c.RHS - act
+		case GE:
+			s = act - c.RHS
+		case EQ:
+			s = math.Abs(act - c.RHS)
+		}
+		if math.Abs(s) < feasTol {
+			s = 0
+		}
+		slacks[r] = s
+	}
+	return activity, slacks
 }
 
 // duals recovers the constraint multipliers from the reduced costs of the

@@ -126,6 +126,18 @@ type NodeEvent struct {
 	// was integer feasible), "infeasible", "branched", or "pruned"
 	// (dominated by the incumbent after its relaxation solved).
 	Action string
+	// Parent is the Node id of the explored node whose branching created
+	// this one (0 for the root). Children whose parents were pruned before
+	// their relaxation solved never reach the observer, so parent links
+	// always refer to previously streamed nodes — which is what lets
+	// TreeRecorder rebuild the search tree from the event stream alone.
+	Parent int
+	// BranchVar is the variable the branch leading here fixed (-1 for the
+	// root), BranchDir the direction ("down" tightened the upper bound,
+	// "up" the lower bound), and BranchBound the bound that was applied.
+	BranchVar   int
+	BranchDir   string
+	BranchBound float64
 }
 
 // Options tune the branch-and-bound search. The zero value selects defaults.
@@ -165,6 +177,13 @@ type node struct {
 	upper []float64
 	bound float64 // LP bound (objective of relaxation)
 	depth int
+
+	// Provenance for the observer: the explored-node id of the parent and
+	// the branching decision that created this node.
+	parent      int
+	branchVar   int
+	branchDir   string
+	branchBound float64
 }
 
 type nodeQueue []*node
@@ -236,8 +255,9 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 
 	work := p.LP.Clone()
 	root := &node{
-		lower: append([]float64(nil), p.LP.Lower...),
-		upper: append([]float64(nil), p.LP.Upper...),
+		lower:     append([]float64(nil), p.LP.Lower...),
+		upper:     append([]float64(nil), p.LP.Upper...),
+		branchVar: -1,
 	}
 	relax, err := solveRelaxation(work, root)
 	if err != nil {
@@ -271,26 +291,34 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 		recordIncumbent(0, best.Objective, root.bound)
 	}
 
-	expand := func(nd *node, relaxSol *lp.Solution) {
+	expand := func(nd *node, relaxSol *lp.Solution, parentID int) {
 		j := mostFractional(p, relaxSol.X, opts.IntTol)
 		if j < 0 {
 			return
 		}
 		v := relaxSol.X[j]
 		down := &node{
-			lower: append([]float64(nil), nd.lower...),
-			upper: append([]float64(nil), nd.upper...),
-			bound: relaxSol.Objective,
-			depth: nd.depth + 1,
+			lower:     append([]float64(nil), nd.lower...),
+			upper:     append([]float64(nil), nd.upper...),
+			bound:     relaxSol.Objective,
+			depth:     nd.depth + 1,
+			parent:    parentID,
+			branchVar: j,
+			branchDir: "down",
 		}
 		down.upper[j] = math.Floor(v + opts.IntTol)
+		down.branchBound = down.upper[j]
 		up := &node{
-			lower: append([]float64(nil), nd.lower...),
-			upper: append([]float64(nil), nd.upper...),
-			bound: relaxSol.Objective,
-			depth: nd.depth + 1,
+			lower:     append([]float64(nil), nd.lower...),
+			upper:     append([]float64(nil), nd.upper...),
+			bound:     relaxSol.Objective,
+			depth:     nd.depth + 1,
+			parent:    parentID,
+			branchVar: j,
+			branchDir: "up",
 		}
 		up.lower[j] = math.Ceil(v - opts.IntTol)
+		up.branchBound = up.lower[j]
 		heap.Push(queue, down)
 		heap.Push(queue, up)
 	}
@@ -301,12 +329,16 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 			return
 		}
 		opts.Observer(NodeEvent{
-			Node:      nodes,
-			Depth:     nd.depth,
-			Bound:     bound,
-			Incumbent: best.Objective,
-			HasInc:    best.HasX,
-			Action:    action,
+			Node:        nodes,
+			Depth:       nd.depth,
+			Bound:       bound,
+			Incumbent:   best.Objective,
+			HasInc:      best.HasX,
+			Action:      action,
+			Parent:      nd.parent,
+			BranchVar:   nd.branchVar,
+			BranchDir:   nd.branchDir,
+			BranchBound: nd.branchBound,
 		})
 	}
 	// globalBound is the best remaining upper bound: the maximum of the
@@ -332,7 +364,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 		}
 	}
 	observe(root, root.bound, "branched")
-	expand(root, relax)
+	expand(root, relax, 1)
 
 	for queue.Len() > 0 {
 		if nodes >= opts.MaxNodes {
@@ -380,7 +412,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 			}
 		}
 		observe(nd, relaxSol.Objective, "branched")
-		expand(nd, relaxSol)
+		expand(nd, relaxSol, nodes)
 	}
 
 	out := *best

@@ -1,0 +1,193 @@
+package milp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TreeNode is one explored branch-and-bound node as recorded from the
+// Options.Observer event stream. IDs are the 1-based exploration order, so a
+// recorded tree is also a replay of the search.
+type TreeNode struct {
+	ID          int     `json:"id"`
+	Parent      int     `json:"parent"`                 // 0 for the root
+	Depth       int     `json:"depth"`                  // root is 0
+	Bound       float64 `json:"bound"`                  // LP relaxation bound at the node
+	Incumbent   float64 `json:"incumbent"`              // best integer objective when explored
+	HasInc      bool    `json:"has_incumbent"`          // whether Incumbent is meaningful
+	Action      string  `json:"action"`                 // integral | infeasible | branched | pruned
+	BranchVar   int     `json:"branch_var"`             // variable the inbound branch fixed (-1 at root)
+	BranchDir   string  `json:"branch_dir,omitempty"`   // down | up ("" at root)
+	BranchBound float64 `json:"branch_bound,omitempty"` // bound the inbound branch applied
+}
+
+// Tree is the JSON document a recorded search serializes to.
+type Tree struct {
+	Schema int        `json:"schema"`
+	Names  []string   `json:"names,omitempty"` // variable names for branch labels
+	Nodes  []TreeNode `json:"nodes"`
+}
+
+// TreeSchemaVersion is stamped into every exported tree; ReadTree rejects
+// documents from a newer schema rather than misreading them.
+const TreeSchemaVersion = 1
+
+// TreeRecorder captures the branch-and-bound tree from the observer event
+// stream. Install it with Options{Observer: rec.Observe}; it is cheap enough
+// to run inside the search loop (one append per node).
+type TreeRecorder struct {
+	names []string
+	nodes []TreeNode
+}
+
+// NewTreeRecorder returns a recorder. When p is non-nil its variable names
+// are captured so DOT branch edges read "x[A1,n=3,k=1]=0" instead of "x17=0".
+func NewTreeRecorder(p *Problem) *TreeRecorder {
+	r := &TreeRecorder{}
+	if p != nil {
+		r.names = append([]string(nil), p.LP.Names...)
+	}
+	return r
+}
+
+// SetNames replaces the variable names used for branch labels; callers that
+// could not pass the Problem to NewTreeRecorder (because a higher layer builds
+// it) inject the names here.
+func (r *TreeRecorder) SetNames(names []string) {
+	r.names = append([]string(nil), names...)
+}
+
+// Observe appends one node; it is the Options.Observer hook.
+func (r *TreeRecorder) Observe(e NodeEvent) {
+	r.nodes = append(r.nodes, TreeNode{
+		ID:          e.Node,
+		Parent:      e.Parent,
+		Depth:       e.Depth,
+		Bound:       e.Bound,
+		Incumbent:   e.Incumbent,
+		HasInc:      e.HasInc,
+		Action:      e.Action,
+		BranchVar:   e.BranchVar,
+		BranchDir:   e.BranchDir,
+		BranchBound: e.BranchBound,
+	})
+}
+
+// Nodes returns the recorded nodes in exploration order.
+func (r *TreeRecorder) Nodes() []TreeNode { return r.nodes }
+
+// Tree returns the recorder's content as a serializable document.
+func (r *TreeRecorder) Tree() Tree {
+	return Tree{Schema: TreeSchemaVersion, Names: r.names, Nodes: r.nodes}
+}
+
+// TreeStats summarizes a recorded search for the explainability report.
+type TreeStats struct {
+	Explored   int // nodes that reached the observer
+	Branched   int
+	Pruned     int
+	Infeasible int
+	Integral   int
+	MaxDepth   int
+}
+
+// Stats tallies the recorded nodes by action.
+func (r *TreeRecorder) Stats() TreeStats {
+	var s TreeStats
+	for _, n := range r.nodes {
+		s.Explored++
+		switch n.Action {
+		case "branched":
+			s.Branched++
+		case "pruned":
+			s.Pruned++
+		case "infeasible":
+			s.Infeasible++
+		case "integral":
+			s.Integral++
+		}
+		if n.Depth > s.MaxDepth {
+			s.MaxDepth = n.Depth
+		}
+	}
+	return s
+}
+
+// String renders the tally on one line.
+func (s TreeStats) String() string {
+	return fmt.Sprintf("explored=%d branched=%d pruned=%d infeasible=%d integral=%d max_depth=%d",
+		s.Explored, s.Branched, s.Pruned, s.Infeasible, s.Integral, s.MaxDepth)
+}
+
+// WriteJSON exports the recorded tree as an indented JSON document that
+// ReadTree round-trips exactly.
+func (r *TreeRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Tree())
+}
+
+// ReadTree parses a tree document produced by WriteJSON.
+func ReadTree(rd io.Reader) (Tree, error) {
+	var t Tree
+	if err := json.NewDecoder(rd).Decode(&t); err != nil {
+		return Tree{}, fmt.Errorf("milp: parsing tree: %w", err)
+	}
+	if t.Schema != TreeSchemaVersion {
+		return Tree{}, fmt.Errorf("milp: tree schema v%d, this reader understands v%d", t.Schema, TreeSchemaVersion)
+	}
+	return t, nil
+}
+
+// varName resolves a branch variable to its LP name, falling back to x<j>.
+func (r *TreeRecorder) varName(j int) string {
+	if j >= 0 && j < len(r.names) && r.names[j] != "" {
+		return r.names[j]
+	}
+	return fmt.Sprintf("x%d", j)
+}
+
+// WriteDOT exports the recorded tree as a Graphviz digraph: one box per
+// explored node colored by outcome (branched white, integral green, pruned
+// gray, infeasible red), edges labeled with the branching decision.
+func (r *TreeRecorder) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph bnb {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, style=filled, fontname=\"monospace\", fontsize=10];\n")
+	for _, n := range r.nodes {
+		color := "white"
+		switch n.Action {
+		case "integral":
+			color = "palegreen"
+		case "pruned":
+			color = "lightgray"
+		case "infeasible":
+			color = "lightcoral"
+		}
+		label := fmt.Sprintf("n%d %s\\nbound=%.4g", n.ID, n.Action, n.Bound)
+		if n.HasInc {
+			label += fmt.Sprintf("\\ninc=%.4g", n.Incumbent)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", fillcolor=%s];\n", n.ID, label, color)
+		if n.Parent > 0 {
+			op := "<="
+			if n.BranchDir == "up" {
+				op = ">="
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%s %s %g\"];\n",
+				n.Parent, n.ID, dotEscape(r.varName(n.BranchVar)), op, n.BranchBound)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// dotEscape quotes the characters that would break a DOT double-quoted label.
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	return strings.ReplaceAll(s, "\"", "\\\"")
+}

@@ -1,0 +1,135 @@
+package milp
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"insitu/internal/lp"
+)
+
+// recordTree solves p with a TreeRecorder installed and returns the recorder.
+func recordTree(t *testing.T, p *Problem) *TreeRecorder {
+	t.Helper()
+	rec := NewTreeRecorder(p)
+	sol, err := Solve(p, Options{Observer: rec.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	return rec
+}
+
+func TestTreeRecorderCapturesSearch(t *testing.T) {
+	p := hardInstance(5, 14)
+	rec := recordTree(t, p)
+	nodes := rec.Nodes()
+	if len(nodes) < 3 {
+		t.Fatalf("recorded %d nodes, want a real search", len(nodes))
+	}
+	if nodes[0].ID != 1 || nodes[0].Parent != 0 || nodes[0].BranchVar != -1 || nodes[0].BranchDir != "" {
+		t.Fatalf("root node = %+v", nodes[0])
+	}
+	seen := map[int]TreeNode{}
+	for i, n := range nodes {
+		if i > 0 {
+			// Parent links must point at an already streamed, branched node.
+			parent, ok := seen[n.Parent]
+			if !ok {
+				t.Fatalf("node %d has unseen parent %d", n.ID, n.Parent)
+			}
+			if parent.Action != "branched" {
+				t.Fatalf("node %d descends from %q parent %d", n.ID, parent.Action, n.Parent)
+			}
+			if n.Depth != parent.Depth+1 {
+				t.Fatalf("node %d depth %d under parent depth %d", n.ID, n.Depth, parent.Depth)
+			}
+			if n.BranchVar < 0 || n.BranchVar >= p.LP.NumVars() || !p.Integer[n.BranchVar] {
+				t.Fatalf("node %d branches on variable %d", n.ID, n.BranchVar)
+			}
+			if n.BranchDir != "down" && n.BranchDir != "up" {
+				t.Fatalf("node %d branch dir %q", n.ID, n.BranchDir)
+			}
+		}
+		seen[n.ID] = n
+	}
+	st := rec.Stats()
+	if st.Explored != len(nodes) || st.Branched == 0 {
+		t.Fatalf("stats = %+v for %d nodes", st, len(nodes))
+	}
+	if st.Branched+st.Pruned+st.Infeasible+st.Integral != st.Explored {
+		t.Fatalf("stats actions do not partition: %+v", st)
+	}
+	if !strings.Contains(st.String(), fmt.Sprintf("explored=%d", len(nodes))) {
+		t.Fatalf("stats string = %q", st.String())
+	}
+}
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	rec := recordTree(t, hardInstance(11, 12))
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec.Tree()) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, rec.Tree())
+	}
+}
+
+func TestReadTreeRejectsBadInput(t *testing.T) {
+	if _, err := ReadTree(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadTree(strings.NewReader(`{"schema": 99, "nodes": []}`)); err == nil {
+		t.Fatal("expected schema error")
+	}
+}
+
+func TestTreeDOTExport(t *testing.T) {
+	p := NewProblem(&lp.Problem{})
+	idx := make([]int, 6)
+	coef := make([]float64, 6)
+	for j := 0; j < 6; j++ {
+		p.AddBinVar(float64(j%3)+1.5, fmt.Sprintf("x[A%d]", j))
+		idx[j] = j
+		coef[j] = 2
+	}
+	p.LP.AddConstraint(idx, coef, lp.LE, 5, "cap")
+	rec := recordTree(t, p)
+	var buf bytes.Buffer
+	if err := rec.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.HasPrefix(dot, "digraph bnb {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not a digraph:\n%s", dot)
+	}
+	if !strings.Contains(dot, "n1 [label=\"n1 ") {
+		t.Fatalf("missing root node:\n%s", dot)
+	}
+	// Every non-root node must have an inbound edge labeled with the named
+	// branch variable.
+	for _, n := range rec.Nodes()[1:] {
+		edge := fmt.Sprintf("n%d -> n%d", n.Parent, n.ID)
+		if !strings.Contains(dot, edge) {
+			t.Fatalf("missing edge %s:\n%s", edge, dot)
+		}
+	}
+	if !strings.Contains(dot, "x[A") {
+		t.Fatalf("branch labels did not use variable names:\n%s", dot)
+	}
+}
+
+func TestDotEscape(t *testing.T) {
+	if got := dotEscape(`a"b\c`); got != `a\"b\\c` {
+		t.Fatalf("dotEscape = %q", got)
+	}
+}

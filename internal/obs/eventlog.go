@@ -295,8 +295,18 @@ func SummarizeLedger(events []LedgerEvent) LedgerSummary {
 	return s
 }
 
-// WriteTimeline renders a ledger summary as a per-step text table.
+// Empty reports whether the summary was built from no events at all.
+func (s LedgerSummary) Empty() bool {
+	return s.Runs == 0 && len(s.Steps) == 0 && len(s.Solves) == 0
+}
+
+// WriteTimeline renders a ledger summary as a per-step text table. An empty
+// summary renders a single "no events" line instead of a header-only table.
 func (s LedgerSummary) WriteTimeline(w io.Writer) error {
+	if s.Empty() {
+		_, err := fmt.Fprintln(w, "ledger: no events")
+		return err
+	}
 	if s.App != "" {
 		if _, err := fmt.Fprintf(w, "run: %s (%d run(s), %d step(s))\n", s.App, s.Runs, len(s.Steps)); err != nil {
 			return err

@@ -196,3 +196,24 @@ func TestSummarizeLedger(t *testing.T) {
 		t.Fatal("timeline to failing writer succeeded")
 	}
 }
+
+func TestSummarizeLedgerEmpty(t *testing.T) {
+	s := SummarizeLedger(nil)
+	if !s.Empty() {
+		t.Fatalf("summary of no events = %+v, want empty", s)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "ledger: no events\n" {
+		t.Fatalf("empty timeline = %q", got)
+	}
+	// A summary with any content must not claim emptiness.
+	if SummarizeLedger([]LedgerEvent{{Type: LedgerStep, Step: 1}}).Empty() {
+		t.Fatal("one-step summary reported empty")
+	}
+	if SummarizeLedger([]LedgerEvent{{Type: LedgerSolve, Name: "plan"}}).Empty() {
+		t.Fatal("solve-only summary reported empty")
+	}
+}

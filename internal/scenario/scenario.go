@@ -1,0 +1,127 @@
+// Package scenario defines the JSON problem-description format shared by the
+// insitu-sched and schedexplain commands: the Table-1 parameters of each
+// analysis plus the resource envelope. Keeping the schema in one place means
+// every tool in the repo reads (and the golden harness writes) exactly the
+// same files.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"insitu/internal/core"
+)
+
+// Analysis mirrors one Table-1 analysis entry. All durations are seconds and
+// all sizes bytes, as the field names spell out.
+type Analysis struct {
+	Name           string  `json:"name"`
+	FTSec          float64 `json:"ft_sec,omitempty"`
+	ITSec          float64 `json:"it_sec,omitempty"`
+	CTSec          float64 `json:"ct_sec"`
+	OTSec          float64 `json:"ot_sec,omitempty"`
+	FMBytes        int64   `json:"fm_bytes,omitempty"`
+	IMBytes        int64   `json:"im_bytes,omitempty"`
+	CMBytes        int64   `json:"cm_bytes,omitempty"`
+	OMBytes        int64   `json:"om_bytes,omitempty"`
+	Weight         float64 `json:"weight,omitempty"`
+	MinInterval    int     `json:"min_interval"`
+	OutputOptional bool    `json:"output_optional,omitempty"`
+}
+
+// Envelope mirrors the resource block.
+type Envelope struct {
+	Steps     int     `json:"steps"`
+	TimeSec   float64 `json:"time_threshold_sec,omitempty"`
+	MemBytes  int64   `json:"mem_threshold_bytes,omitempty"`
+	Bandwidth float64 `json:"bandwidth_bytes_per_sec,omitempty"`
+}
+
+// Problem is one scenario file.
+type Problem struct {
+	Resources Envelope   `json:"resources"`
+	Analyses  []Analysis `json:"analyses"`
+}
+
+// Decode converts the scenario into solver inputs.
+func (p Problem) Decode() ([]core.AnalysisSpec, core.Resources) {
+	specs := make([]core.AnalysisSpec, len(p.Analyses))
+	for i, a := range p.Analyses {
+		specs[i] = core.AnalysisSpec{
+			Name: a.Name,
+			FT:   a.FTSec, IT: a.ITSec, CT: a.CTSec, OT: a.OTSec,
+			FM: a.FMBytes, IM: a.IMBytes, CM: a.CMBytes, OM: a.OMBytes,
+			Weight:         a.Weight,
+			MinInterval:    a.MinInterval,
+			OutputOptional: a.OutputOptional,
+		}
+	}
+	res := core.Resources{
+		Steps:         p.Resources.Steps,
+		TimeThreshold: p.Resources.TimeSec,
+		MemThreshold:  p.Resources.MemBytes,
+		Bandwidth:     p.Resources.Bandwidth,
+	}
+	return specs, res
+}
+
+// FromSpecs builds the scenario for a spec set, the inverse of Decode. The
+// golden harness uses it to emit scenario files from the paper profiles.
+func FromSpecs(specs []core.AnalysisSpec, res core.Resources) Problem {
+	p := Problem{Resources: Envelope{
+		Steps:     res.Steps,
+		TimeSec:   res.TimeThreshold,
+		MemBytes:  res.MemThreshold,
+		Bandwidth: res.Bandwidth,
+	}}
+	for _, s := range specs {
+		p.Analyses = append(p.Analyses, Analysis{
+			Name:  s.Name,
+			FTSec: s.FT, ITSec: s.IT, CTSec: s.CT, OTSec: s.OT,
+			FMBytes: s.FM, IMBytes: s.IM, CMBytes: s.CM, OMBytes: s.OM,
+			Weight:         s.Weight,
+			MinInterval:    s.MinInterval,
+			OutputOptional: s.OutputOptional,
+		})
+	}
+	return p
+}
+
+// Parse reads one scenario document.
+func Parse(r io.Reader) (Problem, error) {
+	var p Problem
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return Problem{}, err
+	}
+	if len(p.Analyses) == 0 {
+		return Problem{}, fmt.Errorf("scenario: no analyses")
+	}
+	return p, nil
+}
+
+// Load parses the scenario file at path.
+func Load(path string) (Problem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Problem{}, err
+	}
+	defer f.Close()
+	p, err := Parse(f)
+	if err != nil {
+		return Problem{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// LoadSpecs is Load followed by Decode, the one-call form the CLIs use.
+func LoadSpecs(path string) ([]core.AnalysisSpec, core.Resources, error) {
+	p, err := Load(path)
+	if err != nil {
+		return nil, core.Resources{}, err
+	}
+	specs, res := p.Decode()
+	return specs, res, nil
+}

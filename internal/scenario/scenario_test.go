@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"insitu/internal/core"
+)
+
+func TestRoundTrip(t *testing.T) {
+	specs := []core.AnalysisSpec{
+		{Name: "A1", FT: 0.2, IT: 0.01, CT: 0.065, OT: 0.005,
+			FM: 1 << 26, IM: 1 << 10, CM: 1 << 20, OM: 1 << 22,
+			Weight: 2, MinInterval: 100, OutputOptional: true},
+		{Name: "A2", CT: 0.5, MinInterval: 50},
+	}
+	res := core.Resources{Steps: 1000, TimeThreshold: 64.7, MemThreshold: 12 << 30, Bandwidth: 4.5e9}
+
+	gotSpecs, gotRes := FromSpecs(specs, res).Decode()
+	if !reflect.DeepEqual(gotSpecs, specs) {
+		t.Fatalf("specs round trip:\ngot  %+v\nwant %+v", gotSpecs, specs)
+	}
+	if gotRes != res {
+		t.Fatalf("resources round trip: got %+v want %+v", gotRes, res)
+	}
+}
+
+func TestLoadSpecs(t *testing.T) {
+	// The documented insitu-sched input format must keep parsing unchanged.
+	doc := `{
+  "resources": {"steps": 1000, "time_threshold_sec": 64.7,
+    "mem_threshold_bytes": 12884901888, "bandwidth_bytes_per_sec": 4536000000},
+  "analyses": [
+    {"name": "A1", "ct_sec": 0.065, "ot_sec": 0.005,
+     "fm_bytes": 67108864, "min_interval": 100, "weight": 1}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "problem.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs, res, err := LoadSpecs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Name != "A1" || specs[0].CT != 0.065 || specs[0].MinInterval != 100 {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if res.Steps != 1000 || res.TimeThreshold != 64.7 || res.MemThreshold != 12884901888 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"resources": {"steps": 10}}`)); err == nil {
+		t.Fatal("expected error for a scenario without analyses")
+	}
+	if _, err := Parse(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("expected error for malformed JSON")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("expected error for a missing file")
+	}
+}
