@@ -7,6 +7,7 @@
 //
 //	benchobs run [-quick] [-suite name] [-out dir]
 //	benchobs compare -current dir [-baseline dir] [-slack f] [-json file]
+//	benchobs check [-dir dir] [-min-workers n] [-min-count n]
 //	benchobs serve [-addr host:port]
 //	benchobs summarize -ledger run.jsonl
 //
@@ -14,10 +15,14 @@
 // BENCH_<suite>.json per suite (the files committed at the repo root are its
 // output). compare diffs a run against a baseline using the per-metric
 // relative thresholds recorded in the baseline file and exits 1 when any
-// gated metric regresses. serve loops the instrumented pipeline workload
-// forever and exposes the live registry at /metrics (Prometheus text),
-// /metrics.json, and the process at /debug/pprof/. summarize replays a run
-// ledger into a per-step activity table.
+// gated metric regresses. check audits a solver suite file's recorded
+// metadata: every workload carrying a solver_workers metric must have run at
+// least -min-workers wide, and at least -min-count such workloads must exist
+// — so CI fails if the suite silently falls back to the serial search. serve
+// loops the instrumented pipeline workload forever and exposes the live
+// registry at /metrics (Prometheus text), /metrics.json, and the process at
+// /debug/pprof/. summarize replays a run ledger into a per-step activity
+// table.
 package main
 
 import (
@@ -39,6 +44,7 @@ const usageText = `usage: benchobs <command> [flags]
 commands:
   run        run the canonical suites and write BENCH_<suite>.json files
   compare    diff a run against baseline files; exit 1 on any regression
+  check      audit a solver suite's recorded pool width; exit 1 if serial
   serve      expose live /metrics and /debug/pprof over a looping workload
   summarize  reconstruct per-step timelines from a JSONL run ledger
 
@@ -61,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdRun(args[1:], stdout, stderr)
 	case "compare":
 		return cmdCompare(args[1:], stdout, stderr)
+	case "check":
+		return cmdCheck(args[1:], stdout, stderr)
 	case "serve":
 		return cmdServe(args[1:], stdout, stderr)
 	case "summarize":
@@ -186,6 +194,52 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchobs: %d regression(s) past threshold\n", regressions)
 		return 1
 	}
+	return 0
+}
+
+// cmdCheck audits the solver suite's recorded parallel metadata. Workloads
+// without a solver_workers metric (single-solve micro workloads, the scaling
+// sweeps that pin their own widths) are ignored; the rest must have recorded
+// a pool at least -min-workers wide, and at least -min-count of them must
+// exist so the gate cannot pass vacuously.
+func cmdCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchobs check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "directory holding the BENCH_<suite>.json files to audit")
+	minWorkers := fs.Float64("min-workers", 2, "minimum recorded solver_workers per workload")
+	minCount := fs.Int("min-count", 1, "minimum number of workloads carrying solver_workers")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	path := filepath.Join(*dir, perfbench.BenchFileName(perfbench.SuiteSolver))
+	suite, err := perfbench.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 1
+	}
+	count, bad := 0, 0
+	for _, w := range suite.Workloads {
+		m := w.Metric("solver_workers")
+		if m == nil {
+			continue
+		}
+		count++
+		status := "ok"
+		if m.Value < *minWorkers {
+			status = "SERIAL"
+			bad++
+		}
+		fmt.Fprintf(stdout, "  %-40s solver_workers=%g %s\n", w.Name, m.Value, status)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "benchobs: %d workload(s) in %s ran below %g workers\n", bad, path, *minWorkers)
+		return 1
+	}
+	if count < *minCount {
+		fmt.Fprintf(stderr, "benchobs: only %d workload(s) in %s record solver_workers, want >= %d\n", count, path, *minCount)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchobs: %s: %d workload(s) at >= %g workers\n", path, count, *minWorkers)
 	return 0
 }
 

@@ -183,3 +183,68 @@ func TestSummarize(t *testing.T) {
 		t.Fatalf("stderr = %q", errBuf.String())
 	}
 }
+
+// TestCheckGatesOnWorkers covers the check subcommand: a suite recording the
+// parallel width passes, one downgraded to serial fails, and a suite with no
+// solver_workers metadata at all fails the -min-count floor.
+func TestCheckGatesOnWorkers(t *testing.T) {
+	dir := t.TempDir()
+	suite := perfbench.Suite{Suite: "solver", Workloads: []perfbench.WorkloadResult{
+		{Name: "sched_a", Metrics: []perfbench.Metric{
+			{Name: "solver_workers", Value: 8, Unit: "model"},
+		}},
+		{Name: "micro_no_solver", Metrics: []perfbench.Metric{
+			{Name: "wall_ns_min", Value: 1, Unit: "ns/op"},
+		}},
+	}}
+	path := filepath.Join(dir, perfbench.BenchFileName("solver"))
+	if err := suite.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"check", "-dir", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("parallel suite: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "sched_a") || !strings.Contains(stdout.String(), "ok") {
+		t.Errorf("check output missing audit line:\n%s", stdout.String())
+	}
+
+	// WriteFile sorts the workload slice in place, so locate by name.
+	suite.Workload("sched_a").Metric("solver_workers").Value = 1 // silently serial
+	if err := suite.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"check", "-dir", dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("serial suite: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "below 2 workers") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+
+	suite.Workloads = []perfbench.WorkloadResult{*suite.Workload("micro_no_solver")} // no solver_workers anywhere
+	if err := suite.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{"check", "-dir", dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("empty suite: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "want >= 1") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+
+	if code := run([]string{"check", "-dir", t.TempDir()}, &stdout, &stderr); code != 1 {
+		t.Fatal("missing file must fail")
+	}
+}
+
+// TestCheckCommittedBaseline audits the repo's committed solver baseline the
+// same way CI does: it must already record the parallel pool width.
+func TestCheckCommittedBaseline(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"check", "-dir", "../.."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("committed baseline fails check (exit %d): %s", code, stderr.String())
+	}
+}

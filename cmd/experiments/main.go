@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-only table5] [-quick] [-verify] [-golden dir]
-//	            [-trace trace.json] [-metrics metrics.txt]
+//	            [-trace trace.json] [-metrics metrics.txt] [-workers n]
 //
 // -only selects a single experiment (table4..table8, figure2, figure4,
 // figure5, ablations, moldable, solver); the default runs everything.
@@ -21,47 +21,60 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"insitu/internal/core"
 	"insitu/internal/experiments"
 	"insitu/internal/machine"
+	"insitu/internal/milp"
 	"insitu/internal/moldable"
 	"insitu/internal/obs"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table4..table8, figure2, figure4, figure5, ablations, moldable, solver)")
-	quick := flag.Bool("quick", false, "shrink measured experiments for a fast pass")
-	verify := flag.Bool("verify", false, "check the scheduling experiments against the paper's published values and exit")
-	golden := flag.String("golden", "", "write the golden snapshot files to this directory and exit")
-	tracePath := flag.String("trace", "", "write the run as Chrome trace JSON (one span per experiment section)")
-	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code: 0 ok, 1 failure,
+// 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "run a single experiment (table4..table8, figure2, figure4, figure5, ablations, moldable, solver)")
+	quick := fs.Bool("quick", false, "shrink measured experiments for a fast pass")
+	verify := fs.Bool("verify", false, "check the scheduling experiments against the paper's published values and exit")
+	golden := fs.String("golden", "", "write the golden snapshot files to this directory and exit")
+	tracePath := fs.String("trace", "", "write the run as Chrome trace JSON (one span per experiment section)")
+	metricsPath := fs.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
+	workers := fs.Int("workers", 1, "branch-and-bound worker count for the solver section (0 = all CPUs, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *golden != "" {
 		if err := experiments.WriteGolden(*golden); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: golden: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "experiments: golden: %v\n", err)
+			return 1
 		}
-		fmt.Printf("wrote golden snapshots to %s\n", *golden)
-		return
+		fmt.Fprintf(stdout, "wrote golden snapshots to %s\n", *golden)
+		return 0
 	}
 
 	if *verify {
 		checks, err := experiments.VerifyAll()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: verify: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "experiments: verify: %v\n", err)
+			return 1
 		}
-		fmt.Print(experiments.FormatChecks(checks))
+		fmt.Fprint(stdout, experiments.FormatChecks(checks))
 		for _, c := range checks {
 			if !c.Pass {
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 
 	var tracer *obs.Tracer
@@ -77,9 +90,10 @@ func main() {
 
 	// section runs one experiment when selected, as one trace span and one
 	// duration observation. Both handles are nil-safe, so uninstrumented
-	// runs take the same path.
+	// runs take the same path. The first failure stops later sections.
+	sectionErr := ""
 	section := func(name string, fn func() error) {
-		if *only != "" && *only != name {
+		if sectionErr != "" || (*only != "" && *only != name) {
 			return
 		}
 		sp := tracer.Begin(name, "experiment")
@@ -88,8 +102,8 @@ func main() {
 		dt := time.Since(t0)
 		sp.End()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			sectionErr = fmt.Sprintf("experiments: %s: %v", name, err)
+			return
 		}
 		reg.Counter("experiments_sections_total", nil).Inc()
 		reg.Histogram("experiments_section_seconds", nil, obs.Labels{"section": name}).Observe(dt.Seconds())
@@ -104,7 +118,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.FormatTable4(rows))
+		fmt.Fprintln(stdout, experiments.FormatTable4(rows))
 		return nil
 	})
 	section("table5", func() error {
@@ -112,7 +126,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.FormatTable5(rows))
+		fmt.Fprintln(stdout, experiments.FormatTable5(rows))
 		return nil
 	})
 	section("table6", func() error {
@@ -120,7 +134,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.FormatTable6(rows))
+		fmt.Fprintln(stdout, experiments.FormatTable6(rows))
 		return nil
 	})
 	section("table7", func() error {
@@ -134,8 +148,8 @@ func main() {
 		}
 		rows = append(rows, nvram)
 		out := experiments.FormatTable7(rows)
-		fmt.Println(out + "(last row: outputs redirected to an NVRAM burst buffer, §5.3.5 what-if)")
-		fmt.Println()
+		fmt.Fprintln(stdout, out+"(last row: outputs redirected to an NVRAM burst buffer, §5.3.5 what-if)")
+		fmt.Fprintln(stdout)
 		return nil
 	})
 	section("table8", func() error {
@@ -143,7 +157,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.FormatTable8(rows))
+		fmt.Fprintln(stdout, experiments.FormatTable8(rows))
 		return nil
 	})
 	section("figure2", func() error {
@@ -155,7 +169,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.FormatFigure2(r))
+		fmt.Fprintln(stdout, experiments.FormatFigure2(r))
 		return nil
 	})
 	section("figure4", func() error {
@@ -167,7 +181,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.FormatFigure4(rows))
+		fmt.Fprintln(stdout, experiments.FormatFigure4(rows))
 		return nil
 	})
 	section("figure5", func() error {
@@ -175,7 +189,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.FormatFigure5(rows))
+		fmt.Fprintln(stdout, experiments.FormatFigure5(rows))
 		return nil
 	})
 	section("ablations", func() error {
@@ -183,12 +197,12 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.FormatMemorySweep(rows))
+		fmt.Fprintln(stdout, experiments.FormatMemorySweep(rows))
 		v, err := experiments.ValidateCoupling(0, 0, 0)
 		if err != nil {
 			return fmt.Errorf("coupling validation: %w", err)
 		}
-		fmt.Println(experiments.FormatCouplingValidation(v))
+		fmt.Fprintln(stdout, experiments.FormatCouplingValidation(v))
 		return nil
 	})
 	section("moldable", func() error {
@@ -207,32 +221,38 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Print(advice.String())
-			fmt.Println()
+			fmt.Fprint(stdout, advice.String())
+			fmt.Fprintln(stdout)
 		}
 		return nil
 	})
 	section("solver", func() error {
-		min, max, err := experiments.SolverRuntime()
+		min, max, err := experiments.SolverRuntime(milp.AutoWorkers(*workers))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Solver runtime across Tables 5-6 instances: %v - %v (paper: 0.17 s - 1.36 s with CPLEX 12.6.1)\n", min, max)
+		fmt.Fprintf(stdout, "Solver runtime across Tables 5-6 instances: %v - %v (paper: 0.17 s - 1.36 s with CPLEX 12.6.1)\n", min, max)
 		return nil
 	})
 
+	if sectionErr != "" {
+		fmt.Fprintln(stderr, sectionErr)
+		return 1
+	}
+
 	if *tracePath != "" {
 		if err := obs.WriteTraceFile(*tracePath, tracer); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "experiments: trace: %v\n", err)
+			return 1
 		}
-		fmt.Printf("wrote trace (%d events) to %s\n", tracer.Len(), *tracePath)
+		fmt.Fprintf(stdout, "wrote trace (%d events) to %s\n", tracer.Len(), *tracePath)
 	}
 	if *metricsPath != "" {
 		if err := obs.WriteMetricsFile(*metricsPath, reg); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "experiments: metrics: %v\n", err)
+			return 1
 		}
-		fmt.Printf("wrote metrics to %s\n", *metricsPath)
+		fmt.Fprintf(stdout, "wrote metrics to %s\n", *metricsPath)
 	}
+	return 0
 }

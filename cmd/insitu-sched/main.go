@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	insitu-sched [-full] [-coupling] [-json] problem.json
+//	insitu-sched [-full] [-coupling] [-json] [-workers n] problem.json
 //
 // The input file holds the Table-1 parameters of each analysis plus the
 // resource envelope:
@@ -30,6 +30,10 @@
 // bound and incumbent) plus bound/incumbent counter tracks. -metrics writes
 // solver counters (nodes, relaxations, simplex pivots, incumbents) in
 // Prometheus text format, or JSON when the path ends in .json.
+//
+// -workers sets the branch-and-bound pool width (0 = all CPUs). The default
+// of 1 keeps the legacy serial search; any width returns the same objective
+// and bound.
 package main
 
 import (
@@ -48,29 +52,44 @@ import (
 )
 
 func main() {
-	full := flag.Bool("full", false, "use the time-indexed formulation (equations 2-9 verbatim; small step counts only)")
-	coupling := flag.Bool("coupling", false, "print Figure-1 style coupling strings")
-	asJSON := flag.Bool("json", false, "emit the recommendation as JSON")
-	exportLP := flag.String("export-lp", "", "write the model in CPLEX LP format to this file (for cross-checking with external solvers)")
-	sensitivity := flag.Bool("sensitivity", false, "report the threshold at which each analysis gains one more step")
-	explainFlag := flag.Bool("explain", false, "print the schedule-explainability report (attribution, duals, search stats; uses the compact model)")
-	tracePath := flag.String("trace", "", "write the branch-and-bound search as Chrome trace JSON to this file")
-	metricsPath := flag.String("metrics", "", "write solver metrics to this file (Prometheus text, or JSON with a .json suffix)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-explain] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] problem.json")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code: 0 ok, 1 failure,
+// 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("insitu-sched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "use the time-indexed formulation (equations 2-9 verbatim; small step counts only)")
+	coupling := fs.Bool("coupling", false, "print Figure-1 style coupling strings")
+	asJSON := fs.Bool("json", false, "emit the recommendation as JSON")
+	exportLP := fs.String("export-lp", "", "write the model in CPLEX LP format to this file (for cross-checking with external solvers)")
+	sensitivity := fs.Bool("sensitivity", false, "report the threshold at which each analysis gains one more step")
+	explainFlag := fs.Bool("explain", false, "print the schedule-explainability report (attribution, duals, search stats; uses the compact model)")
+	tracePath := fs.String("trace", "", "write the branch-and-bound search as Chrome trace JSON to this file")
+	metricsPath := fs.String("metrics", "", "write solver metrics to this file (Prometheus text, or JSON with a .json suffix)")
+	workers := fs.Int("workers", 1, "branch-and-bound worker count (0 = all CPUs, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-explain] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] [-workers n] problem.json")
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "insitu-sched:", err)
+		return 1
 	}
 
-	specs, res, err := loadProblem(flag.Arg(0))
+	specs, res, err := loadProblem(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	if *exportLP != "" {
 		f, err := os.Create(*exportLP)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		exporter := core.ExportLP
 		if *full {
@@ -80,12 +99,12 @@ func main() {
 		}
 		if err := exporter(f, specs, res, core.SolveOptions{}); err != nil {
 			f.Close()
-			fatal(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *exportLP)
+		fmt.Fprintf(stderr, "wrote %s\n", *exportLP)
 	}
 
 	solve := core.Solve
@@ -93,7 +112,7 @@ func main() {
 		solve = core.SolveFull
 	}
 	var tracer *obs.Tracer
-	opts := core.SolveOptions{}
+	opts := core.SolveOptions{Workers: milp.AutoWorkers(*workers)}
 	var solveSpan *obs.Span
 	if *tracePath != "" {
 		tracer = obs.NewTracer()
@@ -110,14 +129,14 @@ func main() {
 	}
 	rec, err := solve(specs, res, opts)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	solveSpan.End()
 	if *tracePath != "" {
 		if err := obs.WriteTraceFile(*tracePath, tracer); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote trace (%d events) to %s\n", tracer.Len(), *tracePath)
+		fmt.Fprintf(stderr, "wrote trace (%d events) to %s\n", tracer.Len(), *tracePath)
 	}
 	if *metricsPath != "" {
 		reg := obs.NewRegistry()
@@ -130,52 +149,55 @@ func main() {
 		reg.Gauge("solver_objective", nil).Set(rec.Objective)
 		reg.Counter("solver_solve_seconds_total", nil).Add(st.SolveTime.Seconds())
 		if err := obs.WriteMetricsFile(*metricsPath, reg); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *metricsPath)
+		fmt.Fprintf(stderr, "wrote metrics to %s\n", *metricsPath)
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rec); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
-	fmt.Print(rec.String())
-	fmt.Printf("threshold utilization: %.1f%%\n", rec.Utilization(res)*100)
+	fmt.Fprint(stdout, rec.String())
+	fmt.Fprintf(stdout, "threshold utilization: %.1f%%\n", rec.Utilization(res)*100)
 	if *sensitivity {
-		out, err := core.AnalyzeThresholdSensitivity(specs, res, core.SolveOptions{}, core.SensitivityOptions{})
+		out, err := core.AnalyzeThresholdSensitivity(specs, res,
+			core.SolveOptions{Workers: opts.Workers},
+			core.SensitivityOptions{Workers: opts.Workers})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Println("\nthreshold sensitivity (smallest budget buying one more step):")
+		fmt.Fprintln(stdout, "\nthreshold sensitivity (smallest budget buying one more step):")
 		for _, s := range out {
 			if math.IsInf(s.NextThreshold, 1) {
-				fmt.Printf("  %-24s count=%-4d saturated (interval bound)\n", s.Name, s.CurrentCount)
+				fmt.Fprintf(stdout, "  %-24s count=%-4d saturated (interval bound)\n", s.Name, s.CurrentCount)
 				continue
 			}
-			fmt.Printf("  %-24s count=%-4d next at %.3fs (+%.3fs)\n",
+			fmt.Fprintf(stdout, "  %-24s count=%-4d next at %.3fs (+%.3fs)\n",
 				s.Name, s.CurrentCount, s.NextThreshold, s.NextThreshold-res.TimeThreshold)
 		}
 	}
 	if *coupling {
-		fmt.Printf("\nschedule timeline ('.' sim, 'A' analysis, 'O' analysis+output):\n%s",
+		fmt.Fprintf(stdout, "\nschedule timeline ('.' sim, 'A' analysis, 'O' analysis+output):\n%s",
 			rec.GanttString(res, 100))
 		for _, s := range rec.Schedules {
 			if !s.Enabled {
 				continue
 			}
-			fmt.Printf("\n%s:\n%s\n", s.Name, core.CouplingString(res, s, 0))
+			fmt.Fprintf(stdout, "\n%s:\n%s\n", s.Name, core.CouplingString(res, s, 0))
 		}
 	}
 	if *explainFlag {
-		fmt.Println()
-		if err := writeExplainReport(os.Stdout, specs, res); err != nil {
-			fatal(err)
+		fmt.Fprintln(stdout)
+		if err := writeExplainReport(stdout, specs, res); err != nil {
+			return fail(err)
 		}
 	}
+	return 0
 }
 
 // loadProblem parses the JSON problem description into solver inputs; the
@@ -191,9 +213,4 @@ func writeExplainReport(w io.Writer, specs []core.AnalysisSpec, res core.Resourc
 		return err
 	}
 	return r.WriteText(w)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "insitu-sched:", err)
-	os.Exit(1)
 }

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"insitu/internal/analysis"
@@ -79,6 +80,13 @@ type Config struct {
 	Weights map[string]float64
 	// Lexicographic treats the weights as strict priority classes.
 	Lexicographic bool
+
+	// SolveWorkers selects the solver parallelism: Plan hands it to the
+	// branch-and-bound worker pool (see core.SolveOptions.Workers), and
+	// PlanSweep uses it as the width of its threshold fan-out (sweep
+	// solves run the serial search each, so the machine is not
+	// oversubscribed). 0 and 1 mean serial everywhere.
+	SolveWorkers int
 
 	// ProbeSteps is how many simulation steps the profiling pass advances
 	// per kernel (default 4).
@@ -161,9 +169,9 @@ func New(cfg Config) (*Campaign, error) {
 	return &Campaign{cfg: c}, nil
 }
 
-// Plan profiles every kernel against the live simulation, derives the
-// resource envelope, and solves for the optimal schedule.
-func (c *Campaign) Plan() (*Plan, error) {
+// profile probes the simulation speed and measures every kernel against the
+// live simulation.
+func (c *Campaign) profile() (specs []core.AnalysisSpec, simPerStep float64, err error) {
 	cfg := c.cfg
 
 	// Probe the simulation speed.
@@ -172,10 +180,9 @@ func (c *Campaign) Plan() (*Plan, error) {
 	for i := 0; i < probe; i++ {
 		cfg.Sim.Step()
 	}
-	simPerStep := time.Since(t0).Seconds() / float64(probe)
+	simPerStep = time.Since(t0).Seconds() / float64(probe)
 
 	// Profile kernels.
-	var specs []core.AnalysisSpec
 	for _, k := range cfg.Kernels {
 		interval := cfg.ProbeSteps / 2
 		if interval < 1 {
@@ -183,7 +190,7 @@ func (c *Campaign) Plan() (*Plan, error) {
 		}
 		costs, err := analysis.Measure(k, cfg.Sim.Step, cfg.ProbeSteps, interval)
 		if err != nil {
-			return nil, fmt.Errorf("campaign: profiling %s: %w", k.Name(), err)
+			return nil, 0, fmt.Errorf("campaign: profiling %s: %w", k.Name(), err)
 		}
 		spec := coupling.SpecFromCosts(costs, cfg.MinInterval)
 		if w, ok := cfg.Weights[spec.Name]; ok {
@@ -191,8 +198,13 @@ func (c *Campaign) Plan() (*Plan, error) {
 		}
 		specs = append(specs, spec)
 	}
+	return specs, simPerStep, nil
+}
 
-	// Resource envelope.
+// envelope derives the resource envelope from the configuration and the
+// probed simulation speed.
+func (c *Campaign) envelope(simPerStep float64) core.Resources {
+	cfg := c.cfg
 	threshold := cfg.TotalThreshold
 	if cfg.ThresholdPercent > 0 {
 		threshold = core.PercentThreshold(simPerStep, cfg.Steps, cfg.ThresholdPercent)
@@ -204,23 +216,29 @@ func (c *Campaign) Plan() (*Plan, error) {
 			mem = 1 << 20
 		}
 	}
-	res := core.Resources{
+	return core.Resources{
 		Steps:         cfg.Steps,
 		TimeThreshold: threshold,
 		MemThreshold:  mem,
 		Bandwidth:     cfg.Storage.BytesPerSec,
 	}
+}
 
+// solvePlan runs the configured scheduling solve (weighted or
+// lexicographic) for one envelope.
+func (c *Campaign) solvePlan(specs []core.AnalysisSpec, res core.Resources, opts core.SolveOptions) (*core.Recommendation, error) {
 	solve := core.Solve
-	if cfg.Lexicographic {
+	if c.cfg.Lexicographic {
 		solve = core.SolveLexicographic
 	}
-	rec, err := solve(specs, res, core.SolveOptions{})
-	if err != nil {
-		return nil, err
-	}
-	cfg.Ledger.Append(obs.LedgerEvent{
-		Type: obs.LedgerSolve, Name: "plan",
+	return solve(specs, res, opts)
+}
+
+// ledgerSolve appends one solve event to the campaign ledger (a no-op
+// without a ledger).
+func (c *Campaign) ledgerSolve(name string, rec *core.Recommendation, res core.Resources) {
+	c.cfg.Ledger.Append(obs.LedgerEvent{
+		Type: obs.LedgerSolve, Name: name,
 		Dur: float64(rec.SolveTime.Nanoseconds()) / 1e3,
 		Args: map[string]float64{
 			"nodes":     float64(rec.Stats.Nodes),
@@ -229,7 +247,82 @@ func (c *Campaign) Plan() (*Plan, error) {
 			"threshold": res.TimeThreshold,
 		},
 	})
+}
+
+// Plan profiles every kernel against the live simulation, derives the
+// resource envelope, and solves for the optimal schedule. The solve runs
+// with SolveWorkers branch-and-bound workers.
+func (c *Campaign) Plan() (*Plan, error) {
+	specs, simPerStep, err := c.profile()
+	if err != nil {
+		return nil, err
+	}
+	res := c.envelope(simPerStep)
+	rec, err := c.solvePlan(specs, res, core.SolveOptions{Workers: c.cfg.SolveWorkers})
+	if err != nil {
+		return nil, err
+	}
+	c.ledgerSolve("plan", rec, res)
 	return &Plan{Specs: specs, Resources: res, Rec: rec, SimSecPerStep: simPerStep}, nil
+}
+
+// PlanSweep profiles once and then solves the scheduling model at each of
+// the given absolute time thresholds — the campaign-level what-if sweep
+// behind threshold studies (§5.3.2/§5.3.4). The independent solves are
+// fanned out across a pool of SolveWorkers goroutines (each running the
+// serial search, so the machine is not oversubscribed); results come back
+// in input order, and ledger events ("sweep") are appended sequentially
+// after all solves finish, keeping a shared EventLog deterministic.
+func (c *Campaign) PlanSweep(thresholds []float64) ([]*Plan, error) {
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("campaign: sweep needs at least one threshold")
+	}
+	specs, simPerStep, err := c.profile()
+	if err != nil {
+		return nil, err
+	}
+	base := c.envelope(simPerStep)
+
+	plans := make([]*Plan, len(thresholds))
+	errs := make([]error, len(thresholds))
+	w := c.cfg.SolveWorkers
+	if w < 1 {
+		w = 1
+	}
+	if w > len(thresholds) {
+		w = len(thresholds)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res := base
+				res.TimeThreshold = thresholds[i]
+				rec, err := c.solvePlan(specs, res, core.SolveOptions{})
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				plans[i] = &Plan{Specs: specs, Resources: res, Rec: rec, SimSecPerStep: simPerStep}
+			}
+		}()
+	}
+	for i := range thresholds {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, p := range plans {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		c.ledgerSolve("sweep", p.Rec, p.Resources)
+	}
+	return plans, nil
 }
 
 // Execute runs the plan's schedule against the simulation.

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"insitu/internal/core"
+	"insitu/internal/obs"
+)
+
+// TestPlanSweep checks the campaign-level fan-out: plans come back in input
+// order with the requested thresholds, every solve matches an independent
+// serial re-solve of the same instance, the objective is monotone in the
+// threshold, and the ledger records one sweep event per threshold after the
+// pool drains.
+func TestPlanSweep(t *testing.T) {
+	var buf bytes.Buffer
+	ledger := obs.NewEventLog(&buf)
+	c := mdCampaign(t, 0, 0.05, func(cfg *Config) {
+		cfg.SolveWorkers = 4
+		cfg.Ledger = ledger
+	})
+	thresholds := []float64{0.02, 0.05, 0.1, 0.4, 1.5}
+	plans, err := c.PlanSweep(thresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(thresholds) {
+		t.Fatalf("got %d plans for %d thresholds", len(plans), len(thresholds))
+	}
+	prev := math.Inf(-1)
+	for i, p := range plans {
+		if p.Resources.TimeThreshold != thresholds[i] {
+			t.Fatalf("plan %d solved threshold %g, want %g", i, p.Resources.TimeThreshold, thresholds[i])
+		}
+		if err := p.Rec.Validate(p.Specs, p.Resources); err != nil {
+			t.Fatalf("plan %d fails recurrence validation: %v", i, err)
+		}
+		// Serial equivalence: the fan-out must return exactly what a direct
+		// serial solve of the same instance returns.
+		ref, err := core.Solve(p.Specs, p.Resources, core.SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ref.Objective-p.Rec.Objective) > 1e-9 {
+			t.Fatalf("plan %d objective %g, serial reference %g", i, p.Rec.Objective, ref.Objective)
+		}
+		if p.Rec.Objective < prev-1e-9 {
+			t.Fatalf("objective %g regressed below %g as the threshold grew", p.Rec.Objective, prev)
+		}
+		prev = p.Rec.Objective
+	}
+	if err := ledger.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(thresholds) {
+		t.Fatalf("ledger has %d events, want %d", len(events), len(thresholds))
+	}
+	for i, ev := range events {
+		if ev.Type != obs.LedgerSolve || ev.Name != "sweep" {
+			t.Fatalf("event %d is %s/%s, want solve/sweep", i, ev.Type, ev.Name)
+		}
+		if got := ev.Args["threshold"]; got != thresholds[i] {
+			t.Fatalf("event %d logged threshold %g, want %g (ledger order must follow input order)", i, got, thresholds[i])
+		}
+	}
+}
+
+// TestPlanSweepEmpty rejects an empty threshold list.
+func TestPlanSweepEmpty(t *testing.T) {
+	c := mdCampaign(t, 20, 0)
+	if _, err := c.PlanSweep(nil); err == nil {
+		t.Fatal("empty sweep did not error")
+	}
+}
+
+// TestPlanWithWorkers runs the single-plan path through the parallel
+// branch-and-bound search.
+func TestPlanWithWorkers(t *testing.T) {
+	c := mdCampaign(t, 20, 0, func(cfg *Config) { cfg.SolveWorkers = 2 })
+	p, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rec.Stats.Workers != 2 {
+		t.Fatalf("plan solve ran with %d workers, want 2", p.Rec.Stats.Workers)
+	}
+}

@@ -18,13 +18,27 @@ type SolveOptions struct {
 	MaxCount int
 	// Observer, when non-nil, streams one event per explored
 	// branch-and-bound node; the telemetry layer uses it to trace the
-	// search.
+	// search. Events stay serialized in deterministic order at any worker
+	// count.
 	Observer func(milp.NodeEvent)
+	// Workers selects the branch-and-bound pool width (see
+	// milp.Options.Workers): 0 and 1 keep the historical serial search
+	// byte-for-byte, >= 2 enables the parallel search with warm-started
+	// node relaxations and root presolve. The objective and bound are
+	// identical at any width.
+	Workers int
+	// NoWarmStart forces cold node relaxations in the parallel search.
+	NoWarmStart bool
 }
 
 // milpOptions translates the core options into solver options.
 func (o SolveOptions) milpOptions() milp.Options {
-	return milp.Options{MaxNodes: o.MaxNodes, Observer: o.Observer}
+	return milp.Options{
+		MaxNodes:    o.MaxNodes,
+		Observer:    o.Observer,
+		Workers:     o.Workers,
+		NoWarmStart: o.NoWarmStart,
+	}
 }
 
 // mode is one candidate (count, output-stride) schedule for an analysis.

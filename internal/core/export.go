@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"insitu/internal/milp"
 )
@@ -47,6 +48,11 @@ type SensitivityOptions struct {
 	// Tol is the absolute threshold tolerance of the bisection (default:
 	// threshold/1e4).
 	Tol float64
+	// Workers bounds how many analyses are probed concurrently (default 1:
+	// serial). Each analysis's bisection is inherently sequential, so the
+	// fan-out is across analyses; results are ordered and valued
+	// identically at any width.
+	Workers int
 }
 
 // AnalyzeThresholdSensitivity computes the per-analysis next-threshold
@@ -66,36 +72,40 @@ func AnalyzeThresholdSensitivity(specs []AnalysisSpec, res Resources, opts Solve
 		return nil, err
 	}
 
+	// Probe re-solves are throwaway what-if evaluations: they never see the
+	// caller's observer, which keeps the trace clean and the fan-out below
+	// race-free.
+	probeOpts := opts
+	probeOpts.Observer = nil
+
 	countAt := func(threshold float64, name string) (int, error) {
 		r := res
 		r.TimeThreshold = threshold
-		rec, err := Solve(specs, r, opts)
+		rec, err := Solve(specs, r, probeOpts)
 		if err != nil {
 			return 0, err
 		}
 		return rec.Schedule(name).Count, nil
 	}
 
-	var out []ThresholdSensitivity
-	for _, s := range base.Schedules {
+	analyze := func(s AnalysisSchedule) (ThresholdSensitivity, error) {
 		cur := s.Count
 		ts := ThresholdSensitivity{Name: s.Name, CurrentCount: cur}
 		hi := res.TimeThreshold * sopts.MaxFactor
 		cHi, err := countAt(hi, s.Name)
 		if err != nil {
-			return nil, err
+			return ts, err
 		}
 		if cHi <= cur {
 			ts.NextThreshold = math.Inf(1)
-			out = append(out, ts)
-			continue
+			return ts, nil
 		}
 		lo := res.TimeThreshold
 		for hi-lo > sopts.Tol {
 			mid := (lo + hi) / 2
 			c, err := countAt(mid, s.Name)
 			if err != nil {
-				return nil, err
+				return ts, err
 			}
 			if c > cur {
 				hi = mid
@@ -104,7 +114,43 @@ func AnalyzeThresholdSensitivity(specs []AnalysisSpec, res Resources, opts Solve
 			}
 		}
 		ts.NextThreshold = hi
-		out = append(out, ts)
+		return ts, nil
+	}
+
+	out := make([]ThresholdSensitivity, len(base.Schedules))
+	w := sopts.Workers
+	if w > len(base.Schedules) {
+		w = len(base.Schedules)
+	}
+	if w <= 1 {
+		for i, s := range base.Schedules {
+			if out[i], err = analyze(s); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, len(base.Schedules))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = analyze(base.Schedules[i])
+			}
+		}()
+	}
+	for i := range base.Schedules {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"insitu/internal/milp"
 )
 
 func TestExportLPContainsModel(t *testing.T) {
@@ -77,6 +79,48 @@ func TestThresholdSensitivitySaturated(t *testing.T) {
 	}
 	if !math.IsInf(out[0].NextThreshold, 1) {
 		t.Fatalf("next threshold = %g, want +Inf", out[0].NextThreshold)
+	}
+}
+
+// TestThresholdSensitivityWorkers pins the fan-out contract: probing the
+// analyses concurrently returns the same frontier, in the same order, as
+// the serial pass, and probe re-solves never reach the caller's observer.
+func TestThresholdSensitivityWorkers(t *testing.T) {
+	specs := []AnalysisSpec{
+		{Name: "A1", CT: 1.5, OT: 0.25, MinInterval: 4},
+		{Name: "A2", CT: 4.0, MinInterval: 6},
+		{Name: "A3", CT: 0.5, OT: 0.5, MinInterval: 3},
+	}
+	res := Resources{Steps: 36, TimeThreshold: 12}
+	serial, err := AnalyzeThresholdSensitivity(specs, res, SolveOptions{}, SensitivityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	opts := SolveOptions{Observer: func(milp.NodeEvent) { events++ }}
+	par, err := AnalyzeThresholdSensitivity(specs, res, opts, SensitivityOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("got %d entries, serial %d", len(par), len(serial))
+	}
+	for i := range par {
+		if par[i] != serial[i] {
+			t.Fatalf("entry %d: %+v, serial %+v", i, par[i], serial[i])
+		}
+	}
+	// Only the base solve streams to the observer; the bisection probes are
+	// throwaway what-ifs.
+	if events == 0 {
+		t.Fatal("base solve never reached the observer")
+	}
+	baseOnly := 0
+	if _, err := Solve(specs, res, SolveOptions{Observer: func(milp.NodeEvent) { baseOnly++ }}); err != nil {
+		t.Fatal(err)
+	}
+	if events != baseOnly {
+		t.Fatalf("observer saw %d events, want %d (base solve only)", events, baseOnly)
 	}
 }
 

@@ -93,6 +93,10 @@ func SolveLexicographic(specs []AnalysisSpec, res Resources, opts SolveOptions) 
 		out.Stats.Relaxations += rec.Stats.Relaxations
 		out.Stats.Pivots += rec.Stats.Pivots
 		out.Stats.SolveTime += rec.Stats.SolveTime
+		out.Stats.Workers = rec.Stats.Workers
+		out.Stats.WarmSolves += rec.Stats.WarmSolves
+		out.Stats.ColdSolves += rec.Stats.ColdSolves
+		out.Stats.PresolveTightened += rec.Stats.PresolveTightened
 	}
 	out.PeakMemory = exactPeakMemory(norm, res, out.Schedules)
 	if err := out.Validate(specs, res); err != nil {

@@ -385,9 +385,11 @@ func FormatFigure5(rows []Figure5Row) string {
 // Solver-runtime summary (§5.3: CPLEX took 0.17-1.36 s per instance).
 // ---------------------------------------------------------------------------
 
-// SolverRuntime solves every scheduling instance of Tables 5-8 and returns
-// the min and max solve times.
-func SolverRuntime() (min, max time.Duration, err error) {
+// SolverRuntime solves every scheduling instance of Tables 5-6 with the
+// given branch-and-bound pool width (≤1 = legacy serial search) and returns
+// the min and max solve times. The schedules themselves are identical at
+// any width; only the wall time moves.
+func SolverRuntime(workers int) (min, max time.Duration, err error) {
 	min = time.Duration(1 << 62)
 	record := func(d time.Duration) {
 		if d < min {
@@ -397,14 +399,15 @@ func SolverRuntime() (min, max time.Duration, err error) {
 			max = d
 		}
 	}
-	t5, err := Table5()
+	opts := core.SolveOptions{Workers: workers}
+	t5, err := table5(opts)
 	if err != nil {
 		return 0, 0, err
 	}
 	for _, r := range t5 {
 		record(r.SolveTime)
 	}
-	t6, err := Table6()
+	t6, err := table6(opts)
 	if err != nil {
 		return 0, 0, err
 	}

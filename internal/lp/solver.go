@@ -1,0 +1,102 @@
+package lp
+
+// Solver re-solves one linear program under varying variable bounds, the
+// access pattern of LP-relaxation branch and bound: the constraint matrix
+// and objective never change between nodes, only the bounds of the
+// branching variables move. Two things make it much cheaper than calling
+// Solve per node:
+//
+//   - Warm starts. After an optimal solve, a bound change leaves the basis
+//     dual feasible, so Solve restores primal feasibility with a short
+//     bounded-variable dual-simplex run instead of re-running phase 1 from
+//     scratch. Typical branch-and-bound children need a handful of dual
+//     pivots where a cold solve needs dozens of phase-1+phase-2 pivots.
+//   - Buffer reuse. Cold rebuilds recycle the previous tableau's arrays,
+//     eliminating the per-node make([][]float64) storm that dominated the
+//     solver's allocation profile.
+//
+// A Solver is not safe for concurrent use; the parallel branch-and-bound
+// driver gives each worker its own. SolveCold is arithmetic-identical to
+// Solve(p) with the same bounds (only the allocations differ), which is what
+// lets the serial search keep its byte-exact golden outputs while routing
+// through a Solver.
+type Solver struct {
+	p *Problem
+	t *tableau
+
+	hasBasis  bool
+	sinceCold int
+
+	// Lean skips the diagnostic solution fields (duals, reduced costs, row
+	// activity) that branch and bound never reads.
+	Lean bool
+	// NoWarm forces every Solve through the cold path (for byte-exact
+	// serial reproduction and for measuring warm-start savings).
+	NoWarm bool
+
+	// Stats counts the solves by path and the simplex iterations spent.
+	Stats SolverStats
+}
+
+// SolverStats instruments a Solver's lifetime.
+type SolverStats struct {
+	Warm   int // solves answered from a warm-started basis
+	Cold   int // solves that (re)built the tableau from scratch
+	Pivots int // simplex iterations (primal and dual) across all solves
+}
+
+// warmRebuildEvery bounds how many consecutive warm re-solves may reuse one
+// factorization before a cold rebuild refreshes it; Gauss-Jordan updates
+// accumulate roundoff, and a periodic rebuild keeps the basis trustworthy.
+const warmRebuildEvery = 64
+
+// NewSolver validates the problem once and returns a reusable solver for it.
+// The problem must not be mutated afterwards; pass per-solve bounds to Solve
+// instead.
+func NewSolver(p *Problem) (*Solver, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Solver{p: p}, nil
+}
+
+// Solve solves the problem under the given bounds, warm-starting from the
+// previous solve's basis when possible, and reports whether the warm path
+// produced the answer. Warm results are only trusted at optimality: an
+// unsuccessful or non-optimal restoration falls back to a cold solve, so
+// infeasibility verdicts always carry a phase-1 certificate. Conflicting
+// bounds (lower above upper) short-circuit to an Infeasible solution.
+func (s *Solver) Solve(lower, upper []float64) (*Solution, bool) {
+	for j := range lower {
+		if lower[j] > upper[j] {
+			return &Solution{Status: Infeasible}, false
+		}
+	}
+	if !s.NoWarm && s.hasBasis && s.sinceCold < warmRebuildEvery {
+		if sol, ok := s.t.resolve(lower, upper); ok {
+			s.sinceCold++
+			s.Stats.Warm++
+			s.Stats.Pivots += sol.Iters
+			return sol, true
+		}
+		// The failed restoration left the tableau mid-pivot; the cold
+		// rebuild below discards it.
+		s.hasBasis = false
+	}
+	return s.SolveCold(lower, upper), false
+}
+
+// SolveCold rebuilds the tableau for the given bounds (reusing the previous
+// tableau's buffers) and solves from scratch with the two-phase primal
+// simplex — the same arithmetic as Solve(p) on a problem carrying these
+// bounds.
+func (s *Solver) SolveCold(lower, upper []float64) *Solution {
+	s.t = buildTableau(s.p, lower, upper, s.t)
+	s.t.lean = s.Lean
+	sol := s.t.solve()
+	s.hasBasis = sol.Status == Optimal
+	s.sinceCold = 0
+	s.Stats.Cold++
+	s.Stats.Pivots += sol.Iters
+	return sol
+}

@@ -4,23 +4,38 @@ import "math"
 
 // tableau is the bounded-variable simplex working representation:
 //
-//	maximize  c·y   subject to  A y = b,  0 <= y_j <= u_j
+//	maximize  c·y   subject to  A y = b,  lo_j <= y_j <= u_j
 //
-// where y holds shifted originals (x_j = lo_j + y_j), one slack/surplus
+// where y holds shifted originals (x_j = shift_j + y_j), one slack/surplus
 // column per inequality row, and phase-1 artificials. Upper bounds are
 // handled implicitly — nonbasic variables may rest at their lower OR upper
 // bound, and the ratio test admits bound flips — so bounded variables cost
 // no extra rows, which matters for the binary-heavy scheduling MILPs built
 // on top of this solver.
+//
+// A cold build captures shift_j from the build-time lower bounds, so every
+// lo_j starts at zero; a warm re-solve (resolve) keeps the factorized basis
+// and only moves lo/u, which is why the per-column lower bounds exist at
+// all. Buffers are reused across builds via buildTableau's reuse parameter —
+// the branch-and-bound hot path re-solves thousands of times and the
+// make([][]float64) storm used to dominate its allocation profile.
 type tableau struct {
 	p *Problem
 
-	m, n int         // rows, structural+slack columns (artificials appended after n)
-	a    [][]float64 // m x width coefficient matrix, canonical w.r.t. basis
-	val  []float64   // current VALUE of the basic variable in each row
-	c    []float64   // phase-2 objective over all columns
-	u    []float64   // upper bound per column (+Inf when unbounded)
-	cons float64     // objective constant from bound shifting
+	m, n  int         // rows, structural+slack columns (artificials appended after n)
+	a     [][]float64 // m x width coefficient matrix, canonical w.r.t. basis
+	val   []float64   // current VALUE of the basic variable in each row
+	c     []float64   // phase-2 objective over all columns
+	lo    []float64   // lower bound per column (0 after a cold build)
+	u     []float64   // upper bound per column (+Inf when unbounded)
+	cons  float64     // objective constant from bound shifting
+	shift []float64   // per-original-variable shift captured at build time
+
+	// curLow/curUp are the original-space bounds of the current solve, used
+	// to snap extracted values; they track warm bound changes while shift
+	// stays fixed.
+	curLow []float64
+	curUp  []float64
 
 	basis   []int  // basic column per row
 	inBasis []bool // column -> basic?
@@ -28,6 +43,12 @@ type tableau struct {
 	width   int    // total columns incl. artificials
 	nArt    int
 	iters   int
+	lean    bool // skip duals/reduced costs/activity in extracted solutions
+
+	// cb and objScratch are per-solve scratch buffers (basic objective
+	// coefficients; the phase-1 objective).
+	cb         []float64
+	objScratch []float64
 
 	// consSlack maps each original constraint to its slack/surplus column
 	// (-1 for equality rows), and consSense records the original sense, for
@@ -37,55 +58,77 @@ type tableau struct {
 }
 
 func newTableau(p *Problem) *tableau {
+	return buildTableau(p, p.Lower, p.Upper, nil)
+}
+
+// buildTableau constructs (or, when reuse matches the problem shape,
+// rebuilds in place) the cold tableau for the given bounds. The arithmetic
+// is identical whether or not buffers are reused — only the allocations
+// differ — so warm-capable callers produce byte-identical solutions to
+// lp.Solve.
+func buildTableau(p *Problem, lower, upper []float64, reuse *tableau) *tableau {
 	nOrig := p.NumVars()
-
-	type rowSpec struct {
-		coef  []float64
-		sense Sense
-		rhs   float64
-	}
-	rows := make([]rowSpec, 0, len(p.Constraints))
-	consSense := make([]Sense, len(p.Constraints))
-	for rIdx, c := range p.Constraints {
-		consSense[rIdx] = c.Sense
-		// Shift RHS for lower bounds: a·(lo+y) <= b  =>  a·y <= b - a·lo.
-		shift := 0.0
-		for j, v := range c.Coef {
-			shift += v * p.Lower[j]
-		}
-		rows = append(rows, rowSpec{coef: c.Coef, sense: c.Sense, rhs: c.RHS - shift})
-	}
-
-	m := len(rows)
+	m := len(p.Constraints)
 	nSlack := 0
-	for _, r := range rows {
-		if r.sense != EQ {
+	for _, c := range p.Constraints {
+		if c.Sense != EQ {
 			nSlack++
 		}
 	}
 	n := nOrig + nSlack
 	width := n + m // room for artificials
 
-	t := &tableau{p: p, m: m, n: n, width: width, consSense: consSense}
-	t.a = make([][]float64, m)
-	for i := range t.a {
-		t.a[i] = make([]float64, width)
+	var t *tableau
+	if reuse != nil && reuse.p == p && reuse.m == m && reuse.n == n && reuse.width == width {
+		t = reuse
+		for i := range t.a {
+			row := t.a[i]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		for j := 0; j < width; j++ {
+			t.c[j] = 0
+			t.lo[j] = 0
+			t.u[j] = 0
+			t.inBasis[j] = false
+			t.atUpper[j] = false
+		}
+		t.cons = 0
+		t.nArt = 0
+		t.iters = 0
+	} else {
+		t = &tableau{p: p, m: m, n: n, width: width}
+		t.a = make([][]float64, m)
+		for i := range t.a {
+			t.a[i] = make([]float64, width)
+		}
+		t.val = make([]float64, m)
+		t.c = make([]float64, width)
+		t.lo = make([]float64, width)
+		t.u = make([]float64, width)
+		t.shift = make([]float64, nOrig)
+		t.curLow = make([]float64, nOrig)
+		t.curUp = make([]float64, nOrig)
+		t.basis = make([]int, m)
+		t.inBasis = make([]bool, width)
+		t.atUpper = make([]bool, width)
+		t.cb = make([]float64, m)
+		t.objScratch = make([]float64, width)
+		t.consSlack = make([]int, m)
+		t.consSense = make([]Sense, m)
 	}
-	t.val = make([]float64, m)
-	t.c = make([]float64, width)
-	t.u = make([]float64, width)
-	t.basis = make([]int, m)
-	t.inBasis = make([]bool, width)
-	t.atUpper = make([]bool, width)
-	t.consSlack = make([]int, len(p.Constraints))
+	copy(t.shift, lower)
+	copy(t.curLow, lower)
+	copy(t.curUp, upper)
 	for r := range t.consSlack {
 		t.consSlack[r] = -1
 	}
 
 	for j := 0; j < nOrig; j++ {
 		t.c[j] = p.Objective[j]
-		t.cons += p.Objective[j] * p.Lower[j]
-		t.u[j] = p.Upper[j] - p.Lower[j]
+		t.cons += p.Objective[j] * lower[j]
+		t.u[j] = upper[j] - lower[j]
 	}
 	for j := nOrig; j < width; j++ {
 		t.u[j] = math.Inf(1)
@@ -93,10 +136,16 @@ func newTableau(p *Problem) *tableau {
 
 	slack := nOrig
 	art := n
-	for i, r := range rows {
-		copy(t.a[i], r.coef)
-		rhs := r.rhs
-		sense := r.sense
+	for i, c := range p.Constraints {
+		t.consSense[i] = c.Sense
+		// Shift RHS for lower bounds: a·(lo+y) <= b  =>  a·y <= b - a·lo.
+		shift := 0.0
+		for j, v := range c.Coef {
+			shift += v * lower[j]
+		}
+		rhs := c.RHS - shift
+		sense := c.Sense
+		copy(t.a[i], c.Coef)
 		// Normalize to non-negative RHS so artificials start feasible.
 		if rhs < 0 {
 			for j := 0; j < nOrig; j++ {
@@ -115,15 +164,11 @@ func newTableau(p *Problem) *tableau {
 		case LE:
 			t.a[i][slack] = 1
 			t.setBasic(i, slack)
-			if i < len(p.Constraints) {
-				t.consSlack[i] = slack
-			}
+			t.consSlack[i] = slack
 			slack++
 		case GE:
 			t.a[i][slack] = -1
-			if i < len(p.Constraints) {
-				t.consSlack[i] = slack
-			}
+			t.consSlack[i] = slack
 			slack++
 			t.a[i][art] = 1
 			t.setBasic(i, art)
@@ -147,7 +192,10 @@ func (t *tableau) setBasic(row, col int) {
 func (t *tableau) solve() *Solution {
 	// Phase 1: drive the artificials to zero.
 	if t.nArt > 0 {
-		phase1 := make([]float64, t.width)
+		phase1 := t.objScratch
+		for j := range phase1 {
+			phase1[j] = 0
+		}
 		for j := t.n; j < t.n+t.nArt; j++ {
 			phase1[j] = -1
 		}
@@ -194,11 +242,21 @@ func (t *tableau) solve() *Solution {
 	if status != Optimal {
 		return &Solution{Status: status, Iters: t.iters}
 	}
+	return t.extract(obj)
+}
 
+// extract materializes the current optimal basis into a Solution, snapping
+// values near the current bounds onto them. In lean mode the diagnostic
+// fields (duals, reduced costs, row activity) are skipped — the
+// branch-and-bound hot path never reads them and their allocations dominate
+// a node solve.
+func (t *tableau) extract(obj float64) *Solution {
 	x := make([]float64, t.p.NumVars())
 	for j := range x {
 		if t.atUpper[j] {
 			x[j] = t.u[j]
+		} else if t.lo[j] != 0 {
+			x[j] = t.lo[j]
 		}
 	}
 	for i, col := range t.basis {
@@ -207,13 +265,16 @@ func (t *tableau) solve() *Solution {
 		}
 	}
 	for j := range x {
-		x[j] += t.p.Lower[j]
-		if math.Abs(x[j]-t.p.Lower[j]) < feasTol {
-			x[j] = t.p.Lower[j]
+		x[j] += t.shift[j]
+		if math.Abs(x[j]-t.curLow[j]) < feasTol {
+			x[j] = t.curLow[j]
 		}
-		if !math.IsInf(t.p.Upper[j], 1) && math.Abs(x[j]-t.p.Upper[j]) < feasTol {
-			x[j] = t.p.Upper[j]
+		if !math.IsInf(t.curUp[j], 1) && math.Abs(x[j]-t.curUp[j]) < feasTol {
+			x[j] = t.curUp[j]
 		}
+	}
+	if t.lean {
+		return &Solution{Status: Optimal, X: x, Objective: obj + t.cons, Iters: t.iters}
 	}
 	activity, slacks := rowActivity(t.p, x)
 	return &Solution{
@@ -226,6 +287,177 @@ func (t *tableau) solve() *Solution {
 		RowActivity:  activity,
 		Slacks:       slacks,
 	}
+}
+
+// applyBounds installs new original-space bounds into a previously solved
+// tableau: each column's lo/u move to the new values (still relative to the
+// build-time shift), and nonbasic columns that rest at a moved bound carry
+// their displacement into the basic values. Basic columns just get the new
+// bounds; any violation is what the dual restoration repairs.
+func (t *tableau) applyBounds(lower, upper []float64) {
+	nOrig := t.p.NumVars()
+	for j := 0; j < nOrig; j++ {
+		nlo := lower[j] - t.shift[j]
+		nup := math.Inf(1)
+		if !math.IsInf(upper[j], 1) {
+			nup = upper[j] - t.shift[j]
+		}
+		if t.inBasis[j] {
+			t.lo[j], t.u[j] = nlo, nup
+			continue
+		}
+		oldRest := t.lo[j]
+		if t.atUpper[j] {
+			oldRest = t.u[j]
+		}
+		t.lo[j], t.u[j] = nlo, nup
+		if t.atUpper[j] && math.IsInf(nup, 1) {
+			t.atUpper[j] = false
+		}
+		newRest := t.lo[j]
+		if t.atUpper[j] {
+			newRest = t.u[j]
+		}
+		if delta := newRest - oldRest; delta != 0 {
+			for i := 0; i < t.m; i++ {
+				if aij := t.a[i][j]; aij != 0 {
+					t.val[i] -= aij * delta
+				}
+			}
+		}
+	}
+	copy(t.curLow, lower)
+	copy(t.curUp, upper)
+}
+
+// dualPivTol is the minimum pivot magnitude the dual restoration accepts;
+// smaller pivots are numerically risky, and bailing out just costs one cold
+// solve.
+const dualPivTol = 1e-7
+
+// dualRestore runs the bounded-variable dual simplex until primal
+// feasibility is restored, starting from a dual-feasible (previously
+// optimal) basis whose bounds have moved. It returns false when it finds no
+// admissible pivot or exceeds its iteration budget — the caller must then
+// re-solve cold, which also turns a possible "restoration failed because
+// the subproblem is infeasible" into a phase-1-certified verdict instead of
+// trusting a warm-path conclusion.
+func (t *tableau) dualRestore() bool {
+	maxIter := 50 + 2*(t.m+t.width)
+	ncols := t.n + t.nArt
+	for iter := 0; iter < maxIter; iter++ {
+		// Leaving row: the most-violated basic variable.
+		r := -1
+		above := false
+		worst := feasTol
+		for i := 0; i < t.m; i++ {
+			b := t.basis[i]
+			if v := t.lo[b] - t.val[i]; v > worst {
+				worst, r, above = v, i, false
+			}
+			if v := t.val[i] - t.u[b]; v > worst {
+				worst, r, above = v, i, true
+			}
+		}
+		if r < 0 {
+			return true
+		}
+		t.iters++
+		for i := 0; i < t.m; i++ {
+			t.cb[i] = t.c[t.basis[i]]
+		}
+		// Entering column: among sign-admissible nonbasic columns (those
+		// whose pivot keeps every reduced cost on its feasible side), take
+		// the minimum |d_j|/|a_rj| ratio; ties break on the smallest index
+		// so the restoration is deterministic.
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < ncols; j++ {
+			if t.inBasis[j] || t.u[j]-t.lo[j] < eps {
+				continue // basic, or fixed: cannot move
+			}
+			alpha := t.a[r][j]
+			if math.Abs(alpha) < dualPivTol {
+				continue
+			}
+			// The leaving variable exits at its violated bound; its new
+			// reduced cost is -d_j/alpha, which must be <= 0 when it leaves
+			// at its lower bound and >= 0 at its upper bound. Combined with
+			// the sign of d_j at each resting side, that fixes the
+			// admissible sign of alpha.
+			if !above {
+				if !t.atUpper[j] && alpha > -dualPivTol {
+					continue
+				}
+				if t.atUpper[j] && alpha < dualPivTol {
+					continue
+				}
+			} else {
+				if !t.atUpper[j] && alpha < dualPivTol {
+					continue
+				}
+				if t.atUpper[j] && alpha > -dualPivTol {
+					continue
+				}
+			}
+			d := t.c[j]
+			for i := 0; i < t.m; i++ {
+				if t.cb[i] != 0 {
+					d -= t.cb[i] * t.a[i][j]
+				}
+			}
+			ratio := math.Abs(d) / math.Abs(alpha)
+			if ratio < bestRatio-eps || (ratio < bestRatio+eps && enter >= 0 && j < enter) {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return false
+		}
+
+		// Step length: move the entering variable until the leaving basic
+		// variable reaches its violated bound.
+		bound := t.lo[t.basis[r]]
+		if above {
+			bound = t.u[t.basis[r]]
+		}
+		alpha := t.a[r][enter]
+		step := (t.val[r] - bound) / alpha
+		rest := t.lo[enter]
+		if t.atUpper[enter] {
+			rest = t.u[enter]
+		}
+		for i := 0; i < t.m; i++ {
+			if aij := t.a[i][enter]; aij != 0 {
+				t.val[i] -= aij * step
+			}
+		}
+		leavingCol := t.basis[r]
+		t.pivot(r, enter, t.atUpper[enter])
+		t.val[r] = rest + step
+		t.inBasis[leavingCol] = false
+		t.atUpper[leavingCol] = above
+	}
+	return false
+}
+
+// resolve warm-starts the previously solved tableau under new bounds: apply
+// the bound deltas, restore primal feasibility with the dual simplex, then
+// let the primal simplex finish (usually zero pivots). The boolean reports
+// success; on false the tableau state is unreliable and the caller must
+// rebuild cold.
+func (t *tableau) resolve(lower, upper []float64) (*Solution, bool) {
+	t.iters = 0
+	t.applyBounds(lower, upper)
+	if !t.dualRestore() {
+		return nil, false
+	}
+	status, obj := t.simplex(t.c)
+	if status != Optimal {
+		return nil, false
+	}
+	return t.extract(obj), true
 }
 
 // reducedCosts returns c_j - z_j for each original variable at the current
@@ -312,15 +544,20 @@ func (t *tableau) duals() []float64 {
 }
 
 // objValue evaluates obj at the current basic solution, including nonbasic
-// columns resting at finite upper bounds.
+// columns resting at finite upper bounds or nonzero lower bounds.
 func (t *tableau) objValue(obj []float64) float64 {
 	v := 0.0
 	for i := 0; i < t.m; i++ {
 		v += obj[t.basis[i]] * t.val[i]
 	}
 	for j := 0; j < t.n+t.nArt; j++ {
-		if !t.inBasis[j] && t.atUpper[j] && obj[j] != 0 {
+		if t.inBasis[j] || obj[j] == 0 {
+			continue
+		}
+		if t.atUpper[j] {
 			v += obj[j] * t.u[j]
+		} else if t.lo[j] != 0 {
+			v += obj[j] * t.lo[j]
 		}
 	}
 	return v
@@ -333,7 +570,7 @@ func (t *tableau) objValue(obj []float64) float64 {
 // entering variable flipping to its opposite bound.
 func (t *tableau) simplex(obj []float64) (Status, float64) {
 	maxIters := 20000 + 200*(t.m+t.width)
-	cb := make([]float64, t.m)
+	cb := t.cb
 	ncols := t.n + t.nArt
 	for iter := 0; ; iter++ {
 		if t.iters++; t.iters > maxIters {
@@ -384,7 +621,7 @@ func (t *tableau) simplex(obj []float64) (Status, float64) {
 		if t.atUpper[enter] {
 			dir = -1
 		}
-		limit := t.u[enter] // bound-flip distance (may be +Inf)
+		limit := t.u[enter] - t.lo[enter] // bound-flip distance (may be +Inf)
 		leave := -1
 		leaveAtUpper := false
 		for i := 0; i < t.m; i++ {
@@ -392,8 +629,8 @@ func (t *tableau) simplex(obj []float64) (Status, float64) {
 			var ratio float64
 			var hitsUpper bool
 			switch {
-			case d > eps: // basic value decreases toward 0
-				ratio = t.val[i] / d
+			case d > eps: // basic value decreases toward its lower bound
+				ratio = (t.val[i] - t.lo[t.basis[i]]) / d
 			case d < -eps: // basic value increases toward its upper bound
 				ub := t.u[t.basis[i]]
 				if math.IsInf(ub, 1) {
@@ -422,8 +659,8 @@ func (t *tableau) simplex(obj []float64) (Status, float64) {
 			// opposite bound without any basic variable blocking.
 			for i := 0; i < t.m; i++ {
 				t.val[i] -= dir * t.a[i][enter] * limit
-				if t.val[i] < 0 && t.val[i] > -feasTol {
-					t.val[i] = 0
+				if lb := t.lo[t.basis[i]]; t.val[i] < lb && t.val[i] > lb-feasTol {
+					t.val[i] = lb
 				}
 			}
 			t.atUpper[enter] = !t.atUpper[enter]
@@ -432,14 +669,14 @@ func (t *tableau) simplex(obj []float64) (Status, float64) {
 
 		// Pivot: entering becomes basic at its new value; the leaving
 		// variable exits at whichever bound it hit.
-		newVal := dir * limit
+		newVal := t.lo[enter] + dir*limit
 		if t.atUpper[enter] {
 			newVal = t.u[enter] + dir*limit // dir = -1: u - limit
 		}
 		for i := 0; i < t.m; i++ {
 			t.val[i] -= dir * t.a[i][enter] * limit
-			if t.val[i] < 0 && t.val[i] > -feasTol {
-				t.val[i] = 0
+			if lb := t.lo[t.basis[i]]; t.val[i] < lb && t.val[i] > lb-feasTol {
+				t.val[i] = lb
 			}
 		}
 		leavingCol := t.basis[leave]

@@ -6,9 +6,12 @@
 // The solver performs best-first search on the LP bound with an initial
 // depth-first dive to find an incumbent quickly, branches on the most
 // fractional integer variable, and prunes nodes whose LP bound cannot beat
-// the incumbent. For the pure-binary compact scheduling models in package
-// core, solve times are well under a millisecond; the time-indexed full
-// model with hundreds of binaries solves in milliseconds at test scale.
+// the incumbent. With Options.Workers >= 2 the search runs in
+// wave-synchronous parallel mode with warm-started node re-solves and a
+// root presolve (see parallel.go for the determinism contract). For the
+// pure-binary compact scheduling models in package core, solve times are
+// well under a millisecond; the time-indexed full model with hundreds of
+// binaries solves in milliseconds at test scale.
 package milp
 
 import (
@@ -106,6 +109,15 @@ type Stats struct {
 	Incumbents  []Incumbent   // improvement trajectory, in discovery order
 	BestBound   float64       // best remaining bound at termination (== Solution.Bound)
 	SolveTime   time.Duration // wall time of the search
+	// Workers is the pool width the search ran with (1 for the serial
+	// search). WarmSolves/ColdSolves split the node relaxations by path
+	// (heuristic re-solves, always cold, are excluded), and
+	// PresolveTightened counts the root bound reductions; all three are
+	// deterministic for a fixed Workers value.
+	Workers           int
+	WarmSolves        int
+	ColdSolves        int
+	PresolveTightened int
 }
 
 // Incumbent is one point of the incumbent-improvement trajectory.
@@ -150,13 +162,30 @@ type Options struct {
 	// prove optimality).
 	Gap float64
 	// Observer, when non-nil, is called once per explored node with the
-	// node's outcome. It runs synchronously inside the search loop, so it
-	// must be cheap; it is the hook the telemetry layer uses to stream the
-	// search into a trace.
+	// node's outcome. It runs synchronously inside the search loop (node
+	// events are serialized in deterministic order at any worker count), so
+	// it must be cheap; it is the hook the telemetry layer uses to stream
+	// the search into a trace.
 	Observer func(NodeEvent)
 	// Now is the clock used for Stats.SolveTime (default time.Now);
 	// injectable so tests are deterministic.
 	Now func() time.Time
+	// Workers is the width of the node-solving pool. 0 and 1 select the
+	// historical serial search, byte-identical to previous releases
+	// (golden observer streams and snapshots included). Values >= 2 enable
+	// the wave-synchronous parallel search with warm-started node
+	// relaxations and a root presolve: the explored tree is deterministic
+	// for a fixed width, and the returned objective and terminal bound are
+	// identical at any width. Use AutoWorkers to map a CLI-style 0 to the
+	// machine width when parallelism is wanted by default.
+	Workers int
+	// NoWarmStart forces every node relaxation of the parallel search onto
+	// the cold path (the serial search is always cold). The perfbench
+	// suite uses it to measure warm-start pivot savings.
+	NoWarmStart bool
+	// NoPresolve disables the parallel search's root bound-tightening
+	// presolve.
+	NoPresolve bool
 }
 
 func (o Options) withDefaults() Options {
@@ -173,6 +202,9 @@ func (o Options) withDefaults() Options {
 }
 
 type node struct {
+	// lower/upper are the node's variable bounds. Children alias the
+	// parent's slice on the side their branch did not move, so these must
+	// never be mutated after the node is created.
 	lower []float64
 	upper []float64
 	bound float64 // LP bound (objective of relaxation)
@@ -196,24 +228,28 @@ func (q *nodeQueue) Pop() interface{} {
 	old := *q
 	n := len(old)
 	it := old[n-1]
+	old[n-1] = nil // release the node (and its bound vectors) to the GC
 	*q = old[:n-1]
 	return it
 }
 
-// Solve runs branch and bound and returns the best integer-feasible solution.
-func Solve(p *Problem, opts Options) (*Solution, error) {
-	opts = opts.withDefaults()
-	started := opts.Now()
-	var stats Stats
-	// finish stamps the search statistics and the terminal bound onto sol.
-	finish := func(sol *Solution, bound float64) *Solution {
-		stats.Nodes = sol.Nodes
-		stats.BestBound = bound
-		stats.SolveTime = opts.Now().Sub(started)
-		sol.Bound = bound
-		sol.Stats = stats
-		return sol
-	}
+// search carries the state of one branch-and-bound run; the serial and
+// parallel drivers share it so node accounting, observer events, pruning,
+// and incumbent management behave identically.
+type search struct {
+	p           *Problem
+	opts        Options
+	started     time.Time
+	stats       Stats
+	integralObj bool
+	best        *Solution
+	queue       *nodeQueue
+	nodes       int
+}
+
+// newSearch validates the problem and prepares the shared search state.
+func newSearch(p *Problem, opts Options) (*search, error) {
+	s := &search{p: p, opts: opts, started: opts.Now()}
 	if len(p.Integer) != p.LP.NumVars() {
 		return nil, fmt.Errorf("milp: integrality vector has %d entries for %d variables", len(p.Integer), p.LP.NumVars())
 	}
@@ -230,200 +266,304 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	// objectives are integers, so a node whose LP bound is below
 	// incumbent+1 can be pruned. This collapses plateaus of symmetric
 	// solutions (e.g. equally weighted analyses).
-	integralObj := true
+	s.integralObj = true
 	for j, c := range p.LP.Objective {
 		if p.Integer[j] {
 			if math.Abs(c-math.Round(c)) > 1e-9 {
-				integralObj = false
+				s.integralObj = false
 				break
 			}
 		} else if c != 0 {
-			integralObj = false
+			s.integralObj = false
 			break
 		}
 	}
-	pruneTol := func(incumbent float64, hasInc bool) float64 {
-		t := boundTol(incumbent, opts.Gap)
-		if integralObj && hasInc {
-			// Bound must reach at least incumbent+1 to matter.
-			if need := 1 - 1e-6; need > t {
-				return need
+
+	s.best = &Solution{Status: Infeasible, Objective: math.Inf(-1)}
+	s.queue = &nodeQueue{}
+	heap.Init(s.queue)
+	return s, nil
+}
+
+// finish stamps the search statistics and the terminal bound onto sol.
+func (s *search) finish(sol *Solution, bound float64) *Solution {
+	s.stats.Workers = s.opts.Workers
+	if s.stats.Workers < 2 {
+		s.stats.Workers = 1
+	}
+	s.stats.Nodes = sol.Nodes
+	s.stats.BestBound = bound
+	s.stats.SolveTime = s.opts.Now().Sub(s.started)
+	sol.Bound = bound
+	sol.Stats = s.stats
+	return sol
+}
+
+// pruneTol is the margin a node bound must clear above the incumbent to
+// stay interesting.
+func (s *search) pruneTol() float64 {
+	t := boundTol(s.best.Objective, s.opts.Gap)
+	if s.integralObj && s.best.HasX {
+		// Bound must reach at least incumbent+1 to matter.
+		if need := 1 - 1e-6; need > t {
+			return need
+		}
+	}
+	return t
+}
+
+// recordIncumbent extends the improvement trajectory; bound is the
+// tightest global bound known at that moment.
+func (s *search) recordIncumbent(nodes int, obj, bound float64) {
+	s.stats.Incumbents = append(s.stats.Incumbents, Incumbent{Node: nodes, Objective: obj, Bound: bound})
+}
+
+func (s *search) observe(nd *node, bound float64, action string) {
+	if s.opts.Observer == nil {
+		return
+	}
+	s.opts.Observer(NodeEvent{
+		Node:        s.nodes,
+		Depth:       nd.depth,
+		Bound:       bound,
+		Incumbent:   s.best.Objective,
+		HasInc:      s.best.HasX,
+		Action:      action,
+		Parent:      nd.parent,
+		BranchVar:   nd.branchVar,
+		BranchDir:   nd.branchDir,
+		BranchBound: nd.branchBound,
+	})
+}
+
+// globalBound is the best remaining upper bound: the maximum of the open
+// nodes' bounds (the heap keeps the best first), the incumbent, and extra —
+// the best bound among nodes the parallel driver has popped for the current
+// wave but not yet processed (-Inf in the serial search).
+func (s *search) globalBound(extra float64) float64 {
+	b := math.Inf(-1)
+	if s.best.HasX {
+		b = s.best.Objective
+	}
+	if s.queue.Len() > 0 && (*s.queue)[0].bound > b {
+		b = (*s.queue)[0].bound
+	}
+	if extra > b {
+		b = extra
+	}
+	return b
+}
+
+// expand branches nd on its most fractional variable and queues both
+// children. Each child clones only the bound vector its branch moves and
+// aliases the parent's other vector — halving the allocation rate of the
+// hottest path in the search (nodes never mutate their vectors).
+func (s *search) expand(nd *node, relaxSol *lp.Solution, parentID int) {
+	j := mostFractional(s.p, relaxSol.X, s.opts.IntTol)
+	if j < 0 {
+		return
+	}
+	v := relaxSol.X[j]
+	downUpper := append([]float64(nil), nd.upper...)
+	downUpper[j] = math.Floor(v + s.opts.IntTol)
+	down := &node{
+		lower:       nd.lower,
+		upper:       downUpper,
+		bound:       relaxSol.Objective,
+		depth:       nd.depth + 1,
+		parent:      parentID,
+		branchVar:   j,
+		branchDir:   "down",
+		branchBound: downUpper[j],
+	}
+	upLower := append([]float64(nil), nd.lower...)
+	upLower[j] = math.Ceil(v - s.opts.IntTol)
+	up := &node{
+		lower:       upLower,
+		upper:       nd.upper,
+		bound:       relaxSol.Objective,
+		depth:       nd.depth + 1,
+		parent:      parentID,
+		branchVar:   j,
+		branchDir:   "up",
+		branchBound: upLower[j],
+	}
+	heap.Push(s.queue, down)
+	heap.Push(s.queue, up)
+}
+
+// consume processes one solved node exactly the way the historical serial
+// loop did: account it, then dispatch on infeasible / pruned / integral /
+// branched. extra is the best bound among popped-but-unprocessed wave nodes
+// (-Inf in the serial search), folded into the global bound recorded with
+// new incumbents.
+func (s *search) consume(nd *node, relaxSol *lp.Solution, warm bool, heur *heurCtx, extra float64) {
+	s.nodes++
+	s.stats.Relaxations++
+	s.stats.Pivots += relaxSol.Iters
+	if warm {
+		s.stats.WarmSolves++
+	} else {
+		s.stats.ColdSolves++
+	}
+	if relaxSol.Status != lp.Optimal {
+		s.observe(nd, nd.bound, "infeasible")
+		return // infeasible subtree (unbounded cannot appear below a bounded root)
+	}
+	if s.best.HasX && relaxSol.Objective <= s.best.Objective+s.pruneTol() {
+		s.observe(nd, relaxSol.Objective, "pruned")
+		return
+	}
+	if intFeasible(s.p, relaxSol.X, s.opts.IntTol) {
+		x := snap(s.p, relaxSol.X)
+		if obj := s.p.LP.Eval(x); !s.best.HasX || obj > s.best.Objective {
+			s.best = &Solution{Status: Optimal, X: x, Objective: obj, HasX: true}
+			s.recordIncumbent(s.nodes, obj, math.Max(relaxSol.Objective, s.globalBound(extra)))
+		}
+		s.observe(nd, relaxSol.Objective, "integral")
+		return
+	}
+	// Rounding heuristic: costs two extra LP solves, so throttle it to
+	// early nodes where finding an incumbent matters most.
+	if s.nodes < 16 || s.nodes%32 == 0 {
+		if x, ok := heur.round(s.p, relaxSol.X, s.opts.IntTol, &s.stats); ok {
+			if obj := s.p.LP.Eval(x); !s.best.HasX || obj > s.best.Objective {
+				s.best = &Solution{Status: Optimal, X: x, Objective: obj, HasX: true}
+				s.recordIncumbent(s.nodes, obj, math.Max(relaxSol.Objective, s.globalBound(extra)))
 			}
 		}
-		return t
 	}
+	s.observe(nd, relaxSol.Objective, "branched")
+	s.expand(nd, relaxSol, s.nodes)
+}
 
-	work := p.LP.Clone()
-	root := &node{
-		lower:     append([]float64(nil), p.LP.Lower...),
-		upper:     append([]float64(nil), p.LP.Upper...),
-		branchVar: -1,
+// openRoot solves the root relaxation, seeds the incumbent with the
+// rounding heuristic, and either finishes the search outright (root
+// infeasible, unbounded, or already integral) or queues the root's
+// children. done is non-nil when the search is complete.
+func (s *search) openRoot(ctx *lp.Solver, heur *heurCtx, root *node) (done *Solution, err error) {
+	relax, warm := ctx.Solve(root.lower, root.upper)
+	s.stats.Relaxations++
+	s.stats.Pivots += relax.Iters
+	if warm {
+		s.stats.WarmSolves++
+	} else {
+		s.stats.ColdSolves++
 	}
-	relax, err := solveRelaxation(work, root)
-	if err != nil {
-		return nil, err
-	}
-	stats.Relaxations++
-	stats.Pivots += relax.Iters
 	switch relax.Status {
 	case lp.Infeasible:
-		return finish(&Solution{Status: Infeasible}, math.Inf(-1)), nil
+		return s.finish(&Solution{Status: Infeasible}, math.Inf(-1)), nil
 	case lp.Unbounded:
-		return finish(&Solution{Status: Unbounded}, math.Inf(1)), nil
+		return s.finish(&Solution{Status: Unbounded}, math.Inf(1)), nil
 	case lp.IterationLimit:
 		return nil, fmt.Errorf("milp: root relaxation hit the simplex iteration limit")
 	}
 	root.bound = relax.Objective
 
-	best := &Solution{Status: Infeasible, Objective: math.Inf(-1)}
-	queue := &nodeQueue{}
-	heap.Init(queue)
-
-	// recordIncumbent extends the improvement trajectory; bound is the
-	// tightest global bound known at that moment.
-	recordIncumbent := func(nodes int, obj, bound float64) {
-		stats.Incumbents = append(stats.Incumbents, Incumbent{Node: nodes, Objective: obj, Bound: bound})
-	}
-
 	// Seed the incumbent by rounding the root relaxation.
-	if x, ok := roundHeuristic(p, relax.X, opts.IntTol, &stats); ok {
-		best = &Solution{Status: Optimal, X: x, Objective: p.LP.Eval(x), HasX: true}
-		recordIncumbent(0, best.Objective, root.bound)
+	if x, ok := heur.round(s.p, relax.X, s.opts.IntTol, &s.stats); ok {
+		s.best = &Solution{Status: Optimal, X: x, Objective: s.p.LP.Eval(x), HasX: true}
+		s.recordIncumbent(0, s.best.Objective, root.bound)
 	}
 
-	expand := func(nd *node, relaxSol *lp.Solution, parentID int) {
-		j := mostFractional(p, relaxSol.X, opts.IntTol)
-		if j < 0 {
-			return
+	s.nodes = 1
+	if intFeasible(s.p, relax.X, s.opts.IntTol) {
+		x := snap(s.p, relax.X)
+		if s.p.LP.Feasible(x, 1e-6) {
+			obj := s.p.LP.Eval(x)
+			s.best = &Solution{Status: Optimal, X: x, Objective: obj, Nodes: s.nodes, HasX: true}
+			s.recordIncumbent(s.nodes, obj, root.bound)
+			s.observe(root, root.bound, "integral")
+			return s.finish(s.best, obj), nil
 		}
-		v := relaxSol.X[j]
-		down := &node{
-			lower:     append([]float64(nil), nd.lower...),
-			upper:     append([]float64(nil), nd.upper...),
-			bound:     relaxSol.Objective,
-			depth:     nd.depth + 1,
-			parent:    parentID,
-			branchVar: j,
-			branchDir: "down",
-		}
-		down.upper[j] = math.Floor(v + opts.IntTol)
-		down.branchBound = down.upper[j]
-		up := &node{
-			lower:     append([]float64(nil), nd.lower...),
-			upper:     append([]float64(nil), nd.upper...),
-			bound:     relaxSol.Objective,
-			depth:     nd.depth + 1,
-			parent:    parentID,
-			branchVar: j,
-			branchDir: "up",
-		}
-		up.lower[j] = math.Ceil(v - opts.IntTol)
-		up.branchBound = up.lower[j]
-		heap.Push(queue, down)
-		heap.Push(queue, up)
+	}
+	s.observe(root, root.bound, "branched")
+	s.expand(root, relax, 1)
+	return nil, nil
+}
+
+// nodeResult is one node's solved relaxation plus the path that produced it.
+type nodeResult struct {
+	sol  *lp.Solution
+	warm bool
+}
+
+// solveNode solves one node's relaxation through a per-worker solver
+// context. A warm answer above the parent bound is numerically suspect (a
+// child's relaxation can never beat its parent's), so it is re-solved cold
+// before anyone trusts it.
+func solveNode(ctx *lp.Solver, nd *node) nodeResult {
+	sol, warm := ctx.Solve(nd.lower, nd.upper)
+	if warm && sol.Objective > nd.bound+1e-6 {
+		sol = ctx.SolveCold(nd.lower, nd.upper)
+		warm = false
+	}
+	return nodeResult{sol: sol, warm: warm}
+}
+
+// Solve runs branch and bound and returns the best integer-feasible
+// solution. Options.Workers selects the serial (<= 1) or parallel (>= 2)
+// driver; both return the same objective and terminal bound.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	s, err := newSearch(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workers >= 2 {
+		return s.runParallel()
+	}
+	return s.runSerial()
+}
+
+// runSerial is the historical best-first search: one node at a time, every
+// relaxation solved cold. Its arithmetic, node order, and observer stream
+// are byte-identical to previous releases; the only change is that LP
+// solves route through a buffer-reusing solver context.
+func (s *search) runSerial() (*Solution, error) {
+	ctx, err := lp.NewSolver(s.p.LP)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Lean = true
+	ctx.NoWarm = true
+	heur, err := newHeurCtx(s.p)
+	if err != nil {
+		return nil, err
+	}
+	root := &node{
+		lower:     append([]float64(nil), s.p.LP.Lower...),
+		upper:     append([]float64(nil), s.p.LP.Upper...),
+		branchVar: -1,
+	}
+	if done, err := s.openRoot(ctx, heur, root); done != nil || err != nil {
+		return done, err
 	}
 
-	nodes := 1
-	observe := func(nd *node, bound float64, action string) {
-		if opts.Observer == nil {
-			return
-		}
-		opts.Observer(NodeEvent{
-			Node:        nodes,
-			Depth:       nd.depth,
-			Bound:       bound,
-			Incumbent:   best.Objective,
-			HasInc:      best.HasX,
-			Action:      action,
-			Parent:      nd.parent,
-			BranchVar:   nd.branchVar,
-			BranchDir:   nd.branchDir,
-			BranchBound: nd.branchBound,
-		})
-	}
-	// globalBound is the best remaining upper bound: the maximum of the
-	// open nodes' bounds (the heap keeps the best first) and the incumbent.
-	globalBound := func() float64 {
-		b := math.Inf(-1)
-		if best.HasX {
-			b = best.Objective
-		}
-		if queue.Len() > 0 && (*queue)[0].bound > b {
-			b = (*queue)[0].bound
-		}
-		return b
-	}
-	if intFeasible(p, relax.X, opts.IntTol) {
-		x := snap(p, relax.X)
-		if p.LP.Feasible(x, 1e-6) {
-			obj := p.LP.Eval(x)
-			best = &Solution{Status: Optimal, X: x, Objective: obj, Nodes: nodes, HasX: true}
-			recordIncumbent(nodes, obj, root.bound)
-			observe(root, root.bound, "integral")
-			return finish(best, obj), nil
-		}
-	}
-	observe(root, root.bound, "branched")
-	expand(root, relax, 1)
-
-	for queue.Len() > 0 {
-		if nodes >= opts.MaxNodes {
-			out := *best
+	for s.queue.Len() > 0 {
+		if s.nodes >= s.opts.MaxNodes {
+			out := *s.best
 			out.Status = NodeLimit
-			out.Nodes = nodes
-			return finish(&out, globalBound()), nil
+			out.Nodes = s.nodes
+			return s.finish(&out, s.globalBound(math.Inf(-1))), nil
 		}
-		nd := heap.Pop(queue).(*node)
-		if best.HasX && nd.bound <= best.Objective+pruneTol(best.Objective, best.HasX) {
+		nd := heap.Pop(s.queue).(*node)
+		if s.best.HasX && nd.bound <= s.best.Objective+s.pruneTol() {
 			continue // pruned by bound before solving; not an explored node
 		}
-		relaxSol, err := solveRelaxation(work, nd)
-		if err != nil {
-			return nil, err
-		}
-		nodes++
-		stats.Relaxations++
-		stats.Pivots += relaxSol.Iters
-		if relaxSol.Status != lp.Optimal {
-			observe(nd, nd.bound, "infeasible")
-			continue // infeasible subtree (unbounded cannot appear below a bounded root)
-		}
-		if best.HasX && relaxSol.Objective <= best.Objective+pruneTol(best.Objective, best.HasX) {
-			observe(nd, relaxSol.Objective, "pruned")
-			continue
-		}
-		if intFeasible(p, relaxSol.X, opts.IntTol) {
-			x := snap(p, relaxSol.X)
-			if obj := p.LP.Eval(x); !best.HasX || obj > best.Objective {
-				best = &Solution{Status: Optimal, X: x, Objective: obj, HasX: true}
-				recordIncumbent(nodes, obj, math.Max(relaxSol.Objective, globalBound()))
-			}
-			observe(nd, relaxSol.Objective, "integral")
-			continue
-		}
-		// Rounding heuristic: costs two extra LP solves, so throttle it to
-		// early nodes where finding an incumbent matters most.
-		if nodes < 16 || nodes%32 == 0 {
-			if x, ok := roundHeuristic(p, relaxSol.X, opts.IntTol, &stats); ok {
-				if obj := p.LP.Eval(x); !best.HasX || obj > best.Objective {
-					best = &Solution{Status: Optimal, X: x, Objective: obj, HasX: true}
-					recordIncumbent(nodes, obj, math.Max(relaxSol.Objective, globalBound()))
-				}
-			}
-		}
-		observe(nd, relaxSol.Objective, "branched")
-		expand(nd, relaxSol, nodes)
+		res := solveNode(ctx, nd)
+		s.consume(nd, res.sol, res.warm, heur, math.Inf(-1))
 	}
 
-	out := *best
-	out.Nodes = nodes
+	out := *s.best
+	out.Nodes = s.nodes
 	// Queue exhausted: the search proved nothing above the incumbent
 	// remains, so the terminal bound collapses onto the objective.
 	bound := math.Inf(-1)
 	if out.HasX {
 		bound = out.Objective
 	}
-	return finish(&out, bound), nil
+	return s.finish(&out, bound), nil
 }
 
 func boundTol(incumbent, gap float64) float64 {
@@ -439,18 +579,6 @@ func name(p *lp.Problem, j int) string {
 		return p.Names[j]
 	}
 	return fmt.Sprintf("x%d", j)
-}
-
-// solveRelaxation installs the node bounds into work and solves the LP.
-func solveRelaxation(work *lp.Problem, nd *node) (*lp.Solution, error) {
-	copy(work.Lower, nd.lower)
-	copy(work.Upper, nd.upper)
-	for j := range work.Lower {
-		if work.Lower[j] > work.Upper[j] {
-			return &lp.Solution{Status: lp.Infeasible}, nil
-		}
-	}
-	return lp.Solve(work)
 }
 
 // intFeasible reports whether all integer variables are integral within tol.
@@ -494,11 +622,33 @@ func snap(p *Problem, x []float64) []float64 {
 	return out
 }
 
-// roundHeuristic fixes fractional integer variables to rounded values and
-// re-solves the continuous remainder, returning a feasible point if found.
-// Its LP work is charged to st so Stats.Relaxations/Pivots cover the whole
-// search, heuristics included.
-func roundHeuristic(p *Problem, x []float64, tol float64, st *Stats) ([]float64, bool) {
+// heurCtx is the rounding heuristic's reusable solver context: one cold
+// solver (heuristic solves fix every integer variable, so a warm basis
+// rarely survives) plus bound scratch buffers.
+type heurCtx struct {
+	solver       *lp.Solver
+	lower, upper []float64
+}
+
+func newHeurCtx(p *Problem) (*heurCtx, error) {
+	s, err := lp.NewSolver(p.LP)
+	if err != nil {
+		return nil, err
+	}
+	s.Lean = true
+	s.NoWarm = true
+	return &heurCtx{
+		solver: s,
+		lower:  make([]float64, p.LP.NumVars()),
+		upper:  make([]float64, p.LP.NumVars()),
+	}, nil
+}
+
+// round fixes fractional integer variables to rounded values and re-solves
+// the continuous remainder, returning a feasible point if found. Its LP
+// work is charged to st so Stats.Relaxations/Pivots cover the whole search,
+// heuristics included.
+func (h *heurCtx) round(p *Problem, x []float64, tol float64, st *Stats) ([]float64, bool) {
 	if intFeasible(p, x, tol) {
 		cand := snap(p, x)
 		if p.LP.Feasible(cand, 1e-6) {
@@ -508,7 +658,8 @@ func roundHeuristic(p *Problem, x []float64, tol float64, st *Stats) ([]float64,
 	// Try floor-all then round-all of integer variables, resolving the LP
 	// over continuous variables with integers fixed.
 	for _, mode := range []func(float64) float64{math.Floor, math.Round} {
-		work := p.LP.Clone()
+		copy(h.lower, p.LP.Lower)
+		copy(h.upper, p.LP.Upper)
 		for j, isInt := range p.Integer {
 			if !isInt {
 				continue
@@ -516,14 +667,12 @@ func roundHeuristic(p *Problem, x []float64, tol float64, st *Stats) ([]float64,
 			v := mode(x[j] + tol)
 			v = math.Max(v, p.LP.Lower[j])
 			v = math.Min(v, p.LP.Upper[j])
-			work.Lower[j], work.Upper[j] = v, v
+			h.lower[j], h.upper[j] = v, v
 		}
-		sol, err := lp.Solve(work)
-		if err == nil {
-			st.Relaxations++
-			st.Pivots += sol.Iters
-		}
-		if err == nil && sol.Status == lp.Optimal {
+		sol := h.solver.SolveCold(h.lower, h.upper)
+		st.Relaxations++
+		st.Pivots += sol.Iters
+		if sol.Status == lp.Optimal {
 			cand := snap(p, sol.X)
 			if p.LP.Feasible(cand, 1e-6) {
 				return cand, true

@@ -1,0 +1,126 @@
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sync"
+
+	"insitu/internal/lp"
+)
+
+// AutoWorkers resolves a CLI-style -workers value: n > 0 is taken as-is,
+// anything else means "use every core".
+func AutoWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// runParallel is the wave-synchronous parallel driver. Each iteration pops
+// up to Workers best-bound nodes (a "wave"), solves their relaxations
+// concurrently — node i on worker i%W, so each worker sees a deterministic
+// node sequence and its warm-start trajectory is reproducible — and then
+// consumes the results sequentially in pop order. Because pruning,
+// incumbent updates, observer events, and branching all happen in that
+// sequential consume step, the search explores a deterministic tree for a
+// fixed Workers value and streams observer events in a deterministic
+// order; and since best-first search with the same pruning rule visits the
+// same optimum, the returned objective and terminal bound are identical at
+// any worker count (only the explored tree may differ between widths).
+//
+// Compared to the serial driver it additionally runs a root presolve
+// (bound tightening, see presolve.go) and warm-starts node re-solves from
+// each worker's previous basis.
+func (s *search) runParallel() (*Solution, error) {
+	w := s.opts.Workers
+	lower := append([]float64(nil), s.p.LP.Lower...)
+	upper := append([]float64(nil), s.p.LP.Upper...)
+	if !s.opts.NoPresolve {
+		tightened, infeasible := presolveBounds(s.p, lower, upper)
+		s.stats.PresolveTightened = tightened
+		if infeasible {
+			return s.finish(&Solution{Status: Infeasible}, math.Inf(-1)), nil
+		}
+	}
+	ctxs := make([]*lp.Solver, w)
+	for g := range ctxs {
+		ctx, err := lp.NewSolver(s.p.LP)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Lean = true
+		ctx.NoWarm = s.opts.NoWarmStart
+		ctxs[g] = ctx
+	}
+	heur, err := newHeurCtx(s.p)
+	if err != nil {
+		return nil, err
+	}
+	root := &node{lower: lower, upper: upper, branchVar: -1}
+	if done, err := s.openRoot(ctxs[0], heur, root); done != nil || err != nil {
+		return done, err
+	}
+
+	wave := make([]*node, 0, w)
+	results := make([]nodeResult, w)
+	for {
+		// Assemble the next wave: best-bound order, pre-pruning against the
+		// current incumbent exactly like the serial pop loop, and never
+		// popping more nodes than the node budget allows.
+		wave = wave[:0]
+		for len(wave) < w && s.queue.Len() > 0 && s.nodes+len(wave) < s.opts.MaxNodes {
+			nd := heap.Pop(s.queue).(*node)
+			if s.best.HasX && nd.bound <= s.best.Objective+s.pruneTol() {
+				continue // pruned by bound before solving; not an explored node
+			}
+			wave = append(wave, nd)
+		}
+		if len(wave) == 0 {
+			if s.queue.Len() == 0 {
+				break
+			}
+			// Budget exhausted with open nodes left.
+			out := *s.best
+			out.Status = NodeLimit
+			out.Nodes = s.nodes
+			return s.finish(&out, s.globalBound(math.Inf(-1))), nil
+		}
+
+		if len(wave) == 1 {
+			results[0] = solveNode(ctxs[0], wave[0])
+		} else {
+			var wg sync.WaitGroup
+			for g := 0; g < w && g < len(wave); g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := g; i < len(wave); i += w {
+						results[i] = solveNode(ctxs[g], wave[i])
+					}
+				}(g)
+			}
+			wg.Wait()
+		}
+
+		for i, nd := range wave {
+			// Popped-but-unprocessed wave nodes are open too; the wave is in
+			// descending bound order, so the next node carries the best of
+			// them for global-bound purposes.
+			extra := math.Inf(-1)
+			if i+1 < len(wave) {
+				extra = wave[i+1].bound
+			}
+			s.consume(nd, results[i].sol, results[i].warm, heur, extra)
+		}
+	}
+
+	out := *s.best
+	out.Nodes = s.nodes
+	bound := math.Inf(-1)
+	if out.HasX {
+		bound = out.Objective
+	}
+	return s.finish(&out, bound), nil
+}

@@ -1,0 +1,219 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"insitu/internal/lp"
+)
+
+// randParallelMILP draws a small binary program with mixed senses, shaped
+// like the compact scheduling model (knapsack rows plus occasional equality
+// couplings), including infeasible instances.
+func randParallelMILP(rng *rand.Rand) *Problem {
+	n := 2 + rng.Intn(7)
+	p := NewProblem(&lp.Problem{})
+	integralObj := rng.Intn(2) == 0
+	for j := 0; j < n; j++ {
+		obj := float64(rng.Intn(15) - 4)
+		if !integralObj {
+			obj += 0.25 * float64(rng.Intn(4))
+		}
+		p.AddBinVar(obj, "")
+	}
+	idx := make([]int, n)
+	for j := range idx {
+		idx[j] = j
+	}
+	m := 1 + rng.Intn(4)
+	for r := 0; r < m; r++ {
+		coef := make([]float64, n)
+		for j := range coef {
+			coef[j] = float64(rng.Intn(7) - 2)
+		}
+		switch rng.Intn(10) {
+		case 0:
+			p.LP.AddConstraint(idx, coef, lp.EQ, float64(rng.Intn(3)), "")
+		case 1, 2:
+			p.LP.AddConstraint(idx, coef, lp.GE, float64(rng.Intn(4)-2), "")
+		default:
+			p.LP.AddConstraint(idx, coef, lp.LE, float64(2+rng.Intn(6)), "")
+		}
+	}
+	return p
+}
+
+// TestParallelMatchesSerial pins the cross-width contract: any worker count
+// returns the same status, objective, and terminal bound as the serial
+// search.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(511))
+	for trial := 0; trial < 120; trial++ {
+		p := randParallelMILP(rng)
+		serial, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: serial: %v", trial, err)
+		}
+		for _, w := range []int{2, 3, 8} {
+			par, err := Solve(p, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, w, err)
+			}
+			if par.Status != serial.Status {
+				t.Fatalf("trial %d workers=%d: status %v, serial %v", trial, w, par.Status, serial.Status)
+			}
+			if serial.Status == Optimal {
+				if math.Abs(par.Objective-serial.Objective) > 1e-9*(1+math.Abs(serial.Objective)) {
+					t.Fatalf("trial %d workers=%d: objective %g, serial %g", trial, w, par.Objective, serial.Objective)
+				}
+				if math.Abs(par.Bound-serial.Bound) > 1e-9*(1+math.Abs(serial.Bound)) {
+					t.Fatalf("trial %d workers=%d: bound %g, serial %g", trial, w, par.Bound, serial.Bound)
+				}
+				if viol := p.LP.FirstViolation(par.X, 1e-6); viol != "" {
+					t.Fatalf("trial %d workers=%d: incumbent infeasible: %s", trial, w, viol)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDeterministic solves the same instances twice at the same
+// width and requires identical search statistics, incumbent trajectories,
+// and observer streams — the determinism contract for a fixed Workers
+// value.
+func TestParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	for trial := 0; trial < 40; trial++ {
+		p := randParallelMILP(rng)
+		run := func() (*Solution, []NodeEvent) {
+			var events []NodeEvent
+			sol, err := Solve(p, Options{Workers: 4, Observer: func(ev NodeEvent) {
+				events = append(events, ev)
+			}})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			return sol, events
+		}
+		a, evA := run()
+		b, evB := run()
+		if a.Objective != b.Objective || a.Bound != b.Bound || a.Status != b.Status {
+			t.Fatalf("trial %d: repeated solve differs: (%v %g %g) vs (%v %g %g)",
+				trial, a.Status, a.Objective, a.Bound, b.Status, b.Objective, b.Bound)
+		}
+		if a.Stats.Nodes != b.Stats.Nodes || a.Stats.Relaxations != b.Stats.Relaxations ||
+			a.Stats.Pivots != b.Stats.Pivots || a.Stats.WarmSolves != b.Stats.WarmSolves ||
+			a.Stats.ColdSolves != b.Stats.ColdSolves {
+			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, a.Stats, b.Stats)
+		}
+		if !reflect.DeepEqual(a.Stats.Incumbents, b.Stats.Incumbents) {
+			t.Fatalf("trial %d: incumbent trajectories differ", trial)
+		}
+		if !reflect.DeepEqual(evA, evB) {
+			t.Fatalf("trial %d: observer streams differ (%d vs %d events)", trial, len(evA), len(evB))
+		}
+	}
+}
+
+// TestParallelObserverStream checks that the serialized parallel event
+// stream keeps the invariants TreeRecorder depends on: node ids are
+// 1..Nodes in order, parent links point at previously streamed nodes, and
+// the incumbent field is monotone.
+func TestParallelObserverStream(t *testing.T) {
+	p := hardInstance(7, 14)
+	var events []NodeEvent
+	sol, err := Solve(p, Options{Workers: 4, Observer: func(ev NodeEvent) {
+		events = append(events, ev)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != sol.Stats.Nodes {
+		t.Fatalf("got %d events for %d explored nodes", len(events), sol.Stats.Nodes)
+	}
+	seen := map[int]bool{0: true}
+	lastInc := math.Inf(-1)
+	for i, ev := range events {
+		if ev.Node != i+1 {
+			t.Fatalf("event %d has node id %d", i, ev.Node)
+		}
+		if !seen[ev.Parent] {
+			t.Fatalf("node %d has parent %d that was never streamed", ev.Node, ev.Parent)
+		}
+		if ev.HasInc && ev.Incumbent < lastInc {
+			t.Fatalf("node %d incumbent %g regressed below %g", ev.Node, ev.Incumbent, lastInc)
+		}
+		if ev.HasInc {
+			lastInc = ev.Incumbent
+		}
+		seen[ev.Node] = true
+	}
+	var rec TreeRecorder
+	rsol, err := Solve(p, Options{Workers: 4, Observer: rec.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Nodes()); got != rsol.Stats.Nodes {
+		t.Fatalf("TreeRecorder captured %d nodes out of %d", got, rsol.Stats.Nodes)
+	}
+	if st := rec.Stats(); st.Explored != rsol.Stats.Nodes {
+		t.Fatalf("TreeRecorder stats count %d explored nodes, want %d", st.Explored, rsol.Stats.Nodes)
+	}
+}
+
+// TestParallelWarmStarts checks that the parallel search actually exercises
+// the warm path on a branching-heavy instance, that NoWarmStart suppresses
+// it, and that both return the same answer.
+func TestParallelWarmStarts(t *testing.T) {
+	p := hardInstance(3, 16)
+	warm, err := Solve(p, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solve(p, Options{Workers: 2, NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.WarmSolves == 0 {
+		t.Fatal("parallel search never took the warm path")
+	}
+	if cold.Stats.WarmSolves != 0 {
+		t.Fatalf("NoWarmStart still produced %d warm solves", cold.Stats.WarmSolves)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-9 {
+		t.Fatalf("warm objective %g, cold %g", warm.Objective, cold.Objective)
+	}
+	if warm.Stats.Workers != 2 {
+		t.Fatalf("Stats.Workers = %d, want 2", warm.Stats.Workers)
+	}
+}
+
+// TestParallelNodeLimit checks the budget path: the parallel driver must
+// stop at MaxNodes with NodeLimit and keep its incumbent.
+func TestParallelNodeLimit(t *testing.T) {
+	p := hardInstance(11, 18)
+	sol, err := Solve(p, Options{Workers: 4, MaxNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != NodeLimit {
+		t.Fatalf("status %v, want node-limit", sol.Status)
+	}
+	if sol.Stats.Nodes > 8 {
+		t.Fatalf("explored %d nodes past the budget of 8", sol.Stats.Nodes)
+	}
+	if sol.HasX && sol.Bound < sol.Objective-1e-9 {
+		t.Fatalf("terminal bound %g below incumbent %g", sol.Bound, sol.Objective)
+	}
+}
+
+func TestAutoWorkers(t *testing.T) {
+	if got := AutoWorkers(3); got != 3 {
+		t.Fatalf("AutoWorkers(3) = %d", got)
+	}
+	if got := AutoWorkers(0); got < 1 {
+		t.Fatalf("AutoWorkers(0) = %d", got)
+	}
+}

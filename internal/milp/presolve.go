@@ -1,0 +1,139 @@
+package milp
+
+import (
+	"math"
+
+	"insitu/internal/lp"
+)
+
+// presolveBounds tightens root variable bounds in place using single-row
+// implied-bound ("activity") reasoning, the cheapest useful slice of what
+// CPLEX's presolve does: for a row a·x <= b with every other variable at
+// its row-minimizing bound, variable j must satisfy
+// a_j x_j <= b - minActivity_without_j. GE rows are negated into LE form
+// and EQ rows contribute both directions. Bounds of integer variables are
+// rounded inward. Only reductions that cannot cut any feasible point are
+// applied, so the search over the tightened box has the same optimum as
+// the original model.
+//
+// It returns the number of bound tightenings and whether the root was
+// proven infeasible outright (a row unsatisfiable even at minimum
+// activity, or a variable's bounds crossing).
+func presolveBounds(p *Problem, lower, upper []float64) (tightened int, infeasible bool) {
+	neg := make([]float64, p.LP.NumVars())
+	// A few passes let tightenings propagate between rows; the scheduling
+	// models converge in one or two.
+	for pass := 0; pass < 4; pass++ {
+		changed := 0
+		apply := func(coef []float64, rhs float64) bool {
+			ch, bad := tightenLERow(p, coef, rhs, lower, upper)
+			tightened += ch
+			changed += ch
+			return bad
+		}
+		for _, c := range p.LP.Constraints {
+			bad := false
+			switch c.Sense {
+			case lp.LE:
+				bad = apply(c.Coef, c.RHS)
+			case lp.GE:
+				for j, v := range c.Coef {
+					neg[j] = -v
+				}
+				bad = apply(neg, -c.RHS)
+			case lp.EQ:
+				bad = apply(c.Coef, c.RHS)
+				if !bad {
+					for j, v := range c.Coef {
+						neg[j] = -v
+					}
+					bad = apply(neg, -c.RHS)
+				}
+			}
+			if bad {
+				return tightened, true
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return tightened, false
+}
+
+// tightenLERow applies implied bounds from one a·x <= b row. Lower bounds
+// are always finite in this package (lp.Validate rejects -Inf), so the
+// only infinite contribution to the row's minimum activity comes from a
+// negative coefficient on a variable with an infinite upper bound; one
+// such column can still be bounded by the rest of the row, two make the
+// row uninformative.
+func tightenLERow(p *Problem, coef []float64, rhs float64, lower, upper []float64) (changed int, infeasible bool) {
+	const (
+		feas    = 1e-7 // infeasibility margin, matches the LP feasibility tolerance
+		improve = 1e-9 // minimum improvement worth recording
+	)
+	minAct := 0.0
+	infIdx := -1
+	for j, a := range coef {
+		switch {
+		case a > 0:
+			minAct += a * lower[j]
+		case a < 0:
+			if math.IsInf(upper[j], 1) {
+				if infIdx >= 0 {
+					return 0, false
+				}
+				infIdx = j
+				continue
+			}
+			minAct += a * upper[j]
+		}
+	}
+	if infIdx < 0 && minAct > rhs+feas {
+		return 0, true // row unsatisfiable even at its minimum activity
+	}
+	for j, a := range coef {
+		if a == 0 {
+			continue
+		}
+		if infIdx >= 0 && infIdx != j {
+			// Some other column drives the minimum activity to -Inf, so this
+			// row implies nothing about j.
+			continue
+		}
+		// Residual budget for j with every other variable at its
+		// row-minimizing bound (infIdx's own term was never added).
+		own := 0.0
+		if j != infIdx {
+			if a > 0 {
+				own = a * lower[j]
+			} else {
+				own = a * upper[j]
+			}
+		}
+		resid := rhs - (minAct - own)
+		if a > 0 {
+			nu := resid / a
+			if p.Integer[j] {
+				nu = math.Floor(nu + feas)
+			}
+			if nu < upper[j]-improve {
+				upper[j] = nu
+				changed++
+			}
+		} else {
+			nl := resid / a // dividing by a negative flips the inequality
+			if p.Integer[j] {
+				nl = math.Ceil(nl - feas)
+			}
+			if nl > lower[j]+improve {
+				lower[j] = nl
+				changed++
+			}
+		}
+		if lower[j] > upper[j]+improve {
+			return changed, true
+		}
+	}
+	return changed, false
+}

@@ -1,0 +1,112 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"insitu/internal/lp"
+)
+
+// TestPresolveTightensKnapsack: in 3x + 4y <= 5 over integers in [0,5],
+// activity reasoning caps x at 1 and y at 1.
+func TestPresolveTightensKnapsack(t *testing.T) {
+	p := NewProblem(&lp.Problem{})
+	p.AddIntVar(1, 0, 5, "x")
+	p.AddIntVar(1, 0, 5, "y")
+	p.LP.AddConstraint([]int{0, 1}, []float64{3, 4}, lp.LE, 5, "cap")
+	lower := append([]float64(nil), p.LP.Lower...)
+	upper := append([]float64(nil), p.LP.Upper...)
+	tightened, infeasible := presolveBounds(p, lower, upper)
+	if infeasible {
+		t.Fatal("feasible instance reported infeasible")
+	}
+	if tightened != 2 {
+		t.Fatalf("tightened %d bounds, want 2", tightened)
+	}
+	if upper[0] != 1 || upper[1] != 1 {
+		t.Fatalf("upper bounds %v, want [1 1]", upper)
+	}
+}
+
+// TestPresolveGERaisesLower: x + y >= 7 with y <= 3 forces x >= 4.
+func TestPresolveGERaisesLower(t *testing.T) {
+	p := NewProblem(&lp.Problem{})
+	p.AddIntVar(1, 0, 9, "x")
+	p.AddIntVar(1, 0, 3, "y")
+	p.LP.AddConstraint([]int{0, 1}, []float64{1, 1}, lp.GE, 7, "demand")
+	lower := append([]float64(nil), p.LP.Lower...)
+	upper := append([]float64(nil), p.LP.Upper...)
+	if _, infeasible := presolveBounds(p, lower, upper); infeasible {
+		t.Fatal("feasible instance reported infeasible")
+	}
+	if lower[0] != 4 {
+		t.Fatalf("lower[x] = %g, want 4", lower[0])
+	}
+}
+
+// TestPresolveDetectsInfeasible: a row unsatisfiable at minimum activity.
+func TestPresolveDetectsInfeasible(t *testing.T) {
+	p := NewProblem(&lp.Problem{})
+	p.AddIntVar(1, 0, 1, "x")
+	p.AddIntVar(1, 0, 1, "y")
+	p.LP.AddConstraint([]int{0, 1}, []float64{1, 1}, lp.GE, 3, "impossible")
+	lower := append([]float64(nil), p.LP.Lower...)
+	upper := append([]float64(nil), p.LP.Upper...)
+	if _, infeasible := presolveBounds(p, lower, upper); !infeasible {
+		t.Fatal("unsatisfiable row not detected")
+	}
+	// The full solve must agree.
+	sol, err := Solve(p, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+// TestPresolveSkipsUnboundedColumns: a continuous variable with an infinite
+// upper bound and a negative coefficient makes the row's minimum activity
+// unbounded below, so nothing may be inferred about the other columns — but
+// the unbounded column itself can still pick up a bound from the rest.
+func TestPresolveSkipsUnboundedColumns(t *testing.T) {
+	p := NewProblem(&lp.Problem{})
+	p.AddIntVar(1, 0, 9, "x")
+	p.AddContVar(1, 0, math.Inf(1), "s")
+	// x - s <= 2: with s free upward, x is NOT bounded by this row; s gains
+	// s >= x_lo - 2 which is below 0, so no tightening at all.
+	p.LP.AddConstraint([]int{0, 1}, []float64{1, -1}, lp.LE, 2, "slacky")
+	lower := append([]float64(nil), p.LP.Lower...)
+	upper := append([]float64(nil), p.LP.Upper...)
+	tightened, infeasible := presolveBounds(p, lower, upper)
+	if infeasible || tightened != 0 {
+		t.Fatalf("tightened=%d infeasible=%v, want 0/false", tightened, infeasible)
+	}
+	if upper[0] != 9 || !math.IsInf(upper[1], 1) {
+		t.Fatalf("bounds moved: upper=%v", upper)
+	}
+}
+
+// TestPresolvePreservesOptimum property: solving with and without presolve
+// (through the parallel driver) returns the same objective.
+func TestPresolvePreservesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1313))
+	for trial := 0; trial < 80; trial++ {
+		p := randParallelMILP(rng)
+		with, err := Solve(p, Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		without, err := Solve(p, Options{Workers: 2, NoPresolve: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if with.Status != without.Status {
+			t.Fatalf("trial %d: presolve changed status %v -> %v", trial, without.Status, with.Status)
+		}
+		if with.Status == Optimal && math.Abs(with.Objective-without.Objective) > 1e-9*(1+math.Abs(without.Objective)) {
+			t.Fatalf("trial %d: presolve changed objective %g -> %g", trial, without.Objective, with.Objective)
+		}
+	}
+}

@@ -121,6 +121,10 @@ type Sample struct {
 	// Model holds deterministic model outputs (seconds, bytes, counts) keyed
 	// by metric name; they are gated near-exactly.
 	Model map[string]float64
+	// Info holds measured-but-noisy outputs (speedups, savings ratios)
+	// keyed by metric name; they are recorded with a zero threshold, so
+	// Compare reports them without ever gating on them.
+	Info map[string]float64
 }
 
 // Workload is one canonical benchmark: a named, seeded, self-contained unit
@@ -226,6 +230,14 @@ func (r *Runner) Measure(w Workload) (WorkloadResult, error) {
 	sort.Strings(modelKeys)
 	for _, k := range modelKeys {
 		res.Metrics = append(res.Metrics, Metric{Name: k, Value: last.Model[k], Unit: "model", Threshold: exactThreshold})
+	}
+	infoKeys := make([]string, 0, len(last.Info))
+	for k := range last.Info {
+		infoKeys = append(infoKeys, k)
+	}
+	sort.Strings(infoKeys)
+	for _, k := range infoKeys {
+		res.Metrics = append(res.Metrics, Metric{Name: k, Value: last.Info[k], Unit: "info"})
 	}
 	return res, nil
 }

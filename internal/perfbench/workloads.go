@@ -25,6 +25,12 @@ const (
 // SuiteNames lists the canonical suites in run order.
 var SuiteNames = []string{SuiteSolver, SuitePipeline, SuiteIOSim}
 
+// BenchWorkers is the branch-and-bound pool width the scheduling workloads
+// run with. It is fixed (not runtime.NumCPU()) so the recorded
+// nodes/pivots metrics are byte-stable across hosts — the parallel search
+// is deterministic per width, not across widths.
+const BenchWorkers = 8
+
 // BenchFileName returns the repo-root baseline file for a suite.
 func BenchFileName(suite string) string { return "BENCH_" + suite + ".json" }
 
@@ -45,17 +51,22 @@ func Workloads(suite string) ([]Workload, error) {
 
 // schedSolve builds a scheduling-solve workload over a fixed instance and
 // reports branch-and-bound effort plus the optimal objective as a model
-// metric (any objective drift is a solver behaviour change).
+// metric (any objective drift is a solver behaviour change). Solves run at
+// BenchWorkers width and record it as solver_workers, so the bench gate
+// can prove the suite did not silently fall back to the serial search.
 func schedSolve(name string, specs []core.AnalysisSpec, res core.Resources) Workload {
 	return Workload{Name: name, Run: func() (Sample, error) {
-		rec, err := core.Solve(specs, res, core.SolveOptions{})
+		rec, err := core.Solve(specs, res, core.SolveOptions{Workers: BenchWorkers})
 		if err != nil {
 			return Sample{}, err
 		}
 		return Sample{
 			Nodes:  rec.Stats.Nodes,
 			Pivots: rec.Stats.Pivots,
-			Model:  map[string]float64{"objective": rec.Objective},
+			Model: map[string]float64{
+				"objective":      rec.Objective,
+				"solver_workers": float64(rec.Stats.Workers),
+			},
 		}, nil
 	}}
 }
@@ -87,14 +98,17 @@ func solverWorkloads() []Workload {
 	ws = append(ws, Workload{Name: "sched_flash_f1f3_lexicographic", Run: func() (Sample, error) {
 		specs := experiments.FlashSpecs()
 		specs[0].Weight, specs[1].Weight, specs[2].Weight = 2, 1, 2
-		rec, err := core.SolveLexicographic(specs, core.Resources{Steps: 1000, TimeThreshold: 43.5, MemThreshold: mem}, core.SolveOptions{})
+		rec, err := core.SolveLexicographic(specs, core.Resources{Steps: 1000, TimeThreshold: 43.5, MemThreshold: mem}, core.SolveOptions{Workers: BenchWorkers})
 		if err != nil {
 			return Sample{}, err
 		}
 		return Sample{
 			Nodes:  rec.Stats.Nodes,
 			Pivots: rec.Stats.Pivots,
-			Model:  map[string]float64{"objective": rec.Objective},
+			Model: map[string]float64{
+				"objective":      rec.Objective,
+				"solver_workers": float64(rec.Stats.Workers),
+			},
 		}, nil
 	}})
 
@@ -110,14 +124,67 @@ func solverWorkloads() []Workload {
 			StageMemTotal:  64 << 30,
 			StageTimeTotal: 2000,
 		}
-		rec, err := core.SolvePlacement(specs, res, core.SolveOptions{})
+		rec, err := core.SolvePlacement(specs, res, core.SolveOptions{Workers: BenchWorkers})
 		if err != nil {
 			return Sample{}, err
 		}
 		return Sample{
 			Nodes:  rec.Stats.Nodes,
 			Pivots: rec.Stats.Pivots,
-			Model:  map[string]float64{"objective": rec.Objective},
+			Model: map[string]float64{
+				"objective":      rec.Objective,
+				"solver_workers": float64(rec.Stats.Workers),
+			},
+		}, nil
+	}})
+
+	// sched_batch_scaling sweeps the paper batch at 1, 2, and 8 workers:
+	// per-width pivot counts are deterministic (exact-gated), the wall-time
+	// speedups are informational.
+	ws = append(ws, Workload{Name: "sched_batch_scaling", Run: func() (Sample, error) {
+		sample := Sample{Model: map[string]float64{}, Info: map[string]float64{}}
+		var serialWall time.Duration
+		for _, w := range []int{1, 2, 8} {
+			nodes, pivots, objective, wall, err := solvePaperBatch(core.SolveOptions{Workers: w})
+			if err != nil {
+				return Sample{}, err
+			}
+			sample.Model[fmt.Sprintf("pivots_w%d", w)] = float64(pivots)
+			if w == 1 {
+				serialWall = wall
+				sample.Nodes, sample.Pivots = nodes, pivots
+				sample.Model["objective"] = objective
+			} else if wall > 0 {
+				sample.Info[fmt.Sprintf("speedup_w%d", w)] = serialWall.Seconds() / wall.Seconds()
+			}
+		}
+		return sample, nil
+	}})
+
+	// sched_batch_warmstart isolates the warm-start win: the same batch at
+	// the same width with and without warm starts. Fewer warm pivots than
+	// cold is the acceptance criterion, gated exactly; the savings ratio is
+	// informational.
+	ws = append(ws, Workload{Name: "sched_batch_warmstart", Run: func() (Sample, error) {
+		warmNodes, warmPivots, objective, _, err := solvePaperBatch(core.SolveOptions{Workers: BenchWorkers})
+		if err != nil {
+			return Sample{}, err
+		}
+		_, coldPivots, _, _, err := solvePaperBatch(core.SolveOptions{Workers: BenchWorkers, NoWarmStart: true})
+		if err != nil {
+			return Sample{}, err
+		}
+		return Sample{
+			Nodes:  warmNodes,
+			Pivots: warmPivots,
+			Model: map[string]float64{
+				"objective":   objective,
+				"pivots_warm": float64(warmPivots),
+				"pivots_cold": float64(coldPivots),
+			},
+			Info: map[string]float64{
+				"warm_pivot_savings": 1 - float64(warmPivots)/float64(coldPivots),
+			},
 		}, nil
 	}})
 
@@ -134,6 +201,35 @@ func solverWorkloads() []Workload {
 	}})
 
 	return ws
+}
+
+// solvePaperBatch solves the A1-A4/R1-R3/F1-F3 scheduling batch (the
+// paper's Table 5/6/8 instances the sched_* workloads cover individually)
+// with the given options and returns the summed branch-and-bound effort and
+// wall time.
+func solvePaperBatch(opts core.SolveOptions) (nodes, pivots int, objective float64, wall time.Duration, err error) {
+	mem := int64(12) << 30
+	instances := []struct {
+		specs []core.AnalysisSpec
+		res   core.Resources
+	}{
+		{experiments.WaterIonsSpecs(16384), core.Resources{Steps: 1000, TimeThreshold: 129.35, MemThreshold: mem}},
+		{experiments.WaterIonsSpecs(16384), core.Resources{Steps: 1000, TimeThreshold: 64.69, MemThreshold: mem}},
+		{experiments.RhodopsinSpecs(), core.Resources{Steps: 1000, TimeThreshold: 200, MemThreshold: mem}},
+		{experiments.RhodopsinSpecs(), core.Resources{Steps: 1000, TimeThreshold: 20, MemThreshold: mem}},
+		{experiments.FlashSpecs(), core.Resources{Steps: 1000, TimeThreshold: 43.5, MemThreshold: mem}},
+	}
+	t0 := time.Now()
+	for _, in := range instances {
+		rec, err := core.Solve(in.specs, in.res, opts)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		nodes += rec.Stats.Nodes
+		pivots += rec.Stats.Pivots
+		objective += rec.Objective
+	}
+	return nodes, pivots, objective, time.Since(t0), nil
 }
 
 // benchKernel is a deterministic synthetic analysis kernel: Analyze does a

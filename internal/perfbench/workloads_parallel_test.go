@@ -1,0 +1,100 @@
+package perfbench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInfoMetricsInformational checks the Sample.Info path: info metrics
+// are recorded with a zero threshold, after the gated model metrics.
+func TestInfoMetricsInformational(t *testing.T) {
+	r := QuickRunner()
+	r.SetClock(func() func() time.Time {
+		tick := time.Unix(0, 0)
+		return func() time.Time { tick = tick.Add(time.Millisecond); return tick }
+	}())
+	res, err := r.Measure(Workload{Name: "w", Run: func() (Sample, error) {
+		return Sample{
+			Model: map[string]float64{"objective": 42},
+			Info:  map[string]float64{"speedup_w8": 1.7},
+		}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metric("speedup_w8")
+	if m == nil {
+		t.Fatalf("info metric not recorded: %+v", res.Metrics)
+	}
+	if m.Threshold != 0 {
+		t.Fatalf("info metric carries threshold %g, want 0 (informational)", m.Threshold)
+	}
+	if m.Unit != "info" || m.Value != 1.7 {
+		t.Fatalf("info metric = %+v", m)
+	}
+	if obj := res.Metric("objective"); obj == nil || obj.Threshold == 0 {
+		t.Fatalf("model metric lost its gate: %+v", obj)
+	}
+}
+
+// TestWarmStartWorkloadSavesPivots runs the warm-start workload once and
+// checks the acceptance criterion directly: warm starts must spend fewer
+// total simplex pivots than cold starts on the paper batch, and the
+// recorded solver width must be the parallel one.
+func TestWarmStartWorkloadSavesPivots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves the paper batch twice")
+	}
+	ws, err := Workloads(SuiteSolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run func() (Sample, error)
+	for _, w := range ws {
+		if w.Name == "sched_batch_warmstart" {
+			run = w.Run
+		}
+	}
+	if run == nil {
+		t.Fatal("sched_batch_warmstart missing from the solver suite")
+	}
+	s, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, cold := s.Model["pivots_warm"], s.Model["pivots_cold"]
+	if warm <= 0 || cold <= 0 {
+		t.Fatalf("degenerate pivot counts: warm=%g cold=%g", warm, cold)
+	}
+	if warm >= cold {
+		t.Fatalf("warm starts did not reduce pivots: warm=%g cold=%g", warm, cold)
+	}
+	if s.Info["warm_pivot_savings"] <= 0 {
+		t.Fatalf("savings ratio %g not positive", s.Info["warm_pivot_savings"])
+	}
+}
+
+// TestSchedWorkloadsRecordWorkers asserts every scheduling workload records
+// the parallel pool width — the metadata the CI bench gate checks so the
+// suite can't silently run serial.
+func TestSchedWorkloadsRecordWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the scheduling workloads")
+	}
+	ws, err := Workloads(SuiteSolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.Name != "sched_waterions_a1a4_t10" && w.Name != "sched_flash_f1f3_lexicographic" && w.Name != "placement_waterions" {
+			continue
+		}
+		s, err := w.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if got := s.Model["solver_workers"]; got != BenchWorkers {
+			t.Fatalf("%s recorded solver_workers=%g, want %d", w.Name, got, BenchWorkers)
+		}
+	}
+}

@@ -85,8 +85,9 @@ func CheckLP(rng *rand.Rand, p *lp.Problem) error {
 // CheckMILP runs the MILP oracle suite on one instance: branch-and-bound vs
 // exhaustive enumeration (status and objective must agree exactly, size-gated
 // on milp.BruteForce's typed refusal), integrality and feasibility of the
-// incumbent, the LP relaxation as an upper bound, permutation invariance, and
-// a WriteLP -> ReadLP -> Solve round trip.
+// incumbent, the LP relaxation as an upper bound, serial-vs-parallel search
+// agreement at Workers=8, permutation invariance, and a WriteLP -> ReadLP ->
+// Solve round trip.
 func CheckMILP(rng *rand.Rand, p *milp.Problem) error {
 	sol, err := milp.Solve(p, milp.Options{})
 	if err != nil {
@@ -133,6 +134,24 @@ func CheckMILP(rng *rand.Rand, p *milp.Problem) error {
 		}
 		if sol.Status == milp.Optimal && !objClose(brute.Objective, sol.Objective) {
 			return fmt.Errorf("brute force objective %g, branch-and-bound %g", brute.Objective, sol.Objective)
+		}
+	}
+
+	// Cross-width contract: the parallel search must reproduce the serial
+	// search's status, objective, and terminal bound.
+	wsol, err := milp.Solve(p, milp.Options{Workers: 8})
+	if err != nil {
+		return fmt.Errorf("milp.Solve(workers=8): %v", err)
+	}
+	if wsol.Status != sol.Status {
+		return fmt.Errorf("workers=8 changed status %v -> %v", sol.Status, wsol.Status)
+	}
+	if sol.Status == milp.Optimal {
+		if !objClose(wsol.Objective, sol.Objective) {
+			return fmt.Errorf("workers=8 changed objective %g -> %g", sol.Objective, wsol.Objective)
+		}
+		if !objClose(wsol.Bound, sol.Bound) {
+			return fmt.Errorf("workers=8 changed bound %g -> %g", sol.Bound, wsol.Bound)
 		}
 	}
 
