@@ -21,19 +21,22 @@
 // — so CI fails if the suite silently falls back to the serial search. serve
 // loops the instrumented pipeline workload forever and exposes the live
 // registry at /metrics (Prometheus text), /metrics.json, and the process at
-// /debug/pprof/. summarize replays a run ledger into a per-step activity
-// table.
+// /debug/pprof/; on SIGINT/SIGTERM it shuts down gracefully, draining
+// in-flight scrapes and the workload loop before exiting. summarize replays
+// a run ledger into a per-step activity table.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"insitu/internal/obs"
 	"insitu/internal/perfbench"
@@ -272,16 +275,30 @@ func cmdServe(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchobs: %v\n", err)
 		return 1
 	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	return runServe(ctx, ln, stdout, stderr)
+}
+
+// runServe drives the workload loop and the HTTP endpoints until ctx is
+// canceled (SIGINT/SIGTERM in cmdServe), then shuts the server down
+// gracefully: in-flight scrapes finish, the workload loop stops at its next
+// iteration boundary, and both are drained before returning.
+func runServe(ctx context.Context, ln net.Listener, stdout, stderr io.Writer) int {
 	reg := obs.NewRegistry()
 	stop := make(chan struct{})
-	defer close(stop)
+	loopDone := make(chan error, 1)
 	go func() {
-		if err := serveLoop(reg, stop, 0); err != nil {
-			fmt.Fprintf(stderr, "benchobs: workload loop: %v\n", err)
-		}
+		loopDone <- serveLoop(reg, stop, 0)
 	}()
 	fmt.Fprintf(stdout, "benchobs: serving http://%s/metrics (also /metrics.json, /debug/pprof/)\n", ln.Addr())
-	if err := http.Serve(ln, obs.NewServeMux(reg)); err != nil {
+	err := obs.ServeUntil(ctx, ln, obs.NewServeMux(reg))
+	close(stop)
+	if loopErr := <-loopDone; loopErr != nil {
+		fmt.Fprintf(stderr, "benchobs: workload loop: %v\n", loopErr)
+		return 1
+	}
+	if err != nil {
 		fmt.Fprintf(stderr, "benchobs: %v\n", err)
 		return 1
 	}

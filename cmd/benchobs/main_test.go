@@ -2,7 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -137,6 +142,52 @@ func TestServeLoopFeedsRegistry(t *testing.T) {
 	close(stop)
 	if err := serveLoop(reg, stop, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunServeGracefulShutdown boots the serve stack on a real listener,
+// scrapes it once, then cancels the context and requires runServe to drain
+// the workload loop and return cleanly — the SIGINT/SIGTERM path without the
+// signal.
+func TestRunServeGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out, errBuf bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- runServe(ctx, ln, &out, &errBuf)
+	}()
+
+	url := fmt.Sprintf("http://%s/metrics", ln.Addr())
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && strings.Contains(string(body), "coupling_steps_total") {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics endpoint never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("runServe exit %d, stderr:\n%s", code, errBuf.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("runServe did not shut down after cancellation")
 	}
 }
 

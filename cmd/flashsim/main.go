@@ -7,6 +7,11 @@
 //	flashsim [-blocks 4] [-nb 8] [-steps 100] [-threshold-pct 10]
 //	         [-interval 10] [-ranks 4] [-weights 1,1,1]
 //	         [-trace trace.json] [-metrics metrics.txt] [-ledger run.jsonl]
+//	         [-monitor]
+//
+// -monitor watches the run live for drift against the solved schedule (see
+// mdsim -monitor): a drift report prints after execution, and with -ledger
+// the plan and alert events land in the JSONL file for `runmon report`.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"insitu/internal/core"
 	"insitu/internal/coupling"
 	"insitu/internal/obs"
+	"insitu/internal/runmon"
 	"insitu/internal/sim/amr"
 )
 
@@ -36,10 +42,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write the executed run as Chrome trace JSON to this file")
 	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	ledgerPath := flag.String("ledger", "", "write the run as a JSONL event ledger to this file")
+	monitor := flag.Bool("monitor", false, "watch the run live for drift against the solved schedule (prints a drift report; plan and alert events land in the ledger when -ledger is set)")
 	render := flag.Bool("render", false, "print an ASCII density slice after the run")
 	flag.Parse()
 
-	if err := run(*blocks, *nb, *steps, *thresholdPct, *interval, *ranks, *weights, *render, *tracePath, *metricsPath, *ledgerPath); err != nil {
+	if err := run(*blocks, *nb, *steps, *thresholdPct, *interval, *ranks, *weights, *render, *tracePath, *metricsPath, *ledgerPath, *monitor); err != nil {
 		fmt.Fprintln(os.Stderr, "flashsim:", err)
 		os.Exit(1)
 	}
@@ -61,7 +68,7 @@ func parseWeights(s string) ([3]float64, error) {
 	return w, nil
 }
 
-func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weightStr string, render bool, tracePath, metricsPath, ledgerPath string) error {
+func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weightStr string, render bool, tracePath, metricsPath, ledgerPath string, monitor bool) error {
 	w, err := parseWeights(weightStr)
 	if err != nil {
 		return err
@@ -157,12 +164,28 @@ func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weigh
 		})
 	}
 	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Trace: tracer, Metrics: reg, Ledger: ledger, App: "flashsim/sedov"}
+	var mon *runmon.Monitor
+	if monitor {
+		profile := runmon.FromPlan(specs, rec, res, simPerStep)
+		profile.App = "flashsim/sedov"
+		mon = runmon.NewMonitor(profile, runmon.Config{Ledger: ledger, Metrics: reg})
+		for _, e := range profile.PlanEvents() {
+			ledger.Append(e)
+		}
+		runner.Observe = mon.Observe
+	}
 	rep, err := runner.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nexecuted: sim=%v analyses=%v (%.1f%% of threshold)\n",
 		rep.SimTime, rep.AnalysisTime, rep.Utilization(res)*100)
+	if mon != nil {
+		fmt.Println("\nrun monitor:")
+		if err := mon.Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
 	if tracePath != "" {
 		if err := obs.WriteTraceFile(tracePath, tracer); err != nil {
 			return err

@@ -48,6 +48,7 @@ import (
 	"insitu/internal/explain"
 	"insitu/internal/milp"
 	"insitu/internal/obs"
+	"insitu/internal/runmon"
 	"insitu/internal/scenario"
 )
 
@@ -69,11 +70,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tracePath := fs.String("trace", "", "write the branch-and-bound search as Chrome trace JSON to this file")
 	metricsPath := fs.String("metrics", "", "write solver metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	workers := fs.Int("workers", 1, "branch-and-bound worker count (0 = all CPUs, 1 = serial)")
+	monitorPath := fs.String("monitor", "", "score an executed run ledger (JSONL) against the solved schedule and print the drift report")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-explain] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] [-workers n] problem.json")
+		fmt.Fprintln(stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-explain] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] [-workers n] [-monitor run.jsonl] problem.json")
 		return 2
 	}
 	fail := func(err error) int {
@@ -197,7 +199,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 	}
+	if *monitorPath != "" {
+		fmt.Fprintln(stdout)
+		if err := writeMonitorReport(stdout, *monitorPath, specs, res, rec); err != nil {
+			return fail(err)
+		}
+	}
 	return 0
+}
+
+// writeMonitorReport replays an executed run's ledger against the schedule
+// just solved and prints the post-hoc drift report: did the run's observed
+// step, analysis, and output durations stay near the costs the schedule was
+// solved from? Plan events embedded in the ledger refine the profile (the
+// probed simulation rate, for instance, which the problem JSON lacks).
+func writeMonitorReport(w io.Writer, path string, specs []core.AnalysisSpec, res core.Resources, rec *core.Recommendation) error {
+	events, err := obs.ReadLedgerFile(path)
+	if err != nil {
+		return err
+	}
+	profile := runmon.FromPlan(specs, rec, res, 0)
+	if ledgerProfile := runmon.FromEvents(events); ledgerProfile != nil {
+		profile = ledgerProfile
+	}
+	s := runmon.Analyze(events, profile, runmon.Config{})
+	fmt.Fprintf(w, "run monitor (%s):\n", path)
+	return s.WriteText(w)
 }
 
 // loadProblem parses the JSON problem description into solver inputs; the

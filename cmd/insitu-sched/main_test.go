@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"insitu/internal/core"
+	"insitu/internal/obs"
+	"insitu/internal/runmon"
 )
 
 func writeProblem(t *testing.T, body string) string {
@@ -144,5 +146,52 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{filepath.Join(t.TempDir(), "missing.json")}, &stdout, &stderr); code != 1 {
 		t.Fatalf("missing file: exit %d", code)
+	}
+}
+
+func TestRunMonitorFlag(t *testing.T) {
+	problem := writeProblem(t, `{
+	  "resources": {
+	    "steps": 40,
+	    "time_threshold_sec": 1.0,
+	    "mem_threshold_bytes": 1073741824,
+	    "bandwidth_bytes_per_sec": 4500000000
+	  },
+	  "analyses": [
+	    {"name": "rdf", "ct_sec": 0.004, "ot_sec": 0.001, "min_interval": 2}
+	  ]
+	}`)
+
+	// Synthesize the executed run: the rdf analysis drifts to 3x its
+	// profiled cost halfway through.
+	ledgerPath := filepath.Join(t.TempDir(), "run.jsonl")
+	srun := runmon.SynthRun{
+		Name: "cli", App: "mdsim/cli", Steps: 40,
+		SimSec: 0.010, ThresholdSec: 1.0, NoiseFrac: 0.02,
+		Kind: runmon.PerturbAnalysisCT, ChangeStep: 20, Factor: 3,
+		Kernels: []runmon.SynthKernel{
+			{Name: "rdf", AnalyzeSec: 0.004, OutputSec: 0.001, Every: 2, OutputEvery: 4},
+		},
+	}
+	led, err := obs.OpenEventLog(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range srun.Events(7) {
+		led.Append(e)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-monitor", ledgerPath, problem}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"run monitor", "rdf/analyze", "DRIFT@", "alerts:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("monitor report missing %q:\n%s", want, out)
+		}
 	}
 }

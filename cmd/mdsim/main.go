@@ -9,12 +9,16 @@
 //	mdsim [-system water|rhodopsin] [-atoms 4000] [-steps 200]
 //	      [-threshold-pct 10] [-interval 20] [-ranks 4] [-out results.txt]
 //	      [-trace trace.json] [-metrics metrics.txt] [-ledger run.jsonl]
+//	      [-monitor]
 //
 // -trace writes the executed run as Chrome trace JSON (load in
 // chrome://tracing or Perfetto); -metrics writes run counters in Prometheus
 // text format (or a JSON snapshot when the path ends in .json); -ledger
 // writes the run as a JSONL event ledger that `benchobs summarize` replays
-// into a per-step timeline.
+// into a per-step timeline. -monitor watches the run live with a
+// runmon.Monitor: residuals against the solved schedule are scored as the
+// run happens, a drift report prints after execution, and (with -ledger)
+// plan and alert events are written into the ledger for `runmon report`.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"insitu/internal/core"
 	"insitu/internal/coupling"
 	"insitu/internal/obs"
+	"insitu/internal/runmon"
 	"insitu/internal/sim/md"
 )
 
@@ -43,6 +48,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write the executed run as Chrome trace JSON to this file")
 	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	ledgerPath := flag.String("ledger", "", "write the run as a JSONL event ledger to this file")
+	monitor := flag.Bool("monitor", false, "watch the run live for drift against the solved schedule (prints a drift report; plan and alert events land in the ledger when -ledger is set)")
 	render := flag.Bool("render", false, "print a Figure-3 style ASCII snapshot before running")
 	flag.Parse()
 
@@ -54,7 +60,7 @@ func main() {
 		}
 		fmt.Print(sys.RenderSlice(72, 28, sys.Box[1]/4))
 	}
-	if err := run(*system, *atoms, *steps, *thresholdPct, *interval, *ranks, *outPath, *tracePath, *metricsPath, *ledgerPath); err != nil {
+	if err := run(*system, *atoms, *steps, *thresholdPct, *interval, *ranks, *outPath, *tracePath, *metricsPath, *ledgerPath, *monitor); err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)
 		os.Exit(1)
 	}
@@ -71,7 +77,7 @@ func buildSystem(system string, atoms int) (*md.System, error) {
 	return nil, fmt.Errorf("unknown system %q", system)
 }
 
-func run(system string, atoms, steps int, thresholdPct float64, interval, ranks int, outPath, tracePath, metricsPath, ledgerPath string) error {
+func run(system string, atoms, steps int, thresholdPct float64, interval, ranks int, outPath, tracePath, metricsPath, ledgerPath string, monitor bool) error {
 	cfg := md.Config{NAtoms: atoms, Seed: 1}
 	var sys *md.System
 	var err error
@@ -193,6 +199,18 @@ func run(system string, atoms, steps int, thresholdPct float64, interval, ranks 
 		})
 	}
 	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Output: out, Trace: tracer, Metrics: reg, Ledger: ledger, App: "mdsim/" + system}
+	var mon *runmon.Monitor
+	if monitor {
+		profile := runmon.FromPlan(specs, rec, res, simPerStep)
+		profile.App = "mdsim/" + system
+		mon = runmon.NewMonitor(profile, runmon.Config{Ledger: ledger, Metrics: reg})
+		// Plan events make the ledger self-describing: a later
+		// `runmon report -ledger` scores against the same predictions.
+		for _, e := range profile.PlanEvents() {
+			ledger.Append(e)
+		}
+		runner.Observe = mon.Observe
+	}
 	rep, err := runner.Run()
 	if err != nil {
 		return err
@@ -202,6 +220,12 @@ func run(system string, atoms, steps int, thresholdPct float64, interval, ranks 
 	for _, kr := range rep.Kernels {
 		fmt.Printf("  %-24s analyses=%d outputs=%d total=%v out_bytes=%d\n",
 			kr.Name, kr.Analyses, kr.Outputs, kr.Total(), kr.OutBytes)
+	}
+	if mon != nil {
+		fmt.Println("\nrun monitor:")
+		if err := mon.Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if tracePath != "" {
 		if err := obs.WriteTraceFile(tracePath, tracer); err != nil {

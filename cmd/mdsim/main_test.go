@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"insitu/internal/obs"
+	"insitu/internal/runmon"
 )
 
 func TestBuildSystem(t *testing.T) {
@@ -43,7 +44,7 @@ func TestRunWritesValidChromeTrace(t *testing.T) {
 	tracePath := filepath.Join(dir, "trace.json")
 	metricsPath := filepath.Join(dir, "metrics.txt")
 	ledgerPath := filepath.Join(dir, "run.jsonl")
-	if err := run("water", 600, 20, 20, 5, 2, "", tracePath, metricsPath, ledgerPath); err != nil {
+	if err := run("water", 600, 20, 20, 5, 2, "", tracePath, metricsPath, ledgerPath, false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -108,5 +109,32 @@ func TestRunWritesValidChromeTrace(t *testing.T) {
 	}
 	if len(sum.Solves) != 1 || sum.Solves[0].Name != "schedule" {
 		t.Fatalf("ledger solves = %+v", sum.Solves)
+	}
+}
+
+func TestRunMonitoredLedgerSelfDescribes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline too heavy for -short")
+	}
+	ledgerPath := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := run("water", 600, 20, 20, 5, 2, "", "", "", ledgerPath, true); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadLedgerFile(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The monitored ledger carries its own predictions as plan events, and
+	// a post-hoc runmon pass over the file scores the full run.
+	profile := runmon.FromEvents(events)
+	if profile == nil || len(profile.Streams) == 0 {
+		t.Fatalf("no plan events in monitored ledger: %+v", profile)
+	}
+	s := runmon.Analyze(events, nil, runmon.Config{})
+	if s.Step != 20 || !s.Ended {
+		t.Fatalf("post-hoc snapshot = %+v", s)
+	}
+	if len(s.Streams) == 0 {
+		t.Fatal("post-hoc analysis tracked no streams")
 	}
 }

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"insitu/internal/obs"
+	"insitu/internal/runmon"
+)
+
+// writeSynthLedger writes a deterministic perturbed run's ledger to a temp
+// file and returns its path.
+func writeSynthLedger(t *testing.T, srun runmon.SynthRun, seed int64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	led, err := obs.OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range srun.Events(seed) {
+		led.Append(e)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func driftRun() runmon.SynthRun {
+	return runmon.SynthRun{
+		Name: "cli", App: "mdsim/cli", Steps: 60,
+		SimSec: 0.010, ThresholdSec: 0.5, NoiseFrac: 0.02,
+		Kind: runmon.PerturbSimTime, ChangeStep: 30, Factor: 1.5,
+		Kernels: []runmon.SynthKernel{
+			{Name: "rdf", AnalyzeSec: 0.004, OutputSec: 0.001, Every: 2, OutputEvery: 4, Bytes: 1 << 20},
+		},
+	}
+}
+
+func TestCmdReport(t *testing.T) {
+	path := writeSynthLedger(t, driftRun(), 11)
+	var stdout, stderr bytes.Buffer
+	htmlPath := filepath.Join(t.TempDir(), "drift.html")
+	code := run(context.Background(), []string{"report", "-ledger", path, "-html", htmlPath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"run: mdsim/cli", "DRIFT@", "summary:", "1 drift alert"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	html, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "Run drift report") {
+		t.Fatal("HTML report not written")
+	}
+}
+
+func TestCmdReportJSON(t *testing.T) {
+	path := writeSynthLedger(t, driftRun(), 11)
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"report", "-json", "-ledger", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var s runmon.Snapshot
+	if err := json.Unmarshal(stdout.Bytes(), &s); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if s.DriftCount() != 1 || !s.Ended {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestCmdTailOnComplete(t *testing.T) {
+	// Tailing an already-complete ledger drains it in one poll and exits 0
+	// when it sees run_end.
+	path := writeSynthLedger(t, driftRun(), 11)
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"tail", "-ledger", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "run ended:") || !strings.Contains(out, "DRIFT@") {
+		t.Fatalf("tail output:\n%s", out)
+	}
+}
+
+func TestCmdTailOnceOnMissingFile(t *testing.T) {
+	// -once on a not-yet-created ledger exits cleanly without waiting.
+	path := filepath.Join(t.TempDir(), "nope.jsonl")
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"tail", "-once", "-ledger", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+}
+
+func TestCmdUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no args -> %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown command -> %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"report"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("report without ledger -> %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"help"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("help -> %d, want 0", code)
+	}
+}
+
+// TestServeLedgerLiveAndGracefulShutdown boots runmon serve on a real
+// listener over a growing ledger, checks the live endpoints, then cancels
+// the context and requires a clean exit — the serve-side satellite of the
+// graceful-shutdown requirement.
+func TestServeLedgerLiveAndGracefulShutdown(t *testing.T) {
+	path := writeSynthLedger(t, driftRun(), 11)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var stdout, stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- serveLedger(ctx, ln, path, 10*time.Millisecond, &stdout, &stderr)
+	}()
+
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	get := func(p string) string {
+		t.Helper()
+		// Retry until the follower has drained the ledger.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + p)
+			if err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return string(body)
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("GET %s never succeeded: %v", p, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Wait until the monitor has consumed the whole run.
+	deadline := time.Now().Add(10 * time.Second)
+	var snap runmon.Snapshot
+	for {
+		if err := json.Unmarshal([]byte(get("/drift.json")), &snap); err != nil {
+			t.Fatalf("drift.json: %v", err)
+		}
+		if snap.Ended {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never ended in monitor: %+v", snap)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if snap.DriftCount() != 1 {
+		t.Fatalf("drift alerts = %d, want 1", snap.DriftCount())
+	}
+	if !strings.Contains(get("/"), "Run drift report") {
+		t.Fatal("dashboard not served at /")
+	}
+	if !strings.Contains(get("/metrics"), "runmon_ewma_rel_err") {
+		t.Fatal("detector gauges missing from /metrics")
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("serveLedger exit %d, stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveLedger did not shut down after cancellation")
+	}
+}

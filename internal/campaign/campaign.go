@@ -21,6 +21,7 @@ import (
 	"insitu/internal/iosim"
 	"insitu/internal/machine"
 	"insitu/internal/obs"
+	"insitu/internal/runmon"
 )
 
 // Simulation is the minimal contract a simulation code implements to join a
@@ -105,6 +106,12 @@ type Config struct {
 	// solve time) followed by the executed run's events from the coupling
 	// runner. benchobs summarize reconstructs the timeline from the file.
 	Ledger *obs.EventLog
+	// Monitor, when non-nil, watches the executed run live: Execute installs
+	// the solved plan as the monitor's predicted profile, writes the profile
+	// into the ledger as plan events (so post-hoc runmon report sees the
+	// same predictions), and feeds every run event through the monitor's
+	// drift detectors as it happens.
+	Monitor *runmon.Monitor
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -341,6 +348,18 @@ func (c *Campaign) Execute(p *Plan) (*Outcome, error) {
 		Metrics: c.cfg.Metrics,
 		Ledger:  c.cfg.Ledger,
 		App:     c.cfg.Sim.Name(),
+	}
+	if c.cfg.Monitor != nil {
+		// The solved plan is the monitor's prediction; write it into the
+		// ledger too so a post-hoc `runmon report` scores against the same
+		// profile the live monitor used.
+		profile := runmon.FromPlan(p.Specs, p.Rec, p.Resources, p.SimSecPerStep)
+		profile.App = c.cfg.Sim.Name()
+		c.cfg.Monitor.SetProfile(profile)
+		for _, e := range profile.PlanEvents() {
+			c.cfg.Ledger.Append(e)
+		}
+		runner.Observe = c.cfg.Monitor.Observe
 	}
 	rep, err := runner.Run()
 	if err != nil {

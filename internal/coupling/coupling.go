@@ -40,8 +40,26 @@ type Runner struct {
 	// simulation step, and one analysis/output event per kernel invocation
 	// (with duration and output bytes). See obs.EventLog.
 	Ledger *obs.EventLog
+	// Observe, when non-nil, receives a copy of every ledger-style event
+	// the run emits, whether or not a Ledger is attached. This is the live
+	// monitoring hook: point it at a runmon.Monitor's Observe method and
+	// drift is scored as the run happens rather than post-hoc.
+	Observe func(obs.LedgerEvent)
 	// App names the application on the ledger's run_start event.
 	App string
+}
+
+// emit routes one event to the ledger (if any) and the Observe hook (if any).
+func (r *Runner) emit(e obs.LedgerEvent) {
+	r.Ledger.Append(e)
+	if r.Observe != nil {
+		r.Observe(e)
+	}
+}
+
+// emitTimed emits a span-style event, converting dur to ledger microseconds.
+func (r *Runner) emitTimed(typ, name string, step int, dur time.Duration) {
+	r.emit(obs.LedgerEvent{Type: typ, Name: name, Step: step, Dur: float64(dur.Nanoseconds()) / 1e3})
 }
 
 // KernelReport summarizes one kernel's execution.
@@ -152,7 +170,7 @@ func (r *Runner) Run() (*Report, error) {
 		})
 	}
 
-	r.Ledger.Append(obs.LedgerEvent{Type: obs.LedgerRunStart, Name: r.App, Args: map[string]float64{
+	r.emit(obs.LedgerEvent{Type: obs.LedgerRunStart, Name: r.App, Args: map[string]float64{
 		"steps": float64(r.Res.Steps), "kernels": float64(len(run)),
 	}})
 	for step := 1; step <= r.Res.Steps; step++ {
@@ -165,7 +183,7 @@ func (r *Runner) Run() (*Report, error) {
 		rep.SimTime += dt
 		mSteps.Inc()
 		mStepDur.Observe(dt.Seconds())
-		r.Ledger.Event(obs.LedgerStep, "", step, dt)
+		r.emitTimed(obs.LedgerStep, "", step, dt)
 
 		for _, a := range run {
 			t1 := time.Now()
@@ -185,7 +203,7 @@ func (r *Runner) Run() (*Report, error) {
 				a.report.Analyses++
 				sp.End()
 				a.mAnalyses.Inc()
-				r.Ledger.Event(obs.LedgerAnalysis, a.report.Name, step, da)
+				r.emitTimed(obs.LedgerAnalysis, a.report.Name, step, da)
 			}
 			if a.isO[step] {
 				sp := r.Trace.Begin(a.report.Name+"/output", "output").Arg("step", float64(step))
@@ -201,7 +219,7 @@ func (r *Runner) Run() (*Report, error) {
 				sp.End()
 				a.mOutputs.Inc()
 				a.mOutBytes.Add(float64(n))
-				r.Ledger.Append(obs.LedgerEvent{
+				r.emit(obs.LedgerEvent{
 					Type: obs.LedgerOutput, Name: a.report.Name, Step: step,
 					Dur: float64(do.Nanoseconds()) / 1e3, Bytes: n,
 				})
@@ -212,7 +230,7 @@ func (r *Runner) Run() (*Report, error) {
 	for i := range rep.Kernels {
 		rep.AnalysisTime += rep.Kernels[i].Total()
 	}
-	r.Ledger.Append(obs.LedgerEvent{Type: obs.LedgerRunEnd, Args: map[string]float64{
+	r.emit(obs.LedgerEvent{Type: obs.LedgerRunEnd, Args: map[string]float64{
 		"sim_seconds":      rep.SimTime.Seconds(),
 		"analysis_seconds": rep.AnalysisTime.Seconds(),
 	}})

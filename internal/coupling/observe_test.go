@@ -1,0 +1,47 @@
+package coupling
+
+import (
+	"testing"
+
+	"insitu/internal/obs"
+)
+
+func TestRunnerObserveHookSeesEveryEvent(t *testing.T) {
+	kernels, rec, res := twoKernelSetup()
+	var got []obs.LedgerEvent
+	r := &Runner{
+		Step:    func() {},
+		Kernels: kernels,
+		Rec:     rec,
+		Res:     res,
+		// No Ledger attached: the hook must fire regardless.
+		Observe: func(e obs.LedgerEvent) { got = append(got, e) },
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	count := map[string]int{}
+	for _, e := range got {
+		count[e.Type]++
+	}
+	if count[obs.LedgerRunStart] != 1 || count[obs.LedgerRunEnd] != 1 {
+		t.Fatalf("run bracket events = %+v", count)
+	}
+	if count[obs.LedgerStep] != res.Steps {
+		t.Fatalf("step events = %d, want %d", count[obs.LedgerStep], res.Steps)
+	}
+	// k1: 4 analyses + 2 outputs; k2: 2 analyses + 1 output.
+	if count[obs.LedgerAnalysis] != 6 || count[obs.LedgerOutput] != 3 {
+		t.Fatalf("analysis/output events = %d/%d, want 6/3", count[obs.LedgerAnalysis], count[obs.LedgerOutput])
+	}
+	// Durations arrive in ledger microseconds, step numbers attached.
+	for _, e := range got {
+		if e.Type == obs.LedgerStep && e.Step == 0 {
+			t.Fatalf("step event without a step number: %+v", e)
+		}
+		if (e.Type == obs.LedgerAnalysis || e.Type == obs.LedgerOutput) && e.Name == "" {
+			t.Fatalf("kernel event without a name: %+v", e)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"insitu/internal/core"
+	"insitu/internal/runmon"
 	"insitu/internal/scenario"
 )
 
@@ -89,6 +90,10 @@ func GoldenSnapshots() ([]GoldenSnapshot, error) {
 		return nil, err
 	}
 
+	if err := add("perturbed_runs", perturbedRunsSnapshot(), nil); err != nil {
+		return nil, err
+	}
+
 	snaps = append(snaps, scenarioSnapshots()...)
 	return snaps, nil
 }
@@ -152,6 +157,26 @@ func profilesSnapshot() any {
 		RhodopsinOutputBytes:   RhodopsinOutputBytes,
 		FlashSimSecPerStep:     FlashSimSecPerStep,
 	}
+}
+
+// perturbedRunsSnapshot pins the perturbed-profile scenario family and the
+// drift verdict runmon reaches on each member: the run configurations, the
+// one-line detection summary, and every alert (stream, step, detector state)
+// at the fixed corpus seed. The synthesis and the detectors are pure seeded
+// math, so the snapshot is byte-stable across hosts; a change to either the
+// corpus or the CUSUM/EWMA defaults shows up as a readable diff here.
+func perturbedRunsSnapshot() any {
+	type entry struct {
+		Run     runmon.SynthRun `json:"run"`
+		Summary string          `json:"summary"`
+		Alerts  []runmon.Alert  `json:"alerts"`
+	}
+	var out []entry
+	for _, r := range PerturbedRuns() {
+		s := runmon.Analyze(r.Events(PerturbedRunSeed), nil, runmon.Config{})
+		out = append(out, entry{Run: r, Summary: s.Summary(), Alerts: s.Alerts})
+	}
+	return out
 }
 
 // figure4Roster pins the composition of the Figure-4 kernel set: the ten

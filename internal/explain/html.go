@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"insitu/internal/core"
+	"insitu/internal/explain/style"
 )
 
 // htmlReport is the template's view model: everything pre-formatted so the
@@ -56,22 +57,19 @@ type htmlKernel struct {
 	Note        string
 }
 
+// PageStyle is the shared stylesheet of the repo's self-contained HTML
+// reports; it lives in the leaf package internal/explain/style so that the
+// runmon drift report can embed the same block without importing this
+// package, and schedexplain and runmon output render as one family.
+const PageStyle = style.Page
+
 var reportTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
 <html lang="en">
 <head>
 <meta charset="utf-8">
 <title>{{.Title}}</title>
 <style>
-body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #1a1a2e; }
-h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
-table { border-collapse: collapse; width: 100%; }
-th, td { border: 1px solid #d0d0e0; padding: 0.35rem 0.6rem; text-align: left; font-size: 0.9rem; }
-th { background: #f0f0fa; }
-pre { background: #f7f7fc; border: 1px solid #d0d0e0; padding: 0.8rem; overflow-x: auto; font-size: 0.8rem; }
-.badge { display: inline-block; padding: 0.1rem 0.5rem; border-radius: 0.6rem; font-size: 0.8rem; }
-.enabled { background: #d9f2d9; } .disabled { background: #f2d9d9; }
-.binding { background: #ffe8cc; } .summary span { margin-right: 1.5rem; }
-.conflict { color: #a33; font-size: 0.85rem; }
+` + PageStyle + `
 </style>
 </head>
 <body>

@@ -1,0 +1,19 @@
+// Package style holds the shared stylesheet of the repo's self-contained
+// HTML reports. It is a leaf package so that report producers in different
+// layers (schedexplain's attribution report in internal/explain, the drift
+// report in internal/runmon) can embed the same block without importing
+// each other, and their output renders as one family.
+package style
+
+// Page is the common <style> block of every generated HTML report.
+const Page = `body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; }
+th, td { border: 1px solid #d0d0e0; padding: 0.35rem 0.6rem; text-align: left; font-size: 0.9rem; }
+th { background: #f0f0fa; }
+pre { background: #f7f7fc; border: 1px solid #d0d0e0; padding: 0.8rem; overflow-x: auto; font-size: 0.8rem; }
+.badge { display: inline-block; padding: 0.1rem 0.5rem; border-radius: 0.6rem; font-size: 0.8rem; }
+.enabled { background: #d9f2d9; } .disabled { background: #f2d9d9; }
+.binding { background: #ffe8cc; } .summary span { margin-right: 1.5rem; }
+.conflict { color: #a33; font-size: 0.85rem; }
+.alert { background: #fde8e8; } .ok { background: #d9f2d9; }`

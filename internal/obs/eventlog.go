@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -27,7 +28,21 @@ const (
 	LedgerAnalysis = "analysis"  // one kernel analysis invocation
 	LedgerOutput   = "output"    // one kernel output invocation
 	LedgerSolve    = "solve"     // one MILP solve: args carry nodes, pivots, objective
+	LedgerPlan     = "plan"      // predicted profile for one stream, written by monitored runs
+	LedgerAlert    = "alert"     // a runmon drift or budget alert: args carry the detector state
 )
+
+// KnownLedgerType reports whether this obs version understands the event
+// type. Readers must not fail on unknown types — newer emitters may add
+// their own — but they count them so tooling can surface the skew.
+func KnownLedgerType(t string) bool {
+	switch t {
+	case LedgerRunStart, LedgerRunEnd, LedgerStep, LedgerPhase,
+		LedgerAnalysis, LedgerOutput, LedgerSolve, LedgerPlan, LedgerAlert:
+		return true
+	}
+	return false
+}
 
 // LedgerEvent is one line of the JSONL run ledger. Times are offsets from
 // the log's epoch in microseconds, like the Chrome trace export, so ledgers
@@ -192,13 +207,50 @@ func marshalLedgerEvent(e LedgerEvent) ([]byte, error) {
 	return []byte(strings.TrimSuffix(b.String(), "\n")), nil
 }
 
-// ReadLedger parses a JSONL ledger stream. Blank lines are skipped; a line
-// with an unknown schema version or malformed JSON is an error carrying the
-// 1-based line number.
+// ErrSchemaTooNew marks a ledger line written under a schema this reader
+// does not understand. Lenient readers skip (and count) such lines instead
+// of failing, so old tooling keeps working against ledgers from newer code.
+var ErrSchemaTooNew = fmt.Errorf("obs: ledger line from a newer schema than v%d", LedgerSchemaVersion)
+
+// ParseLedgerEvent parses one JSONL ledger line. It returns ErrSchemaTooNew
+// (possibly wrapped) for lines stamped with a newer schema version, and a
+// plain error for malformed JSON or a non-positive schema.
+func ParseLedgerEvent(raw []byte) (LedgerEvent, error) {
+	var e LedgerEvent
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return LedgerEvent{}, err
+	}
+	if e.Schema < 1 {
+		return LedgerEvent{}, fmt.Errorf("obs: ledger line missing schema version")
+	}
+	if e.Schema > LedgerSchemaVersion {
+		return LedgerEvent{}, fmt.Errorf("%w (line is v%d)", ErrSchemaTooNew, e.Schema)
+	}
+	return e, nil
+}
+
+// LedgerReadStats counts what a lenient ledger read skipped.
+type LedgerReadStats struct {
+	Lines        int // non-blank lines scanned
+	SkippedNewer int // lines from a newer schema, skipped with a count
+}
+
+// ReadLedger parses a JSONL ledger stream. Blank lines are skipped, as are
+// lines stamped with a newer schema version (forward compatibility: a new
+// emitter must not break old tooling); malformed JSON is an error carrying
+// the 1-based line number.
 func ReadLedger(r io.Reader) ([]LedgerEvent, error) {
+	events, _, err := ReadLedgerStats(r)
+	return events, err
+}
+
+// ReadLedgerStats is ReadLedger plus the skip counts, for tooling that wants
+// to surface a warning when a ledger carries events it cannot interpret.
+func ReadLedgerStats(r io.Reader) ([]LedgerEvent, LedgerReadStats, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	var out []LedgerEvent
+	var stats LedgerReadStats
 	line := 0
 	for sc.Scan() {
 		line++
@@ -206,19 +258,21 @@ func ReadLedger(r io.Reader) ([]LedgerEvent, error) {
 		if raw == "" {
 			continue
 		}
-		var e LedgerEvent
-		if err := json.Unmarshal([]byte(raw), &e); err != nil {
-			return nil, fmt.Errorf("obs: ledger line %d: %w", line, err)
-		}
-		if e.Schema != LedgerSchemaVersion {
-			return nil, fmt.Errorf("obs: ledger line %d: schema v%d, this reader understands v%d", line, e.Schema, LedgerSchemaVersion)
+		stats.Lines++
+		e, err := ParseLedgerEvent([]byte(raw))
+		if err != nil {
+			if errors.Is(err, ErrSchemaTooNew) {
+				stats.SkippedNewer++
+				continue
+			}
+			return nil, stats, fmt.Errorf("obs: ledger line %d: %w", line, err)
 		}
 		out = append(out, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: ledger scan: %w", err)
+		return nil, stats, fmt.Errorf("obs: ledger scan: %w", err)
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // ReadLedgerFile parses the ledger at path.
@@ -247,6 +301,10 @@ type LedgerSummary struct {
 	Solves  []LedgerEvent // solve events in order
 	Runs    int           // run_start events seen
 	TotalUS float64       // summed step durations
+	// Unknown counts events whose type this obs version does not understand,
+	// by type. They are skipped with a warning rather than failing the
+	// summary, so new event families never break old tooling.
+	Unknown map[string]int
 }
 
 // SummarizeLedger reconstructs per-step timelines from a ledger: one
@@ -282,6 +340,13 @@ func SummarizeLedger(events []LedgerEvent) LedgerSummary {
 			st.Bytes += e.Bytes
 		case LedgerSolve:
 			s.Solves = append(s.Solves, e)
+		case LedgerPhase, LedgerRunEnd, LedgerPlan, LedgerAlert:
+			// Understood but not part of the per-step timeline.
+		default:
+			if s.Unknown == nil {
+				s.Unknown = map[string]int{}
+			}
+			s.Unknown[e.Type]++
 		}
 	}
 	steps := make([]int, 0, len(byStep))
@@ -300,9 +365,42 @@ func (s LedgerSummary) Empty() bool {
 	return s.Runs == 0 && len(s.Steps) == 0 && len(s.Solves) == 0
 }
 
+// UnknownCount returns the total number of events skipped for carrying an
+// unknown type.
+func (s LedgerSummary) UnknownCount() int {
+	n := 0
+	for _, c := range s.Unknown {
+		n += c
+	}
+	return n
+}
+
+// writeUnknownWarning prints the counted skip warning, if any events of
+// unknown type were seen.
+func (s LedgerSummary) writeUnknownWarning(w io.Writer) error {
+	if len(s.Unknown) == 0 {
+		return nil
+	}
+	types := make([]string, 0, len(s.Unknown))
+	for t := range s.Unknown {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	var parts []string
+	for _, t := range types {
+		parts = append(parts, fmt.Sprintf("%s×%d", t, s.Unknown[t]))
+	}
+	_, err := fmt.Fprintf(w, "warning: skipped %d event(s) of unknown type: %s\n",
+		s.UnknownCount(), strings.Join(parts, ", "))
+	return err
+}
+
 // WriteTimeline renders a ledger summary as a per-step text table. An empty
 // summary renders a single "no events" line instead of a header-only table.
 func (s LedgerSummary) WriteTimeline(w io.Writer) error {
+	if err := s.writeUnknownWarning(w); err != nil {
+		return err
+	}
 	if s.Empty() {
 		_, err := fmt.Fprintln(w, "ledger: no events")
 		return err

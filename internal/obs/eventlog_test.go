@@ -70,16 +70,19 @@ func TestEventLogDeterministicBytes(t *testing.T) {
 }
 
 func TestEventLogSchemaRejection(t *testing.T) {
-	if _, err := ReadLedger(strings.NewReader(`{"v":99,"type":"step"}`)); err == nil {
-		t.Fatal("future schema accepted")
+	// Future-schema lines are skipped with a count (forward compatibility),
+	// not an error; see TestReadLedgerSkipsNewerSchema.
+	events, stats, err := ReadLedgerStats(strings.NewReader(`{"v":99,"type":"step"}`))
+	if err != nil || len(events) != 0 || stats.SkippedNewer != 1 {
+		t.Fatalf("future schema: events=%v stats=%+v err=%v", events, stats, err)
 	}
 	if _, err := ReadLedger(strings.NewReader("not json")); err == nil {
 		t.Fatal("malformed line accepted")
 	}
 	// Blank lines are fine.
-	events, err := ReadLedger(strings.NewReader("\n\n" + `{"v":1,"type":"step","step":1}` + "\n\n"))
-	if err != nil || len(events) != 1 {
-		t.Fatalf("events=%v err=%v", events, err)
+	blank, err := ReadLedger(strings.NewReader("\n\n" + `{"v":1,"type":"step","step":1}` + "\n\n"))
+	if err != nil || len(blank) != 1 {
+		t.Fatalf("events=%v err=%v", blank, err)
 	}
 }
 
@@ -215,5 +218,80 @@ func TestSummarizeLedgerEmpty(t *testing.T) {
 	}
 	if SummarizeLedger([]LedgerEvent{{Type: LedgerSolve, Name: "plan"}}).Empty() {
 		t.Fatal("solve-only summary reported empty")
+	}
+}
+
+func TestReadLedgerSkipsNewerSchema(t *testing.T) {
+	input := `{"v":1,"type":"run_start","name":"app"}
+{"v":2,"type":"hologram","name":"future"}
+{"v":1,"type":"step","step":1,"ts_us":5,"dur_us":100}
+{"v":9,"type":"step","step":2,"ts_us":6,"dur_us":100}
+`
+	events, stats, err := ReadLedgerStats(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("kept %d events, want 2", len(events))
+	}
+	if stats.Lines != 4 || stats.SkippedNewer != 2 {
+		t.Fatalf("stats = %+v, want 4 lines / 2 skipped", stats)
+	}
+	// The plain reader is equally lenient.
+	plain, err := ReadLedger(strings.NewReader(input))
+	if err != nil || len(plain) != 2 {
+		t.Fatalf("ReadLedger = %d events, %v", len(plain), err)
+	}
+}
+
+func TestReadLedgerRejectsMissingSchema(t *testing.T) {
+	if _, err := ReadLedger(strings.NewReader(`{"type":"step","step":1}`)); err == nil {
+		t.Fatal("want error for line without a schema version")
+	}
+	if _, err := ReadLedger(strings.NewReader(`{nope`)); err == nil {
+		t.Fatal("want error for malformed JSON")
+	}
+}
+
+func TestSummarizeLedgerCountsUnknownTypes(t *testing.T) {
+	events := []LedgerEvent{
+		{Schema: 1, Type: LedgerRunStart, Name: "app"},
+		{Schema: 1, Type: LedgerStep, Step: 1, Dur: 100},
+		{Schema: 1, Type: "quantum_flux", Step: 1, Dur: 5},
+		{Schema: 1, Type: "quantum_flux", Step: 2, Dur: 5},
+		{Schema: 1, Type: "telemetry_v2"},
+		{Schema: 1, Type: LedgerAlert, Name: "sim", Step: 1},
+		{Schema: 1, Type: LedgerPlan, Name: "sim"},
+	}
+	s := SummarizeLedger(events)
+	if s.Unknown["quantum_flux"] != 2 || s.Unknown["telemetry_v2"] != 1 {
+		t.Fatalf("unknown counts = %v", s.Unknown)
+	}
+	if s.UnknownCount() != 3 {
+		t.Fatalf("UnknownCount = %d, want 3", s.UnknownCount())
+	}
+	// alert and plan are known types: never counted as unknown.
+	if _, ok := s.Unknown[LedgerAlert]; ok {
+		t.Fatal("alert counted as unknown")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "warning: skipped 3 event(s) of unknown type: quantum_flux×2, telemetry_v2×1") {
+		t.Fatalf("timeline missing skip warning:\n%s", out)
+	}
+}
+
+func TestKnownLedgerType(t *testing.T) {
+	for _, typ := range []string{LedgerRunStart, LedgerRunEnd, LedgerStep, LedgerPhase,
+		LedgerAnalysis, LedgerOutput, LedgerSolve, LedgerPlan, LedgerAlert} {
+		if !KnownLedgerType(typ) {
+			t.Fatalf("%s should be known", typ)
+		}
+	}
+	if KnownLedgerType("quantum_flux") {
+		t.Fatal("quantum_flux should be unknown")
 	}
 }

@@ -1,8 +1,12 @@
 package obs
 
 import (
+	"context"
+	"errors"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // MetricsHandler serves r in Prometheus text exposition format. A nil
@@ -41,4 +45,32 @@ func NewServeMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// ServeUntil serves h on ln until ctx is canceled, then shuts the server
+// down gracefully (in-flight requests get up to five seconds to finish).
+// It returns nil on a clean shutdown; http.ErrServerClosed is never
+// surfaced. Both benchobs serve and runmon serve sit on this so SIGINT and
+// SIGTERM always flush cleanly instead of killing the process mid-request.
+func ServeUntil(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }

@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"context"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestMetricsHandler(t *testing.T) {
@@ -56,5 +59,37 @@ func TestMetricsHandlerNilRegistry(t *testing.T) {
 	MetricsJSONHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
 	if strings.TrimSpace(rec.Body.String()) != "[]" {
 		t.Fatalf("nil registry /metrics.json = %q", rec.Body.String())
+	}
+}
+
+func TestServeUntilGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Counter("up", nil).Inc()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ServeUntil(ctx, ln, NewServeMux(reg)) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "up 1") {
+		t.Fatalf("/metrics = %d %q", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeUntil after cancel: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeUntil did not return after context cancellation")
 	}
 }

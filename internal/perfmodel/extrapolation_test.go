@@ -1,0 +1,164 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// The extrapolation edge cases: out-of-range queries must extend the edge
+// segments linearly, degenerate sample sets must error at construction (not
+// produce NaN predictions later), and non-monotone inputs must be rejected —
+// the contracts runmon's residual scoring relies on when a run drifts past
+// the profiled range.
+
+func TestInterp1DLinearExtrapolation(t *testing.T) {
+	// y = 2x over [1, 3]: extrapolation continues the edge slopes exactly.
+	in, err := NewInterp1D([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]float64{
+		0.5: 1, // below the left edge
+		0:   0,
+		-1:  -2, // far left: the edge slope keeps going
+		4:   8,  // above the right edge
+		10:  20,
+	}
+	for x, want := range cases {
+		if got := in.Predict(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Predict(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestInterp1DExtrapolationUsesEdgeSegment(t *testing.T) {
+	// A kinked curve: extrapolation must use the nearest segment's slope,
+	// not a global fit. Segments: slope 1 over [0,1], slope 10 over [1,2].
+	in, err := NewInterp1D([]float64{0, 1, 2}, []float64{0, 1, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Predict(-1); math.Abs(got-(-1)) > 1e-12 {
+		t.Errorf("left extrapolation = %g, want -1 (slope 1)", got)
+	}
+	if got := in.Predict(3); math.Abs(got-21) > 1e-12 {
+		t.Errorf("right extrapolation = %g, want 21 (slope 10)", got)
+	}
+}
+
+func TestLogLogExtrapolationPowerLaw(t *testing.T) {
+	// t = 4/p: a pure power law is exact in log-log space, including far
+	// outside the sampled range.
+	in, err := NewLogLogInterp1D([]float64{1, 2, 4}, []float64{4, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.5, 8, 64, 1024} {
+		want := 4 / p
+		if got := in.Predict(p); math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("Predict(%g) = %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestLogLogNonPositiveQueries(t *testing.T) {
+	in, err := NewLogLogInterp1D([]float64{1, 2}, []float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Predict(0); !math.IsNaN(got) {
+		t.Errorf("Predict(0) = %g, want NaN", got)
+	}
+	if got := in.Predict(-3); !math.IsNaN(got) {
+		t.Errorf("Predict(-3) = %g, want NaN", got)
+	}
+}
+
+func TestInterp1DDegenerateInputs(t *testing.T) {
+	// A single sample cannot define a slope: construction must fail rather
+	// than leave Predict to divide by zero later.
+	if _, err := NewInterp1D([]float64{1}, []float64{2}); err == nil {
+		t.Error("single-point profile accepted")
+	}
+	if _, err := NewInterp1D(nil, nil); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := NewInterp1D([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Non-monotone and duplicated x-samples are rejected.
+	if _, err := NewInterp1D([]float64{1, 3, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("non-monotone x-samples accepted")
+	}
+	if _, err := NewInterp1D([]float64{1, 1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("duplicate x-samples accepted")
+	}
+	// Log-log additionally rejects non-positive samples.
+	if _, err := NewLogLogInterp1D([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("log-log accepted x=0")
+	}
+	if _, err := NewLogLogInterp1D([]float64{1, 2}, []float64{1, -2}); err == nil {
+		t.Error("log-log accepted y<0")
+	}
+	if _, err := FromMap(map[int]float64{4: 1}); err == nil {
+		t.Error("single-point FromMap accepted")
+	}
+}
+
+func TestBilinearCornerAndEdgeExtrapolation(t *testing.T) {
+	// f(x, y) = x + 10y on a 2x2 grid: bilinear is exact for affine
+	// surfaces, so every extrapolated corner continues the plane.
+	b, err := NewBilinear(
+		[]float64{0, 1},
+		[]float64{0, 1},
+		[][]float64{{0, 10}, {1, 11}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, y, want float64 }{
+		{0.5, 0.5, 5.5}, // interior
+		{-1, 0, -1},     // left edge
+		{2, 0.5, 7},     // right edge
+		{0.5, -1, -9.5}, // below
+		{-1, -1, -11},   // corner
+		{2, 2, 22},      // far corner
+	}
+	for _, c := range cases {
+		if got := b.Predict(c.x, c.y); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Predict(%g, %g) = %g, want %g", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestBilinearRejectsNonMonotoneAxes(t *testing.T) {
+	v := [][]float64{{0, 1}, {1, 2}}
+	if _, err := NewBilinear([]float64{1, 0}, []float64{0, 1}, v); err == nil {
+		t.Error("decreasing x-axis accepted")
+	}
+	if _, err := NewBilinear([]float64{0, 1}, []float64{1, 1}, v); err == nil {
+		t.Error("duplicate y-axis accepted")
+	}
+	if _, err := NewBilinear([]float64{0}, []float64{0, 1}, [][]float64{{0, 1}}); err == nil {
+		t.Error("1-wide grid accepted")
+	}
+}
+
+func TestTableDuplicateAveragingAndGaps(t *testing.T) {
+	tab := NewTable("ct")
+	tab.Add(1, 1, 2)
+	tab.Add(1, 1, 4) // duplicate: averaged to 3
+	tab.Add(1, 2, 1)
+	tab.Add(2, 1, 5)
+	if _, err := tab.Build(); err == nil {
+		t.Fatal("incomplete grid built without error")
+	}
+	tab.Add(2, 2, 7)
+	b, err := tab.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Predict(1, 1); math.Abs(got-3) > 1e-12 {
+		t.Errorf("duplicate point = %g, want the 3 average", got)
+	}
+}

@@ -1,0 +1,359 @@
+package runmon
+
+import (
+	"sync"
+
+	"insitu/internal/obs"
+)
+
+// AlertSchemaVersion is carried in every alert event's args ("alert_v") so
+// downstream consumers (the future replanner, dashboards) can gate on the
+// alert payload layout independently of the ledger line schema.
+const AlertSchemaVersion = 1
+
+// Alert kinds.
+const (
+	AlertDrift  = "drift"  // a stream's CUSUM crossed its threshold
+	AlertBudget = "budget" // projected total analysis time exceeds the budget
+)
+
+// Config tunes a Monitor. The zero value is usable: every field defaults to
+// the values documented on it.
+type Config struct {
+	// Alpha is the EWMA smoothing weight (default 0.3).
+	Alpha float64
+	// Slack is the CUSUM per-observation allowance k in relative-error
+	// units (default 0.25): residuals within ±25% of the prediction never
+	// accumulate toward an alarm.
+	Slack float64
+	// Threshold is the CUSUM alarm level h (default 1.0). With the default
+	// slack, a sustained 1.5× step-time inflation (relative error 0.5)
+	// alarms after ceil(1.0/0.25) = 4 observations.
+	Threshold float64
+	// Calibration is how many observations seed the baseline of a stream
+	// the profile does not predict (default 5). During calibration no
+	// residuals are scored for that stream.
+	Calibration int
+	// BudgetGuard scales the budget alert level: the alert fires when the
+	// projected total analysis time exceeds ThresholdSec×BudgetGuard
+	// (default 1.0).
+	BudgetGuard float64
+	// Ledger, when non-nil, receives every alert as a schema-versioned
+	// "alert" event, so alerts land in the same JSONL stream as the run
+	// they describe.
+	Ledger *obs.EventLog
+	// Metrics, when non-nil, exports the live detector state: per-stream
+	// runmon_ewma_rel_err / runmon_cusum_pos / runmon_cusum_neg gauges, a
+	// runmon_alerts_total counter, and the budget projection gauges.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.Slack <= 0 {
+		c.Slack = 0.25
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 1.0
+	}
+	if c.Calibration <= 0 {
+		c.Calibration = 5
+	}
+	if c.BudgetGuard <= 0 {
+		c.BudgetGuard = 1.0
+	}
+	return c
+}
+
+// Alert is one emitted drift or budget alert.
+type Alert struct {
+	Kind      string  `json:"kind"`                // AlertDrift or AlertBudget
+	Stream    string  `json:"stream"`              // residual stream, or "budget"
+	Step      int     `json:"step"`                // simulation step at detection
+	Direction string  `json:"direction,omitempty"` // "slow" or "fast" (drift only)
+	RelErr    float64 `json:"rel_err"`             // EWMA of relative error at detection
+	CUSUM     float64 `json:"cusum"`               // alarming CUSUM statistic
+	Predicted float64 `json:"predicted_sec"`       // per-event prediction (drift) or budget (budget)
+	Observed  float64 `json:"observed_sec"`        // last observation (drift) or projection (budget)
+}
+
+// streamState is the per-stream detector stack.
+type streamState struct {
+	name      string
+	predicted float64 // seconds per event; 0 while calibrating
+	calSum    float64
+	calN      int
+	ewma      EWMA
+	cusum     CUSUM
+	count     int
+	obsSec    float64 // total observed seconds
+	predSec   float64 // total predicted seconds over scored events
+	lastSec   float64
+	alerted   bool
+	alertStep int
+
+	mEWMA     *obs.Gauge
+	mCusumPos *obs.Gauge
+	mCusumNeg *obs.Gauge
+}
+
+// Monitor consumes ledger-style run events and maintains the per-stream
+// residual statistics. It is safe for concurrent use; Observe is cheap
+// enough to sit on the coupling runner's hot path.
+type Monitor struct {
+	mu      sync.Mutex
+	cfg     Config
+	profile *Profile
+	streams map[string]*streamState
+	order   []string // stream creation order, for stable reports
+
+	app         string
+	runs        int
+	step        int // highest simulation step seen
+	ended       bool
+	analysisSec float64 // observed analysis+output seconds so far
+	projected   float64
+	budgetHit   bool
+	alerts      []Alert
+
+	mProjected *obs.Gauge
+	mThreshold *obs.Gauge
+}
+
+// NewMonitor builds a monitor. profile may be nil: every stream then
+// self-calibrates from its first Config.Calibration observations, which is
+// how runmon scores ledgers from runs that never wrote plan events.
+func NewMonitor(profile *Profile, cfg Config) *Monitor {
+	m := &Monitor{
+		cfg:     cfg.withDefaults(),
+		streams: map[string]*streamState{},
+	}
+	m.profile = profile
+	if profile != nil {
+		m.app = profile.App
+	}
+	m.mProjected = m.cfg.Metrics.Gauge("runmon_projected_analysis_sec", nil)
+	m.mThreshold = m.cfg.Metrics.Gauge("runmon_threshold_sec", nil)
+	if profile != nil && profile.ThresholdSec > 0 {
+		m.mThreshold.Set(profile.ThresholdSec)
+	}
+	return m
+}
+
+// SetProfile installs (or replaces) the predicted profile; campaign.Execute
+// calls this once the plan is solved. Streams already self-calibrated keep
+// their calibrated baseline.
+func (m *Monitor) SetProfile(p *Profile) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.profile = p
+	if p != nil {
+		if p.App != "" {
+			m.app = p.App
+		}
+		if p.ThresholdSec > 0 {
+			m.mThreshold.Set(p.ThresholdSec)
+		}
+	}
+}
+
+// Observe scores one ledger-style event. It accepts exactly the events
+// coupling.Runner and campaign emit (run_start, step, analysis, output,
+// plan, run_end); every other type is ignored, so a whole ledger can be
+// replayed through it unfiltered. Nil-safe: a nil monitor drops events.
+func (m *Monitor) Observe(e obs.LedgerEvent) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch e.Type {
+	case obs.LedgerRunStart:
+		m.runs++
+		if e.Name != "" {
+			m.app = e.Name
+		}
+	case obs.LedgerRunEnd:
+		m.ended = true
+	case obs.LedgerPlan:
+		if m.profile == nil {
+			m.profile = &Profile{Streams: map[string]float64{}}
+		}
+		m.profile.absorbPlanEvent(e)
+		if m.profile.ThresholdSec > 0 {
+			m.mThreshold.Set(m.profile.ThresholdSec)
+		}
+	case obs.LedgerStep:
+		if e.Step > m.step {
+			m.step = e.Step
+		}
+		m.observe(StreamSim, e.Step, e.Dur/1e6)
+	case obs.LedgerAnalysis:
+		sec := e.Dur / 1e6
+		m.analysisSec += sec
+		m.observe(AnalyzeStream(e.Name), e.Step, sec)
+		m.projectBudget(e.Step)
+	case obs.LedgerOutput:
+		sec := e.Dur / 1e6
+		m.analysisSec += sec
+		m.observe(OutputStream(e.Name), e.Step, sec)
+		m.projectBudget(e.Step)
+	}
+}
+
+// stream returns (creating on first use) the detector stack for name.
+func (m *Monitor) stream(name string) *streamState {
+	st, ok := m.streams[name]
+	if !ok {
+		st = &streamState{
+			name:  name,
+			ewma:  EWMA{Alpha: m.cfg.Alpha},
+			cusum: CUSUM{Slack: m.cfg.Slack, Threshold: m.cfg.Threshold},
+		}
+		if m.profile != nil {
+			st.predicted = m.profile.Streams[name]
+		}
+		labels := obs.Labels{"stream": name}
+		st.mEWMA = m.cfg.Metrics.Gauge("runmon_ewma_rel_err", labels)
+		st.mCusumPos = m.cfg.Metrics.Gauge("runmon_cusum_pos", labels)
+		st.mCusumNeg = m.cfg.Metrics.Gauge("runmon_cusum_neg", labels)
+		m.streams[name] = st
+		m.order = append(m.order, name)
+	}
+	return st
+}
+
+// observe scores one duration on one stream: resolve the prediction
+// (profile or calibration), compute the signed relative error, update the
+// EWMA and CUSUM, and raise the stream's drift alert the first time the
+// CUSUM alarms.
+func (m *Monitor) observe(name string, step int, sec float64) {
+	st := m.stream(name)
+	st.count++
+	st.obsSec += sec
+	st.lastSec = sec
+
+	if st.predicted <= 0 {
+		// Self-calibration: the first Calibration observations set the
+		// baseline; no residuals are scored until it is in place.
+		st.calSum += sec
+		st.calN++
+		if st.calN >= m.cfg.Calibration {
+			st.predicted = st.calSum / float64(st.calN)
+		}
+		return
+	}
+
+	st.predSec += st.predicted
+	x := (sec - st.predicted) / st.predicted
+	st.mEWMA.Set(st.ewma.Observe(x))
+	fired := st.cusum.Observe(x)
+	pos, neg := st.cusum.Stat()
+	st.mCusumPos.Set(pos)
+	st.mCusumNeg.Set(neg)
+
+	if fired && !st.alerted {
+		st.alerted = true
+		st.alertStep = step
+		stat := pos
+		if neg > pos {
+			stat = neg
+		}
+		m.raise(Alert{
+			Kind: AlertDrift, Stream: name, Step: step,
+			Direction: st.cusum.Direction(),
+			RelErr:    st.ewma.Value(), CUSUM: stat,
+			Predicted: st.predicted, Observed: sec,
+		})
+	}
+}
+
+// projectBudget recomputes the budget-at-risk projection: given the drift
+// observed so far, will the remaining schedule blow the time budget? The
+// remaining planned work is scaled by the run-wide inflation factor
+// (observed / predicted over all scored analysis events).
+func (m *Monitor) projectBudget(step int) {
+	p := m.profile
+	if p == nil || p.ThresholdSec <= 0 || p.Steps <= 0 || p.PlannedSec <= 0 {
+		return
+	}
+	var obsSec, predSec float64
+	for _, st := range m.streams {
+		if st.name == StreamSim {
+			continue
+		}
+		obsSec += st.obsSec
+		predSec += st.predSec
+	}
+	inflation := 1.0
+	if predSec > 0 {
+		inflation = obsSec / predSec
+	}
+	remaining := p.PlannedSec * float64(p.Steps-step) / float64(p.Steps)
+	if remaining < 0 {
+		remaining = 0
+	}
+	m.projected = m.analysisSec + remaining*inflation
+	m.mProjected.Set(m.projected)
+
+	if !m.budgetHit && m.projected > p.ThresholdSec*m.cfg.BudgetGuard {
+		m.budgetHit = true
+		m.raise(Alert{
+			Kind: AlertBudget, Stream: "budget", Step: step,
+			RelErr:    inflation - 1,
+			Predicted: p.ThresholdSec, Observed: m.projected,
+		})
+	}
+}
+
+// raise records an alert, appends it to the ledger as a schema-versioned
+// alert event, and bumps the alert counter. Callers hold m.mu.
+func (m *Monitor) raise(a Alert) {
+	m.alerts = append(m.alerts, a)
+	m.cfg.Metrics.Counter("runmon_alerts_total", obs.Labels{"stream": a.Stream, "kind": a.Kind}).Inc()
+	m.cfg.Ledger.Append(obs.LedgerEvent{
+		Type: obs.LedgerAlert, Name: a.Stream, Step: a.Step,
+		Args: map[string]float64{
+			"alert_v":       AlertSchemaVersion,
+			"kind":          alertKindCode(a.Kind),
+			"rel_err":       a.RelErr,
+			"cusum":         a.CUSUM,
+			"predicted_sec": a.Predicted,
+			"observed_sec":  a.Observed,
+			"slow":          boolArg(a.Direction != "fast"),
+		},
+	})
+}
+
+// alertKindCode maps alert kinds onto the numeric args payload (ledger args
+// are float64-only by design).
+func alertKindCode(kind string) float64 {
+	if kind == AlertBudget {
+		return 1
+	}
+	return 0
+}
+
+func boolArg(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Alerts returns a copy of every alert raised so far.
+func (m *Monitor) Alerts() []Alert {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Alert, len(m.alerts))
+	copy(out, m.alerts)
+	return out
+}

@@ -1,0 +1,264 @@
+package runmon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"insitu/internal/core"
+	"insitu/internal/obs"
+)
+
+// testProfile is a two-stream profile: 10ms sim steps and a kernel with 4ms
+// analyses every other step.
+func testProfile() *Profile {
+	return &Profile{
+		App: "test", Steps: 100, SimSec: 0.010,
+		ThresholdSec: 0.5, PlannedSec: 0.2,
+		Streams: map[string]float64{
+			StreamSim:            0.010,
+			AnalyzeStream("rdf"): 0.004,
+		},
+	}
+}
+
+func stepEvent(step int, sec float64) obs.LedgerEvent {
+	return obs.LedgerEvent{Type: obs.LedgerStep, Step: step, Dur: sec * 1e6}
+}
+
+func analysisEvent(step int, kernel string, sec float64) obs.LedgerEvent {
+	return obs.LedgerEvent{Type: obs.LedgerAnalysis, Name: kernel, Step: step, Dur: sec * 1e6}
+}
+
+func TestMonitorNoAlertsOnFaithfulRun(t *testing.T) {
+	m := NewMonitor(testProfile(), Config{})
+	m.Observe(obs.LedgerEvent{Type: obs.LedgerRunStart, Name: "mdsim/water"})
+	for step := 1; step <= 100; step++ {
+		// ±2% wobble around the prediction.
+		wobble := 1.0 + 0.02*float64(step%3-1)
+		m.Observe(stepEvent(step, 0.010*wobble))
+		if step%2 == 0 {
+			m.Observe(analysisEvent(step, "rdf", 0.004*wobble))
+		}
+	}
+	m.Observe(obs.LedgerEvent{Type: obs.LedgerRunEnd})
+	s := m.Snapshot()
+	if len(s.Alerts) != 0 {
+		t.Fatalf("faithful run raised alerts: %+v", s.Alerts)
+	}
+	if s.App != "mdsim/water" || !s.Ended || s.Step != 100 {
+		t.Fatalf("snapshot header = %+v", s)
+	}
+	if len(s.Streams) != 2 {
+		t.Fatalf("streams = %d, want 2", len(s.Streams))
+	}
+	if s.BudgetAtRisk {
+		t.Fatal("budget flagged on a faithful run")
+	}
+}
+
+func TestMonitorDetectsStepInflationWithinFiveSteps(t *testing.T) {
+	m := NewMonitor(testProfile(), Config{})
+	change := 50
+	for step := 1; step <= 100; step++ {
+		sec := 0.010
+		if step >= change {
+			sec *= 1.5
+		}
+		m.Observe(stepEvent(step, sec))
+	}
+	s := m.Snapshot()
+	if s.DriftCount() == 0 {
+		t.Fatal("no drift alert on 1.5x step inflation")
+	}
+	a := s.Alerts[0]
+	if a.Stream != StreamSim || a.Direction != "slow" {
+		t.Fatalf("alert = %+v", a)
+	}
+	if a.Step < change || a.Step > change+5 {
+		t.Fatalf("detected at step %d, want within 5 of %d", a.Step, change)
+	}
+	// One alert per stream, not one per observation past the threshold.
+	if n := s.DriftCount(); n != 1 {
+		t.Fatalf("drift alerts = %d, want 1", n)
+	}
+}
+
+func TestMonitorBudgetAtRisk(t *testing.T) {
+	// Planned 0.2s of analysis against a 0.5s threshold; triple the actual
+	// analysis cost and the projection must cross the budget line.
+	m := NewMonitor(testProfile(), Config{})
+	found := false
+	for step := 1; step <= 100 && !found; step++ {
+		m.Observe(stepEvent(step, 0.010))
+		if step%2 == 0 {
+			m.Observe(analysisEvent(step, "rdf", 0.020)) // 5x the predicted 4ms
+		}
+		found = m.Snapshot().BudgetAtRisk
+	}
+	if !found {
+		t.Fatal("budget never flagged despite 5x analysis inflation")
+	}
+	s := m.Snapshot()
+	var budget *Alert
+	for i := range s.Alerts {
+		if s.Alerts[i].Kind == AlertBudget {
+			budget = &s.Alerts[i]
+		}
+	}
+	if budget == nil {
+		t.Fatalf("no budget alert in %+v", s.Alerts)
+	}
+	if budget.Observed <= budget.Predicted {
+		t.Fatalf("budget alert projection %g <= threshold %g", budget.Observed, budget.Predicted)
+	}
+}
+
+func TestMonitorSelfCalibration(t *testing.T) {
+	// No profile at all: the first Calibration observations seed the
+	// baseline, then drift past it is detected.
+	m := NewMonitor(nil, Config{Calibration: 5})
+	for step := 1; step <= 30; step++ {
+		sec := 0.010
+		if step >= 20 {
+			sec = 0.030
+		}
+		m.Observe(stepEvent(step, sec))
+	}
+	s := m.Snapshot()
+	if s.DriftCount() != 1 {
+		t.Fatalf("drift alerts = %d, want 1 (self-calibrated)", s.DriftCount())
+	}
+	if a := s.Alerts[0]; a.Step < 20 || a.Step > 25 {
+		t.Fatalf("detected at %d, want soon after 20", a.Step)
+	}
+}
+
+func TestMonitorAlertsFlowToLedgerAndMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	ledger := obs.NewEventLog(&buf)
+	reg := obs.NewRegistry()
+	m := NewMonitor(testProfile(), Config{Ledger: ledger, Metrics: reg})
+	for step := 1; step <= 20; step++ {
+		m.Observe(stepEvent(step, 0.030)) // 3x from the start
+	}
+	if err := ledger.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadLedger(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alert *obs.LedgerEvent
+	for i := range events {
+		if events[i].Type == obs.LedgerAlert {
+			alert = &events[i]
+		}
+	}
+	if alert == nil {
+		t.Fatal("no alert event written to the ledger")
+	}
+	if alert.Name != StreamSim || alert.Args["alert_v"] != AlertSchemaVersion {
+		t.Fatalf("alert event = %+v", alert)
+	}
+	if alert.Args["predicted_sec"] != 0.010 {
+		t.Fatalf("alert predicted_sec = %g", alert.Args["predicted_sec"])
+	}
+
+	// Metrics registry carries the detector state and the alert counter.
+	var sawCounter, sawEWMA bool
+	for _, metric := range reg.Snapshot() {
+		switch metric.Name {
+		case "runmon_alerts_total":
+			if metric.Value >= 1 {
+				sawCounter = true
+			}
+		case "runmon_ewma_rel_err":
+			if metric.Labels["stream"] == StreamSim {
+				sawEWMA = true
+			}
+		}
+	}
+	if !sawCounter || !sawEWMA {
+		t.Fatalf("metrics missing: counter=%v ewma=%v", sawCounter, sawEWMA)
+	}
+}
+
+func TestMonitorIgnoresUnknownAndNil(t *testing.T) {
+	var m *Monitor
+	m.Observe(stepEvent(1, 1)) // nil-safe
+	_ = m.Snapshot()
+	_ = m.Alerts()
+	m.SetProfile(nil)
+
+	real := NewMonitor(nil, Config{})
+	real.Observe(obs.LedgerEvent{Type: "quantum_flux", Step: 3, Dur: 99})
+	if s := real.Snapshot(); len(s.Streams) != 0 {
+		t.Fatalf("unknown event created streams: %+v", s.Streams)
+	}
+}
+
+func TestProfileFromPlanAndEventsRoundTrip(t *testing.T) {
+	specs := []core.AnalysisSpec{
+		{Name: "rdf", CT: 0.004, OM: 1 << 20, MinInterval: 2},
+		{Name: "msd", CT: 0.002, OT: 0.001, MinInterval: 2},
+		{Name: "off", CT: 0.009, MinInterval: 2},
+	}
+	rec := &core.Recommendation{
+		TotalTime: 0.25,
+		Schedules: []core.AnalysisSchedule{
+			{Name: "rdf", Enabled: true, Count: 10},
+			{Name: "msd", Enabled: true, Count: 5},
+			{Name: "off", Enabled: false},
+		},
+	}
+	res := core.Resources{Steps: 100, TimeThreshold: 0.5, Bandwidth: 1 << 28}
+	p := FromPlan(specs, rec, res, 0.010)
+
+	if p.Streams[AnalyzeStream("rdf")] != 0.004 {
+		t.Fatalf("rdf ct = %g", p.Streams[AnalyzeStream("rdf")])
+	}
+	// ot derived from om/bw for rdf, taken directly for msd.
+	wantOT := float64(1<<20) / float64(1<<28)
+	if got := p.Streams[OutputStream("rdf")]; got != wantOT {
+		t.Fatalf("rdf ot = %g, want %g", got, wantOT)
+	}
+	if p.Streams[OutputStream("msd")] != 0.001 {
+		t.Fatalf("msd ot = %g", p.Streams[OutputStream("msd")])
+	}
+	// Disabled analyses contribute no streams.
+	if _, ok := p.Streams[AnalyzeStream("off")]; ok {
+		t.Fatal("disabled analysis got a stream")
+	}
+
+	// Round trip through ledger plan events.
+	var buf bytes.Buffer
+	ledger := obs.NewEventLog(&buf)
+	ledger.SetClock(func() time.Time { return time.Unix(0, 0) })
+	for _, e := range p.PlanEvents() {
+		ledger.Append(e)
+	}
+	ledger.Close()
+	events, err := obs.ReadLedger(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FromEvents(events)
+	if got == nil {
+		t.Fatal("FromEvents returned nil")
+	}
+	if got.SimSec != p.SimSec || got.Steps != p.Steps ||
+		got.ThresholdSec != p.ThresholdSec || got.PlannedSec != p.PlannedSec {
+		t.Fatalf("round trip header: got %+v want %+v", got, p)
+	}
+	for name, sec := range p.Streams {
+		if got.Streams[name] != sec {
+			t.Fatalf("stream %s: got %g want %g", name, got.Streams[name], sec)
+		}
+	}
+	// A ledger without plan events yields no profile.
+	if FromEvents([]obs.LedgerEvent{stepEvent(1, 0.01)}) != nil {
+		t.Fatal("FromEvents invented a profile")
+	}
+}

@@ -1,0 +1,74 @@
+package runmon
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"insitu/internal/obs"
+)
+
+// RunInfo is one row of the /runs listing.
+type RunInfo struct {
+	App     string  `json:"app,omitempty"`
+	Runs    int     `json:"runs"`
+	Step    int     `json:"step"`
+	Steps   int     `json:"steps,omitempty"`
+	Ended   bool    `json:"ended"`
+	Streams int     `json:"streams"`
+	Alerts  int     `json:"alerts"`
+	AtRisk  bool    `json:"budget_at_risk"`
+	EWMAMax float64 `json:"ewma_rel_err_max"`
+}
+
+// NewServeMux builds the runmon HTTP surface over a live monitor,
+// generalizing the benchobs serve endpoint set:
+//
+//	/            the drift report as HTML (the live dashboard)
+//	/runs        JSON listing of the monitored run(s)
+//	/drift.json  the full Snapshot as JSON
+//	/metrics     Prometheus text exposition of reg (runmon gauges included)
+//	/metrics.json, /debug/pprof/...  as in benchobs serve
+//
+// reg should be the same registry handed to the monitor's Config.Metrics so
+// the exported detector gauges are live.
+func NewServeMux(m *Monitor, reg *obs.Registry) *http.ServeMux {
+	mux := obs.NewServeMux(reg)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = m.Snapshot().WriteHTML(w)
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, req *http.Request) {
+		s := m.Snapshot()
+		info := RunInfo{
+			App:     s.App,
+			Runs:    s.Runs,
+			Step:    s.Step,
+			Steps:   s.Steps,
+			Ended:   s.Ended,
+			Streams: len(s.Streams),
+			Alerts:  len(s.Alerts),
+			AtRisk:  s.BudgetAtRisk,
+		}
+		for _, st := range s.Streams {
+			if e := abs(st.EWMARelErr); e > info.EWMAMax {
+				info.EWMAMax = e
+			}
+		}
+		writeJSON(w, []RunInfo{info})
+	})
+	mux.HandleFunc("/drift.json", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, m.Snapshot())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,80 @@
+package runmon
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"insitu/internal/obs"
+)
+
+func serveGet(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(body)
+}
+
+func TestServeMuxEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMonitor(testProfile(), Config{Metrics: reg})
+	m.Observe(obs.LedgerEvent{Type: obs.LedgerRunStart, Name: "mdsim/serve"})
+	for step := 1; step <= 20; step++ {
+		m.Observe(stepEvent(step, 0.030)) // sustained 3x drift
+	}
+	mux := NewServeMux(m, reg)
+
+	code, body := serveGet(t, mux, "/")
+	if code != http.StatusOK || !strings.Contains(body, "Run drift report") {
+		t.Fatalf("/ -> %d %q", code, body[:min(len(body), 80)])
+	}
+
+	code, body = serveGet(t, mux, "/runs")
+	if code != http.StatusOK {
+		t.Fatalf("/runs -> %d", code)
+	}
+	var runs []RunInfo
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("/runs not JSON: %v\n%s", err, body)
+	}
+	if len(runs) != 1 || runs[0].App != "mdsim/serve" || runs[0].Step != 20 || runs[0].Alerts == 0 {
+		t.Fatalf("/runs = %+v", runs)
+	}
+
+	code, body = serveGet(t, mux, "/drift.json")
+	if code != http.StatusOK {
+		t.Fatalf("/drift.json -> %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/drift.json not JSON: %v", err)
+	}
+	if snap.DriftCount() != 1 || len(snap.Streams) != 1 {
+		t.Fatalf("/drift.json = %+v", snap)
+	}
+
+	// The obs endpoints are still mounted underneath.
+	code, body = serveGet(t, mux, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "runmon_cusum_pos") {
+		t.Fatalf("/metrics -> %d, missing runmon gauges:\n%s", code, body)
+	}
+
+	if code, _ := serveGet(t, mux, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope -> %d, want 404", code)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
