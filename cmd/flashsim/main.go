@@ -7,11 +7,15 @@
 //	flashsim [-blocks 4] [-nb 8] [-steps 100] [-threshold-pct 10]
 //	         [-interval 10] [-ranks 4] [-weights 1,1,1]
 //	         [-trace trace.json] [-metrics metrics.txt] [-ledger run.jsonl]
-//	         [-monitor]
+//	         [-monitor] [-replan]
 //
 // -monitor watches the run live for drift against the solved schedule (see
 // mdsim -monitor): a drift report prints after execution, and with -ledger
 // the plan and alert events land in the JSONL file for `runmon report`.
+// -replan (implies -monitor) additionally re-solves the remaining horizon
+// when drift or budget alerts fire and swaps adopted schedules into the
+// running loop (see mdsim -replan); Sedov runs drift naturally as the blast
+// refines the lattice, so no synthetic perturbation hook is needed here.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"insitu/internal/core"
 	"insitu/internal/coupling"
 	"insitu/internal/obs"
+	"insitu/internal/replan"
 	"insitu/internal/runmon"
 	"insitu/internal/sim/amr"
 )
@@ -43,10 +48,11 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	ledgerPath := flag.String("ledger", "", "write the run as a JSONL event ledger to this file")
 	monitor := flag.Bool("monitor", false, "watch the run live for drift against the solved schedule (prints a drift report; plan and alert events land in the ledger when -ledger is set)")
+	replanOn := flag.Bool("replan", false, "reschedule the remaining run when the monitor detects drift (implies -monitor; replan events land in the ledger)")
 	render := flag.Bool("render", false, "print an ASCII density slice after the run")
 	flag.Parse()
 
-	if err := run(*blocks, *nb, *steps, *thresholdPct, *interval, *ranks, *weights, *render, *tracePath, *metricsPath, *ledgerPath, *monitor); err != nil {
+	if err := run(*blocks, *nb, *steps, *thresholdPct, *interval, *ranks, *weights, *render, *tracePath, *metricsPath, *ledgerPath, *monitor, *replanOn); err != nil {
 		fmt.Fprintln(os.Stderr, "flashsim:", err)
 		os.Exit(1)
 	}
@@ -68,7 +74,8 @@ func parseWeights(s string) ([3]float64, error) {
 	return w, nil
 }
 
-func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weightStr string, render bool, tracePath, metricsPath, ledgerPath string, monitor bool) error {
+func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weightStr string, render bool, tracePath, metricsPath, ledgerPath string, monitor, replanOn bool) error {
+	monitor = monitor || replanOn
 	w, err := parseWeights(weightStr)
 	if err != nil {
 		return err
@@ -174,6 +181,13 @@ func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weigh
 		}
 		runner.Observe = mon.Observe
 	}
+	var rp *replan.Replanner
+	if replanOn {
+		rp = replan.New(mon, specs, res, rec, simPerStep, replan.Config{
+			BudgetPercent: thresholdPct, Ledger: ledger, Metrics: reg,
+		})
+		runner.Replan = rp.Hook()
+	}
 	rep, err := runner.Run()
 	if err != nil {
 		return err
@@ -185,6 +199,9 @@ func run(blocks, nb, steps int, thresholdPct float64, interval, ranks int, weigh
 		if err := mon.Snapshot().WriteText(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if rp != nil {
+		fmt.Println(rp.String())
 	}
 	if tracePath != "" {
 		if err := obs.WriteTraceFile(tracePath, tracer); err != nil {

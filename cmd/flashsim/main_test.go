@@ -28,7 +28,7 @@ func TestRunSmall(t *testing.T) {
 		t.Skip("full pipeline too heavy for -short")
 	}
 	ledgerPath := filepath.Join(t.TempDir(), "run.jsonl")
-	if err := run(2, 6, 10, 20, 5, 2, "1,1,1", false, "", "", ledgerPath, false); err != nil {
+	if err := run(2, 6, 10, 20, 5, 2, "1,1,1", false, "", "", ledgerPath, false, false); err != nil {
 		t.Fatal(err)
 	}
 	events, err := obs.ReadLedgerFile(ledgerPath)

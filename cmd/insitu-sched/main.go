@@ -34,6 +34,12 @@
 // -workers sets the branch-and-bound pool width (0 = all CPUs). The default
 // of 1 keeps the legacy serial search; any width returns the same objective
 // and bound.
+//
+// -monitor scores an executed run ledger (JSONL) against the solved schedule
+// and prints the drift report. Adding -replan replays the same ledger through
+// a rolling-horizon replanner and prints the reschedules it would have
+// adopted at each drift or budget alert — an offline what-if for runs that
+// executed the up-front schedule statically.
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"insitu/internal/explain"
 	"insitu/internal/milp"
 	"insitu/internal/obs"
+	"insitu/internal/replan"
 	"insitu/internal/runmon"
 	"insitu/internal/scenario"
 )
@@ -71,11 +78,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsPath := fs.String("metrics", "", "write solver metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	workers := fs.Int("workers", 1, "branch-and-bound worker count (0 = all CPUs, 1 = serial)")
 	monitorPath := fs.String("monitor", "", "score an executed run ledger (JSONL) against the solved schedule and print the drift report")
+	replanFlag := fs.Bool("replan", false, "with -monitor: replay the ledger through a rolling-horizon replanner and print the reschedules it would have made (advisory; nothing is re-executed)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-explain] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] [-workers n] [-monitor run.jsonl] problem.json")
+		fmt.Fprintln(stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-explain] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] [-workers n] [-monitor run.jsonl] [-replan] problem.json")
+		return 2
+	}
+	if *replanFlag && *monitorPath == "" {
+		fmt.Fprintln(stderr, "insitu-sched: -replan needs -monitor run.jsonl (the executed ledger to replay)")
 		return 2
 	}
 	fail := func(err error) int {
@@ -204,8 +216,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := writeMonitorReport(stdout, *monitorPath, specs, res, rec); err != nil {
 			return fail(err)
 		}
+		if *replanFlag {
+			fmt.Fprintln(stdout)
+			if err := writeReplanAdvisory(stdout, *monitorPath, specs, res, rec, *workers); err != nil {
+				return fail(err)
+			}
+		}
 	}
 	return 0
+}
+
+// writeReplanAdvisory replays the executed ledger through a live monitor plus
+// a rolling-horizon replanner and prints the reschedule decisions the
+// replanner would have made at each drift or budget alert — an offline
+// what-if for runs that executed statically. Replan events already present in
+// the ledger are dropped from the replay, so the advisory timeline belongs to
+// the advisory replanner alone.
+func writeReplanAdvisory(w io.Writer, path string, specs []core.AnalysisSpec, res core.Resources, rec *core.Recommendation, workers int) error {
+	events, err := obs.ReadLedgerFile(path)
+	if err != nil {
+		return err
+	}
+	profile := runmon.FromPlan(specs, rec, res, 0)
+	if ledgerProfile := runmon.FromEvents(events); ledgerProfile != nil {
+		profile = ledgerProfile
+	}
+	mon := runmon.NewMonitor(profile, runmon.Config{})
+	rp := replan.New(mon, specs, res, rec, profile.SimSec, replan.Config{Workers: workers})
+	for _, e := range events {
+		if e.Type == obs.LedgerReplan {
+			continue
+		}
+		mon.Observe(e)
+		if e.Type == obs.LedgerStep {
+			rp.Decide(e.Step)
+		}
+	}
+	recs := rp.Records()
+	fmt.Fprintf(w, "replan advisory (%s): %d decision(s)\n", path, len(recs))
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "  no drift or budget alerts fired; the up-front schedule held")
+		return nil
+	}
+	for _, r := range recs {
+		if r.Adopted {
+			fmt.Fprintf(w, "  step %-5d [%s] %s/%s: value %.2f -> %.2f, cost %.3fs -> %.3fs of %.3fs budget\n",
+				r.Step, r.Reason, r.Trigger, r.Stream, r.OldValue, r.NewValue,
+				r.OldCostSec, r.NewCostSec, r.BudgetSec)
+		} else {
+			fmt.Fprintf(w, "  step %-5d [%s] %s/%s: kept incumbent (value %.2f, budget %.3fs)\n",
+				r.Step, r.Reason, r.Trigger, r.Stream, r.OldValue, r.BudgetSec)
+		}
+	}
+	return nil
 }
 
 // writeMonitorReport replays an executed run's ledger against the schedule

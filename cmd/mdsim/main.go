@@ -9,7 +9,7 @@
 //	mdsim [-system water|rhodopsin] [-atoms 4000] [-steps 200]
 //	      [-threshold-pct 10] [-interval 20] [-ranks 4] [-out results.txt]
 //	      [-trace trace.json] [-metrics metrics.txt] [-ledger run.jsonl]
-//	      [-monitor]
+//	      [-monitor] [-replan] [-perturb-sim 1.5@50]
 //
 // -trace writes the executed run as Chrome trace JSON (load in
 // chrome://tracing or Perfetto); -metrics writes run counters in Prometheus
@@ -19,6 +19,13 @@
 // runmon.Monitor: residuals against the solved schedule are scored as the
 // run happens, a drift report prints after execution, and (with -ledger)
 // plan and alert events are written into the ledger for `runmon report`.
+// -replan (implies -monitor) closes the loop: drift and budget alerts
+// trigger a rolling-horizon re-solve, adopted schedules swap into the
+// running loop, and every decision lands in the ledger as a replan event.
+// -perturb-sim FACTOR@STEP is the testing hook behind the CI replan smoke:
+// from the given execution step on, each simulation step is padded to
+// FACTOR times the profiled step time, so the profiles are guaranteed wrong
+// mid-run.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"insitu/internal/core"
 	"insitu/internal/coupling"
 	"insitu/internal/obs"
+	"insitu/internal/replan"
 	"insitu/internal/runmon"
 	"insitu/internal/sim/md"
 )
@@ -49,6 +57,8 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write run metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	ledgerPath := flag.String("ledger", "", "write the run as a JSONL event ledger to this file")
 	monitor := flag.Bool("monitor", false, "watch the run live for drift against the solved schedule (prints a drift report; plan and alert events land in the ledger when -ledger is set)")
+	replanOn := flag.Bool("replan", false, "reschedule the remaining run when the monitor detects drift (implies -monitor; replan events land in the ledger)")
+	perturbSim := flag.String("perturb-sim", "", "pad each simulation step to FACTOR times the profiled step time from step N on (format \"1.5@50\"); a testing hook for -replan")
 	render := flag.Bool("render", false, "print a Figure-3 style ASCII snapshot before running")
 	flag.Parse()
 
@@ -60,7 +70,7 @@ func main() {
 		}
 		fmt.Print(sys.RenderSlice(72, 28, sys.Box[1]/4))
 	}
-	if err := run(*system, *atoms, *steps, *thresholdPct, *interval, *ranks, *outPath, *tracePath, *metricsPath, *ledgerPath, *monitor); err != nil {
+	if err := run(*system, *atoms, *steps, *thresholdPct, *interval, *ranks, *outPath, *tracePath, *metricsPath, *ledgerPath, *monitor, *replanOn, *perturbSim); err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)
 		os.Exit(1)
 	}
@@ -77,7 +87,19 @@ func buildSystem(system string, atoms int) (*md.System, error) {
 	return nil, fmt.Errorf("unknown system %q", system)
 }
 
-func run(system string, atoms, steps int, thresholdPct float64, interval, ranks int, outPath, tracePath, metricsPath, ledgerPath string, monitor bool) error {
+// parsePerturb parses the -perturb-sim testing hook ("FACTOR@STEP").
+func parsePerturb(s string) (factor float64, at int, err error) {
+	if _, err := fmt.Sscanf(s, "%g@%d", &factor, &at); err != nil {
+		return 0, 0, fmt.Errorf("bad -perturb-sim %q (want FACTOR@STEP, e.g. 1.5@50): %w", s, err)
+	}
+	if factor <= 1 || at < 1 {
+		return 0, 0, fmt.Errorf("bad -perturb-sim %q: factor must exceed 1 and step must be >= 1", s)
+	}
+	return factor, at, nil
+}
+
+func run(system string, atoms, steps int, thresholdPct float64, interval, ranks int, outPath, tracePath, metricsPath, ledgerPath string, monitor, replanOn bool, perturbSim string) error {
+	monitor = monitor || replanOn
 	cfg := md.Config{NAtoms: atoms, Seed: 1}
 	var sys *md.System
 	var err error
@@ -198,7 +220,26 @@ func run(system string, atoms, steps int, thresholdPct float64, interval, ranks 
 			},
 		})
 	}
-	runner := &coupling.Runner{Step: step, Kernels: byName, Rec: rec, Res: res, Output: out, Trace: tracer, Metrics: reg, Ledger: ledger, App: "mdsim/" + system}
+	execStep := step
+	if perturbSim != "" {
+		factor, at, err := parsePerturb(perturbSim)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("perturbation: sim steps padded to %.2fx profiled time from step %d\n", factor, at)
+		n := 0
+		execStep = func() {
+			n++
+			t := time.Now()
+			step()
+			if n >= at {
+				if pad := time.Duration(simPerStep*factor*1e9) - time.Since(t); pad > 0 {
+					time.Sleep(pad)
+				}
+			}
+		}
+	}
+	runner := &coupling.Runner{Step: execStep, Kernels: byName, Rec: rec, Res: res, Output: out, Trace: tracer, Metrics: reg, Ledger: ledger, App: "mdsim/" + system}
 	var mon *runmon.Monitor
 	if monitor {
 		profile := runmon.FromPlan(specs, rec, res, simPerStep)
@@ -210,6 +251,13 @@ func run(system string, atoms, steps int, thresholdPct float64, interval, ranks 
 			ledger.Append(e)
 		}
 		runner.Observe = mon.Observe
+	}
+	var rp *replan.Replanner
+	if replanOn {
+		rp = replan.New(mon, specs, res, rec, simPerStep, replan.Config{
+			BudgetPercent: thresholdPct, Ledger: ledger, Metrics: reg,
+		})
+		runner.Replan = rp.Hook()
 	}
 	rep, err := runner.Run()
 	if err != nil {
@@ -226,6 +274,9 @@ func run(system string, atoms, steps int, thresholdPct float64, interval, ranks 
 		if err := mon.Snapshot().WriteText(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if rp != nil {
+		fmt.Println(rp.String())
 	}
 	if tracePath != "" {
 		if err := obs.WriteTraceFile(tracePath, tracer); err != nil {

@@ -44,7 +44,7 @@ func TestRunWritesValidChromeTrace(t *testing.T) {
 	tracePath := filepath.Join(dir, "trace.json")
 	metricsPath := filepath.Join(dir, "metrics.txt")
 	ledgerPath := filepath.Join(dir, "run.jsonl")
-	if err := run("water", 600, 20, 20, 5, 2, "", tracePath, metricsPath, ledgerPath, false); err != nil {
+	if err := run("water", 600, 20, 20, 5, 2, "", tracePath, metricsPath, ledgerPath, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -117,7 +117,7 @@ func TestRunMonitoredLedgerSelfDescribes(t *testing.T) {
 		t.Skip("full pipeline too heavy for -short")
 	}
 	ledgerPath := filepath.Join(t.TempDir(), "run.jsonl")
-	if err := run("water", 600, 20, 20, 5, 2, "", "", "", ledgerPath, true); err != nil {
+	if err := run("water", 600, 20, 20, 5, 2, "", "", "", ledgerPath, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	events, err := obs.ReadLedgerFile(ledgerPath)

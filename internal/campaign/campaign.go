@@ -21,6 +21,7 @@ import (
 	"insitu/internal/iosim"
 	"insitu/internal/machine"
 	"insitu/internal/obs"
+	"insitu/internal/replan"
 	"insitu/internal/runmon"
 )
 
@@ -112,6 +113,14 @@ type Config struct {
 	// same predictions), and feeds every run event through the monitor's
 	// drift detectors as it happens.
 	Monitor *runmon.Monitor
+	// Replan, when non-nil, closes the loop on the executed run: Execute
+	// builds a replan.Replanner over the live monitor (creating one when
+	// Monitor is nil) and installs it as the coupling runner's replan hook,
+	// so drift and budget alerts trigger rolling-horizon reschedules
+	// mid-run. Zero-valued fields inherit the campaign's settings:
+	// BudgetPercent from ThresholdPercent, Workers from SolveWorkers, and
+	// Ledger/Metrics from the campaign's own.
+	Replan *replan.Config
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -160,6 +169,8 @@ type Outcome struct {
 	// Metrics is a snapshot of the campaign's metrics registry taken right
 	// after execution (nil when the campaign is uninstrumented).
 	Metrics []obs.Metric
+	// Replans is the replan decision timeline (empty without Config.Replan).
+	Replans []runmon.ReplanRecord
 }
 
 // Campaign drives one simulation-plus-analyses run.
@@ -349,17 +360,42 @@ func (c *Campaign) Execute(p *Plan) (*Outcome, error) {
 		Ledger:  c.cfg.Ledger,
 		App:     c.cfg.Sim.Name(),
 	}
-	if c.cfg.Monitor != nil {
+	mon := c.cfg.Monitor
+	if mon != nil || c.cfg.Replan != nil {
 		// The solved plan is the monitor's prediction; write it into the
 		// ledger too so a post-hoc `runmon report` scores against the same
-		// profile the live monitor used.
+		// profile the live monitor used. A replanning campaign needs the
+		// monitor even when the caller did not attach one — the replanner
+		// triggers off its alerts.
 		profile := runmon.FromPlan(p.Specs, p.Rec, p.Resources, p.SimSecPerStep)
 		profile.App = c.cfg.Sim.Name()
-		c.cfg.Monitor.SetProfile(profile)
+		if mon == nil {
+			mon = runmon.NewMonitor(profile, runmon.Config{Ledger: c.cfg.Ledger, Metrics: c.cfg.Metrics})
+		} else {
+			mon.SetProfile(profile)
+		}
 		for _, e := range profile.PlanEvents() {
 			c.cfg.Ledger.Append(e)
 		}
-		runner.Observe = c.cfg.Monitor.Observe
+		runner.Observe = mon.Observe
+	}
+	var rp *replan.Replanner
+	if c.cfg.Replan != nil {
+		rcfg := *c.cfg.Replan
+		if rcfg.BudgetPercent <= 0 {
+			rcfg.BudgetPercent = c.cfg.ThresholdPercent
+		}
+		if rcfg.Workers == 0 {
+			rcfg.Workers = c.cfg.SolveWorkers
+		}
+		if rcfg.Ledger == nil {
+			rcfg.Ledger = c.cfg.Ledger
+		}
+		if rcfg.Metrics == nil {
+			rcfg.Metrics = c.cfg.Metrics
+		}
+		rp = replan.New(mon, p.Specs, p.Resources, p.Rec, p.SimSecPerStep, rcfg)
+		runner.Replan = rp.Hook()
 	}
 	rep, err := runner.Run()
 	if err != nil {
@@ -369,6 +405,7 @@ func (c *Campaign) Execute(p *Plan) (*Outcome, error) {
 		Plan:            p,
 		Report:          rep,
 		WithinThreshold: rep.AnalysisTime.Seconds() <= p.Resources.TimeThreshold,
+		Replans:         rp.Records(),
 	}
 	if c.cfg.Metrics != nil {
 		out.Metrics = c.cfg.Metrics.Snapshot()
@@ -395,6 +432,15 @@ func (o *Outcome) Summary() string {
 	fmt.Fprintf(&b, "executed: sim %v, analyses %v (%.1f%% of threshold), within=%v\n",
 		o.Report.SimTime, o.Report.AnalysisTime,
 		o.Report.Utilization(o.Plan.Resources)*100, o.WithinThreshold)
+	if len(o.Replans) > 0 {
+		adopted := 0
+		for _, r := range o.Replans {
+			if r.Adopted {
+				adopted++
+			}
+		}
+		fmt.Fprintf(&b, "replans: %d decision(s), %d adopted\n", len(o.Replans), adopted)
+	}
 	for _, kr := range o.Report.Kernels {
 		fmt.Fprintf(&b, "  %-26s analyses=%-4d outputs=%-4d total=%v\n",
 			kr.Name, kr.Analyses, kr.Outputs, kr.Total())

@@ -45,6 +45,14 @@ type Runner struct {
 	// monitoring hook: point it at a runmon.Monitor's Observe method and
 	// drift is scored as the run happens rather than post-hoc.
 	Observe func(obs.LedgerEvent)
+	// Replan, when non-nil, is consulted at the end of every simulation
+	// step, after the step's events have been emitted. A non-nil return
+	// swaps the running schedule from the next step on: kernels newly
+	// enabled are Setup() at the swap (their setup time joins the analysis
+	// budget), kernels dropped stop being invoked but keep their report.
+	// This is the drift-adaptive hook: point it at a
+	// replan.Replanner.Hook() and the run follows adopted reschedules.
+	Replan func(step int) *core.Recommendation
 	// App names the application on the ledger's run_start event.
 	App string
 }
@@ -133,41 +141,62 @@ func (r *Runner) Run() (*Report, error) {
 	mSteps := r.Metrics.Counter("coupling_steps_total", nil)
 	mStepDur := r.Metrics.Histogram("coupling_step_seconds", nil, nil)
 	rep := &Report{Steps: r.Res.Steps}
-	// Preallocate so &rep.Kernels[i] stays valid across iterations.
-	for _, s := range r.Rec.Schedules {
-		if s.Enabled {
-			rep.Kernels = append(rep.Kernels, KernelReport{Name: s.Name})
+	// Kernel reports are allocated individually and keyed by name so a
+	// mid-run replan can enable a kernel the up-front schedule left out (or
+	// re-enable one it dropped) without invalidating accumulated totals;
+	// rep.Kernels is assembled from them, in first-enabled order, at the end.
+	reports := map[string]*KernelReport{}
+	var reportOrder []string
+	report := func(name string) *KernelReport {
+		if kr, ok := reports[name]; ok {
+			return kr
 		}
+		kr := &KernelReport{Name: name}
+		reports[name] = kr
+		reportOrder = append(reportOrder, name)
+		return kr
 	}
-	var run []active
-	slot := 0
-	for _, s := range r.Rec.Schedules {
-		if !s.Enabled {
-			continue
+	// buildActive resolves a schedule into the per-step execution set,
+	// running Setup (timed into the budget) for kernels on their first
+	// enable only — a replan that keeps a kernel running must not re-pay it.
+	setup := map[string]bool{}
+	buildActive := func(rec *core.Recommendation) ([]active, error) {
+		var run []active
+		for _, s := range rec.Schedules {
+			if !s.Enabled {
+				continue
+			}
+			k, ok := r.Kernels[s.Name]
+			if !ok {
+				return nil, fmt.Errorf("coupling: no kernel registered for analysis %q", s.Name)
+			}
+			kr := report(s.Name)
+			if !setup[s.Name] {
+				setup[s.Name] = true
+				sp := r.Trace.Begin(s.Name+"/setup", "kernel")
+				t0 := time.Now()
+				if _, err := k.Setup(); err != nil {
+					return nil, fmt.Errorf("coupling: setup %s: %w", s.Name, err)
+				}
+				kr.SetupTime = time.Since(t0)
+				sp.End()
+			}
+			labels := obs.Labels{"kernel": s.Name}
+			run = append(run, active{
+				kernel:    k,
+				isA:       intSet(s.AnalysisSteps),
+				isO:       intSet(s.OutputSteps),
+				report:    kr,
+				mAnalyses: r.Metrics.Counter("coupling_analyses_total", labels),
+				mOutputs:  r.Metrics.Counter("coupling_outputs_total", labels),
+				mOutBytes: r.Metrics.Counter("coupling_output_bytes_total", labels),
+			})
 		}
-		k, ok := r.Kernels[s.Name]
-		if !ok {
-			return nil, fmt.Errorf("coupling: no kernel registered for analysis %q", s.Name)
-		}
-		kr := &rep.Kernels[slot]
-		slot++
-		sp := r.Trace.Begin(s.Name+"/setup", "kernel")
-		t0 := time.Now()
-		if _, err := k.Setup(); err != nil {
-			return nil, fmt.Errorf("coupling: setup %s: %w", s.Name, err)
-		}
-		kr.SetupTime = time.Since(t0)
-		sp.End()
-		labels := obs.Labels{"kernel": s.Name}
-		run = append(run, active{
-			kernel:    k,
-			isA:       intSet(s.AnalysisSteps),
-			isO:       intSet(s.OutputSteps),
-			report:    kr,
-			mAnalyses: r.Metrics.Counter("coupling_analyses_total", labels),
-			mOutputs:  r.Metrics.Counter("coupling_outputs_total", labels),
-			mOutBytes: r.Metrics.Counter("coupling_output_bytes_total", labels),
-		})
+		return run, nil
+	}
+	run, err := buildActive(r.Rec)
+	if err != nil {
+		return nil, err
 	}
 
 	r.emit(obs.LedgerEvent{Type: obs.LedgerRunStart, Name: r.App, Args: map[string]float64{
@@ -225,7 +254,18 @@ func (r *Runner) Run() (*Report, error) {
 				})
 			}
 		}
+		if r.Replan != nil {
+			if next := r.Replan(step); next != nil {
+				run, err = buildActive(next)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
 		stepSpan.End()
+	}
+	for _, name := range reportOrder {
+		rep.Kernels = append(rep.Kernels, *reports[name])
 	}
 	for i := range rep.Kernels {
 		rep.AnalysisTime += rep.Kernels[i].Total()

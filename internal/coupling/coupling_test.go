@@ -210,3 +210,71 @@ func TestMeasureAndSolveEndToEnd(t *testing.T) {
 		t.Fatal("sim time not measured")
 	}
 }
+
+// TestRunnerReplanSwapsSchedule drives the Replan hook directly: at step 10
+// the schedule swaps to one that drops k1, re-times k2, and enables a kernel
+// the up-front plan left out. The previously disabled kernel must be Setup()
+// exactly once (at the swap, not at run start), k1 must stop executing, and
+// every kernel's accumulated report must survive the swap.
+func TestRunnerReplanSwapsSchedule(t *testing.T) {
+	kernels, rec, res := twoKernelSetup()
+	off := &fakeKernel{name: "off"}
+	kernels["off"] = off
+	next := &core.Recommendation{Schedules: []core.AnalysisSchedule{
+		{Name: "k1", Enabled: false},
+		{Name: "k2", Enabled: true, Count: 2, AnalysisSteps: []int{14, 18}, OutputSteps: []int{18}, Outputs: 1},
+		{Name: "off", Enabled: true, Count: 2, AnalysisSteps: []int{12, 16}, OutputSteps: []int{16}, Outputs: 1},
+	}}
+	var replanSteps []int
+	r := &Runner{
+		Step:    func() {},
+		Kernels: kernels,
+		Rec:     rec,
+		Res:     res,
+		Replan: func(step int) *core.Recommendation {
+			replanSteps = append(replanSteps, step)
+			if step == 10 {
+				return next
+			}
+			return nil
+		},
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replanSteps) != 20 || replanSteps[0] != 1 || replanSteps[19] != 20 {
+		t.Fatalf("replan hook called at %v, want every step 1..20", replanSteps)
+	}
+	k1 := kernels["k1"].(*fakeKernel)
+	k2 := kernels["k2"].(*fakeKernel)
+	// k1 ran its steps at 5 and 10 only: the swap happens after step 10.
+	if k1.analyze != 2 || k1.lastAnalyzed != 10 {
+		t.Fatalf("k1 analyze=%d last=%d, want 2 analyses ending at step 10", k1.analyze, k1.lastAnalyzed)
+	}
+	// k2 ran at 10 from the old schedule, then 14 and 18 from the new one.
+	if k2.analyze != 3 || k2.lastAnalyzed != 18 {
+		t.Fatalf("k2 analyze=%d last=%d, want 3 analyses ending at step 18", k2.analyze, k2.lastAnalyzed)
+	}
+	if k2.setup != 1 {
+		t.Fatalf("k2 set up %d times across the swap, want 1", k2.setup)
+	}
+	// The newly enabled kernel is set up once, at the swap, and runs the new
+	// schedule only.
+	if off.setup != 1 {
+		t.Fatalf("off set up %d times, want 1", off.setup)
+	}
+	if off.analyze != 2 || off.outs != 1 {
+		t.Fatalf("off analyze=%d outs=%d, want 2 and 1", off.analyze, off.outs)
+	}
+	kr := rep.Kernel("off")
+	if kr == nil || kr.Analyses != 2 || kr.Outputs != 1 {
+		t.Fatalf("off report %+v, want 2 analyses and 1 output", kr)
+	}
+	if rep.Kernel("k1") == nil || rep.Kernel("k1").Analyses != 2 {
+		t.Fatalf("k1 report lost across the swap: %+v", rep.Kernel("k1"))
+	}
+	if got := rep.Kernel("k2"); got == nil || got.Analyses != 3 {
+		t.Fatalf("k2 report did not accumulate across the swap: %+v", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"insitu/internal/core"
+	"insitu/internal/replan"
 	"insitu/internal/runmon"
 	"insitu/internal/scenario"
 )
@@ -94,6 +95,11 @@ func GoldenSnapshots() ([]GoldenSnapshot, error) {
 		return nil, err
 	}
 
+	rr, err := replanRunsSnapshot()
+	if err := add("replan_runs", rr, err); err != nil {
+		return nil, err
+	}
+
 	snaps = append(snaps, scenarioSnapshots()...)
 	return snaps, nil
 }
@@ -177,6 +183,34 @@ func perturbedRunsSnapshot() any {
 		out = append(out, entry{Run: r, Summary: s.Summary(), Alerts: s.Alerts})
 	}
 	return out
+}
+
+// replanRunsSnapshot pins the closed-loop replan corpus: for every scenario,
+// the static and the drift-adaptive run side by side — realized value,
+// per-kernel analysis counts, budget accounting, and the full replan decision
+// timeline — at the canonical serial solve (the replan determinism test
+// proves wider solver pools agree byte for byte). The corpus is pure seeded
+// math, so the snapshot is host-stable; a diff here means the scheduler, the
+// detectors, or the replan hysteresis changed behavior.
+func replanRunsSnapshot() (any, error) {
+	type entry struct {
+		Scenario replan.Scenario  `json:"scenario"`
+		Static   replan.SimResult `json:"static"`
+		Adaptive replan.SimResult `json:"adaptive"`
+	}
+	var out []entry
+	for _, sc := range ReplanScenarios() {
+		static, err := replan.Simulate(sc, false, 1)
+		if err != nil {
+			return nil, err
+		}
+		adaptive, err := replan.Simulate(sc, true, 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry{Scenario: sc, Static: static, Adaptive: adaptive})
+	}
+	return out, nil
 }
 
 // figure4Roster pins the composition of the Figure-4 kernel set: the ten

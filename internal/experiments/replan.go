@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"insitu/internal/core"
+	"insitu/internal/replan"
+)
+
+// ReplanScenarios is the closed-loop replan corpus: the perturbed-run
+// families of PerturbedRuns, replayed through the replan.Simulate driver so
+// the adapted-vs-static realized value can be pinned. Each scenario solves
+// an up-front schedule from believed profiles, then executes against a truth
+// that drifts mid-run; the adaptive variant replans from the runmon alerts.
+//
+// The corpus properties the golden snapshot and the replan tests assert:
+//
+//   - control: zero replans, adapted value == static value;
+//   - sim_inflation: the simulation slows 1.5x at step 50, so in
+//     percent-threshold mode the realized budget grows — the adapted run
+//     must convert it into strictly more analyses;
+//   - bandwidth_degradation: outputs cost 3x from step 50 while the budget
+//     stays put — the static run blows the threshold and is truncated, the
+//     adapted run re-fits and must end strictly ahead;
+//   - analysis_inflation: kernels cost 2x from step 40 — adapted must be at
+//     least as good, never worse, and never over budget.
+func ReplanScenarios() []replan.Scenario {
+	// Three weighted kernels over a 100-step run, budget-limited (not
+	// interval-limited) at a 10% threshold so the solver has real slack to
+	// reallocate: full-rate schedules would cost ~5x the budget.
+	specs := []core.AnalysisSpec{
+		{Name: "rdf", CT: 0.002, OM: 2 << 20, IM: 1 << 20, Weight: 3, MinInterval: 4},
+		{Name: "vacf", CT: 0.0015, OM: 2 << 20, IM: 1 << 20, Weight: 2, MinInterval: 5},
+		{Name: "msd", CT: 0.001, OM: 1 << 20, IM: 1 << 20, Weight: 1, MinInterval: 5},
+	}
+	base := replan.Scenario{
+		Specs:         specs,
+		Steps:         100,
+		SimSec:        0.010,
+		BudgetPercent: 10,
+		MemThreshold:  24 << 20,
+		Bandwidth:     1 << 30,
+		NoiseFrac:     0.02,
+		Seed:          PerturbedRunSeed,
+		Cooldown:      5,
+		Headroom:      0.98,
+	}
+	variant := func(name, kind string, changeStep int, factor float64) replan.Scenario {
+		sc := base
+		sc.Name = name
+		sc.Perturb = kind
+		sc.ChangeStep = changeStep
+		sc.Factor = factor
+		return sc
+	}
+	control := base
+	control.Name = "control"
+	return []replan.Scenario{
+		control,
+		variant("sim_inflation_1.5x", replan.PerturbSimTime, 50, 1.5),
+		variant("bandwidth_degradation_3x", replan.PerturbOutputBW, 50, 3),
+		variant("analysis_inflation_2x", replan.PerturbAnalysisCT, 40, 2),
+	}
+}

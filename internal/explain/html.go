@@ -174,7 +174,17 @@ func (r *Report) WriteHTML(w io.Writer) error {
 		view.Rows = append(view.Rows, hr)
 	}
 	if r.Ledger != nil {
-		hl := &htmlLedger{Caption: fmt.Sprintf("run %q, %d ledger step(s)", r.Ledger.App, r.Ledger.Steps)}
+		caption := fmt.Sprintf("run %q, %d ledger step(s)", r.Ledger.App, r.Ledger.Steps)
+		if n := len(r.Ledger.Replans); n > 0 {
+			adopted := 0
+			for _, rr := range r.Ledger.Replans {
+				if rr.Adopted {
+					adopted++
+				}
+			}
+			caption += fmt.Sprintf(", %d replan decision(s) (%d adopted)", n, adopted)
+		}
+		hl := &htmlLedger{Caption: caption}
 		for _, k := range r.Ledger.Kernels {
 			hl.Kernels = append(hl.Kernels, htmlKernel{
 				Name:        k.Name,

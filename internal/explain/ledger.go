@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"insitu/internal/obs"
+	"insitu/internal/runmon"
 )
 
 // KernelAlignment compares one analysis' plan to its ledger record.
@@ -20,6 +21,11 @@ type Alignment struct {
 	App     string // application named by the ledger's run_start, if any
 	Steps   int    // distinct simulation steps the ledger covers
 	Kernels []KernelAlignment
+	// Replans is the run's rolling-horizon reschedule timeline, decoded from
+	// the ledger's replan events (empty for runs that never replanned). A
+	// non-empty timeline explains planned-vs-executed drift that is not a
+	// failure: the run deliberately left the up-front plan.
+	Replans []runmon.ReplanRecord
 }
 
 // AlignLedger reconstructs the ledger's per-step timelines and aligns them
@@ -27,7 +33,7 @@ type Alignment struct {
 // plus one for any kernel the ledger saw that the plan never mentioned.
 func (r *Report) AlignLedger(events []obs.LedgerEvent) {
 	sum := obs.SummarizeLedger(events)
-	a := &Alignment{App: sum.App, Steps: len(sum.Steps)}
+	a := &Alignment{App: sum.App, Steps: len(sum.Steps), Replans: runmon.ReplansFromEvents(events)}
 
 	counts := map[string]int{}
 	seconds := map[string]float64{}

@@ -162,6 +162,19 @@ func writeAlignment(b *strings.Builder, a *Alignment) {
 		fmt.Fprintf(b, "  %-24s %14d %14d %14.3f %14.3f%s\n",
 			k.Name, k.PlannedCount, k.ExecutedCount, k.PlannedSec, k.ExecutedSec, k.note())
 	}
+	if len(a.Replans) > 0 {
+		fmt.Fprintf(b, "  replan timeline (%d decision(s)):\n", len(a.Replans))
+		for _, r := range a.Replans {
+			if r.Adopted {
+				fmt.Fprintf(b, "    step %-5d [%s] %s/%s: value %.2f -> %.2f, cost %.3fs -> %.3fs of %.3fs budget\n",
+					r.Step, r.Reason, r.Trigger, r.Stream, r.OldValue, r.NewValue,
+					r.OldCostSec, r.NewCostSec, r.BudgetSec)
+			} else {
+				fmt.Fprintf(b, "    step %-5d [%s] %s/%s: kept incumbent (value %.2f, budget %.3fs)\n",
+					r.Step, r.Reason, r.Trigger, r.Stream, r.OldValue, r.BudgetSec)
+			}
+		}
+	}
 }
 
 // note flags count drift between plan and execution.

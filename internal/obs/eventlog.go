@@ -30,6 +30,7 @@ const (
 	LedgerSolve    = "solve"     // one MILP solve: args carry nodes, pivots, objective
 	LedgerPlan     = "plan"      // predicted profile for one stream, written by monitored runs
 	LedgerAlert    = "alert"     // a runmon drift or budget alert: args carry the detector state
+	LedgerReplan   = "replan"    // a mid-run reschedule decision: args carry old/new plan value
 )
 
 // KnownLedgerType reports whether this obs version understands the event
@@ -38,7 +39,8 @@ const (
 func KnownLedgerType(t string) bool {
 	switch t {
 	case LedgerRunStart, LedgerRunEnd, LedgerStep, LedgerPhase,
-		LedgerAnalysis, LedgerOutput, LedgerSolve, LedgerPlan, LedgerAlert:
+		LedgerAnalysis, LedgerOutput, LedgerSolve, LedgerPlan, LedgerAlert,
+		LedgerReplan:
 		return true
 	}
 	return false
@@ -340,7 +342,7 @@ func SummarizeLedger(events []LedgerEvent) LedgerSummary {
 			st.Bytes += e.Bytes
 		case LedgerSolve:
 			s.Solves = append(s.Solves, e)
-		case LedgerPhase, LedgerRunEnd, LedgerPlan, LedgerAlert:
+		case LedgerPhase, LedgerRunEnd, LedgerPlan, LedgerAlert, LedgerReplan:
 			// Understood but not part of the per-step timeline.
 		default:
 			if s.Unknown == nil {

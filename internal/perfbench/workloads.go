@@ -12,6 +12,7 @@ import (
 	"insitu/internal/experiments"
 	"insitu/internal/iosim"
 	"insitu/internal/obs"
+	"insitu/internal/replan"
 	"insitu/internal/solvercheck"
 )
 
@@ -337,6 +338,44 @@ func pipelineWorkloads() []Workload {
 				"trace_events":  float64(tr.Len()),
 				"ledger_events": float64(led.Len()),
 			}}, nil
+		}},
+		// sched_replan drives the closed loop end to end: the hardest corpus
+		// scenario (bandwidth degrades 3x mid-run) simulated static and
+		// adaptive at BenchWorkers width. The canonical-serial re-solve inside
+		// replan makes every model metric byte-stable across hosts and pool
+		// widths; any drift in values or replan counts is a behaviour change
+		// in the solver, the monitor, or the rescheduler.
+		{Name: "sched_replan", Run: func() (Sample, error) {
+			var sc replan.Scenario
+			for _, c := range experiments.ReplanScenarios() {
+				if c.Name == "bandwidth_degradation_3x" {
+					sc = c
+				}
+			}
+			rec, err := core.Solve(sc.Specs, sc.Resources(), core.SolveOptions{Workers: BenchWorkers})
+			if err != nil {
+				return Sample{}, err
+			}
+			static, err := replan.Simulate(sc, false, BenchWorkers)
+			if err != nil {
+				return Sample{}, err
+			}
+			adaptive, err := replan.Simulate(sc, true, BenchWorkers)
+			if err != nil {
+				return Sample{}, err
+			}
+			return Sample{
+				Nodes:  rec.Stats.Nodes,
+				Pivots: rec.Stats.Pivots,
+				Model: map[string]float64{
+					"objective":      rec.Objective,
+					"value_static":   static.Value,
+					"value_adaptive": adaptive.Value,
+					"replans":        float64(adaptive.Replans),
+					"decisions":      float64(len(adaptive.Records)),
+					"ledger_events":  float64(len(adaptive.Events)),
+				},
+			}, nil
 		}},
 		{Name: "eventlog_append", Run: func() (Sample, error) {
 			led := obs.NewEventLog(io.Discard)

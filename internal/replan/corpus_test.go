@@ -1,0 +1,94 @@
+package replan_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"insitu/internal/experiments"
+	"insitu/internal/replan"
+)
+
+// TestCorpusAdaptiveBeatsStatic is the acceptance property of the replan
+// corpus: on every perturbed scenario the adapted schedule's realized value
+// is at least the static schedule's — strictly greater on the sim-inflation
+// and bandwidth-degradation families — the adapted run never exceeds the
+// budget threshold, and the control run never replans.
+func TestCorpusAdaptiveBeatsStatic(t *testing.T) {
+	strict := map[string]bool{
+		"sim_inflation_1.5x":       true,
+		"bandwidth_degradation_3x": true,
+	}
+	for _, sc := range experiments.ReplanScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			static, err := replan.Simulate(sc, false, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adaptive, err := replan.Simulate(sc, true, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Perturb == replan.PerturbNone || sc.Perturb == "" {
+				if adaptive.Replans != 0 || len(adaptive.Records) != 0 {
+					t.Fatalf("control run replanned: %+v", adaptive.Records)
+				}
+				if adaptive.Value != static.Value {
+					t.Fatalf("control adapted value %.2f != static %.2f", adaptive.Value, static.Value)
+				}
+			} else {
+				if adaptive.Replans == 0 {
+					t.Fatalf("perturbed run %s never adopted a replan (records: %+v)", sc.Name, adaptive.Records)
+				}
+			}
+			if adaptive.Value < static.Value {
+				t.Fatalf("adapted value %.2f < static %.2f", adaptive.Value, static.Value)
+			}
+			if strict[sc.Name] && adaptive.Value <= static.Value {
+				t.Fatalf("adapted value %.2f not strictly above static %.2f", adaptive.Value, static.Value)
+			}
+			if adaptive.Exceeded {
+				t.Fatalf("adapted run exceeded the budget: spent %.4fs of %.4fs", adaptive.AnalysisSec, adaptive.BudgetSec)
+			}
+		})
+	}
+}
+
+// TestCorpusReplanDeterminism: the same seed and perturbation must produce a
+// byte-identical event stream — steps, alerts, replan decisions, re-emitted
+// plans — whether the remaining-horizon MILPs are solved serially or on an
+// 8-worker branch-and-bound pool. This extends the solvercheck determinism
+// guarantee (identical objective, bound, and incumbent at any width) through
+// the whole closed loop.
+func TestCorpusReplanDeterminism(t *testing.T) {
+	for _, sc := range experiments.ReplanScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			serial, err := replan.Simulate(sc, true, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := replan.Simulate(sc, true, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := json.Marshal(serial.Events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(parallel.Events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("event stream diverges between Workers=1 (%d events) and Workers=8 (%d events)",
+					len(serial.Events), len(parallel.Events))
+			}
+			if serial.Value != parallel.Value || serial.Replans != parallel.Replans {
+				t.Fatalf("outcome diverges: W=1 value=%.2f replans=%d, W=8 value=%.2f replans=%d",
+					serial.Value, serial.Replans, parallel.Value, parallel.Replans)
+			}
+		})
+	}
+}

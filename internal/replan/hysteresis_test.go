@@ -1,0 +1,220 @@
+package replan
+
+import (
+	"testing"
+
+	"insitu/internal/core"
+	"insitu/internal/obs"
+	"insitu/internal/runmon"
+)
+
+// The hysteresis edge tests drive a Replanner directly — a hand-fed monitor
+// instead of the Simulate driver — so each gate (horizon, cooldown,
+// no-improvement, infeasible, replan limit) can be hit in isolation. With the
+// default CUSUM tuning a single 3x observation alarms immediately (relative
+// error 2.0 accumulates 1.75 against the 1.0 threshold), which keeps the
+// event choreography one line per alert.
+
+const hSimSec = 0.010
+
+func hSpecs() []core.AnalysisSpec {
+	return []core.AnalysisSpec{
+		{Name: "k1", CT: 0.002, OM: 2 << 20, IM: 1 << 20, Weight: 2, MinInterval: 2},
+		{Name: "k2", CT: 0.001, OM: 1 << 20, IM: 1 << 20, Weight: 1, MinInterval: 3},
+	}
+}
+
+func hRes(steps int, threshold float64) core.Resources {
+	return core.Resources{
+		Steps:         steps,
+		TimeThreshold: threshold,
+		MemThreshold:  24 << 20,
+		Bandwidth:     1 << 30,
+	}
+}
+
+type harness struct {
+	t   *testing.T
+	mon *runmon.Monitor
+	rec *core.Recommendation
+	rp  *Replanner
+}
+
+func newHarness(t *testing.T, specs []core.AnalysisSpec, res core.Resources, cfg Config) *harness {
+	t.Helper()
+	rec, err := core.Solve(specs, res, core.SolveOptions{})
+	if err != nil {
+		t.Fatalf("up-front solve: %v", err)
+	}
+	profile := runmon.FromPlan(specs, rec, res, hSimSec)
+	profile.App = "replan-hysteresis"
+	mon := runmon.NewMonitor(profile, runmon.Config{})
+	return &harness{t: t, mon: mon, rec: rec, rp: New(mon, specs, res, rec, hSimSec, cfg)}
+}
+
+func (h *harness) step(j int, sec float64) {
+	h.mon.Observe(obs.LedgerEvent{Type: obs.LedgerStep, Step: j, Dur: sec * 1e6})
+}
+
+func (h *harness) analysis(j int, name string, sec float64) {
+	h.mon.Observe(obs.LedgerEvent{Type: obs.LedgerAnalysis, Name: name, Step: j, Dur: sec * 1e6})
+}
+
+func (h *harness) output(j int, name string, sec float64) {
+	h.mon.Observe(obs.LedgerEvent{Type: obs.LedgerOutput, Name: name, Step: j, Dur: sec * 1e6})
+}
+
+// mustRecords asserts the decision reasons recorded so far, in order.
+func (h *harness) mustRecords(reasons ...string) {
+	h.t.Helper()
+	recs := h.rp.Records()
+	if len(recs) != len(reasons) {
+		h.t.Fatalf("got %d decision record(s) %+v, want reasons %v", len(recs), recs, reasons)
+	}
+	for i, want := range reasons {
+		if recs[i].Reason != want {
+			h.t.Fatalf("record %d reason %q, want %q (records: %+v)", i, recs[i].Reason, want, recs)
+		}
+	}
+}
+
+// An alert raised at the final simulation step leaves no remaining horizon:
+// the replanner must record a "horizon" decision and keep the incumbent, not
+// solve a zero-step MILP.
+func TestHysteresisAlertAtFinalStep(t *testing.T) {
+	h := newHarness(t, hSpecs(), hRes(50, 0.12), Config{})
+	for j := 1; j < 50; j++ {
+		h.step(j, hSimSec)
+	}
+	h.step(50, 3*hSimSec) // sim drift fires at the last step
+	if got := h.rp.Decide(50); got != nil {
+		t.Fatalf("Decide at final step returned a schedule: %+v", got)
+	}
+	h.mustRecords(runmon.ReplanHorizon)
+	if h.rp.Incumbent() != h.rec {
+		t.Fatal("incumbent changed on a horizon decision")
+	}
+	recs := h.rp.Records()
+	if recs[0].Step != 50 || recs[0].Trigger != runmon.AlertDrift {
+		t.Fatalf("horizon record mis-attributed: %+v", recs[0])
+	}
+}
+
+// Back-to-back alerts inside the cooldown coalesce into a single decision at
+// the first step outside it, instead of one decision per alert.
+func TestHysteresisCooldownCoalescesAlerts(t *testing.T) {
+	h := newHarness(t, hSpecs(), hRes(60, 0.12), Config{Cooldown: 10})
+	for j := 1; j <= 4; j++ {
+		h.step(j, hSimSec)
+	}
+	h.step(5, 3*hSimSec) // alert 1: sim drift
+	// Adoption or not depends on the re-solve; either way exactly one
+	// decision must be recorded.
+	h.rp.Decide(5)
+	if n := len(h.rp.Records()); n != 1 {
+		t.Fatalf("first alert produced %d decisions, want 1", n)
+	}
+
+	h.step(6, hSimSec)
+	h.analysis(7, "k1", 3*0.002) // alert 2, two steps after the decision
+	for j := 7; j <= 14; j++ {
+		if h.rp.Decide(j) != nil {
+			t.Fatalf("Decide(%d) inside the cooldown adopted a schedule", j)
+		}
+		if n := len(h.rp.Records()); n != 1 {
+			t.Fatalf("Decide(%d) inside the cooldown recorded a decision", j)
+		}
+	}
+	h.rp.Decide(15) // first step with 15-5 >= Cooldown
+	recs := h.rp.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d decisions after cooldown expiry, want 2: %+v", len(recs), recs)
+	}
+	if recs[1].Step != 15 {
+		t.Fatalf("coalesced decision at step %d, want 15", recs[1].Step)
+	}
+	if recs[1].Stream != runmon.AnalyzeStream("k1") {
+		t.Fatalf("coalesced decision attributed to %q, want %q", recs[1].Stream, runmon.AnalyzeStream("k1"))
+	}
+}
+
+// With a prohibitive minimum-improvement gate a re-solve that cannot clearly
+// beat a still-feasible incumbent is recorded as no_improvement and the
+// incumbent keeps running.
+func TestHysteresisNoImprovementKeepsIncumbent(t *testing.T) {
+	h := newHarness(t, hSpecs(), hRes(60, 0.12), Config{MinImprove: 5})
+	for j := 1; j <= 4; j++ {
+		h.step(j, hSimSec)
+	}
+	h.step(5, 3*hSimSec) // sim drift: costs unchanged, incumbent still fits
+	if got := h.rp.Decide(5); got != nil {
+		t.Fatalf("Decide adopted despite the 500%% improvement gate: %+v", got)
+	}
+	h.mustRecords(runmon.ReplanNoImprovement)
+	rec := h.rp.Records()[0]
+	if rec.NewValue <= 0 {
+		t.Fatalf("no_improvement record lost the re-solve objective: %+v", rec)
+	}
+	if rec.OldValue <= 0 || rec.BudgetSec <= 0 {
+		t.Fatalf("no_improvement record lost incumbent pricing: %+v", rec)
+	}
+	if h.rp.Incumbent() != h.rec {
+		t.Fatal("incumbent changed on a no_improvement decision")
+	}
+}
+
+// When observed analysis time has already consumed the whole budget there is
+// no feasible remaining-horizon model: the replanner must record infeasible
+// and fall back to the incumbent — never panic, never adopt.
+func TestHysteresisExhaustedBudgetIsInfeasible(t *testing.T) {
+	h := newHarness(t, hSpecs(), hRes(60, 0.12), Config{})
+	h.step(1, hSimSec)
+	h.step(2, hSimSec)
+	// One catastrophic analysis span blows the entire 0.12s budget and fires
+	// the drift alert at the same time.
+	h.analysis(3, "k1", 0.2)
+	if got := h.rp.Decide(3); got != nil {
+		t.Fatalf("Decide adopted with an exhausted budget: %+v", got)
+	}
+	h.mustRecords(runmon.ReplanInfeasible)
+	rec := h.rp.Records()[0]
+	if rec.BudgetSec > 0 {
+		t.Fatalf("infeasible record reports positive remaining budget: %+v", rec)
+	}
+	if rec.SpentSec < 0.2 {
+		t.Fatalf("infeasible record under-reports spend: %+v", rec)
+	}
+	if h.rp.Incumbent() != h.rec {
+		t.Fatal("incumbent changed on an infeasible decision")
+	}
+}
+
+// Once MaxReplans adoptions have happened, the next trigger produces exactly
+// one "limit" record and later triggers are dropped silently: the cap is a
+// hard stop, not a recurring warning.
+func TestHysteresisMaxReplansEmitsSingleLimit(t *testing.T) {
+	h := newHarness(t, hSpecs(), hRes(60, 0.12), Config{Cooldown: 5, MaxReplans: 1})
+	for j := 1; j <= 4; j++ {
+		h.step(j, hSimSec)
+	}
+	// A 10x output-bandwidth collapse (clamped to the 4x factor cap) makes
+	// the incumbent's remaining outputs unaffordable, so the first decision
+	// must adopt a re-fit schedule regardless of the improvement gate.
+	h.output(5, "k1", 10*float64(2<<20)/float64(1<<30))
+	if h.rp.Decide(5) == nil {
+		t.Fatalf("first decision did not adopt: %+v", h.rp.Records())
+	}
+	h.mustRecords(runmon.ReplanAdopted)
+
+	h.analysis(20, "k1", 3*0.002) // trigger 2, outside cooldown, over the cap
+	if got := h.rp.Decide(20); got != nil {
+		t.Fatalf("Decide adopted past MaxReplans: %+v", got)
+	}
+	h.mustRecords(runmon.ReplanAdopted, runmon.ReplanLimit)
+
+	h.analysis(35, "k2", 3*0.001) // trigger 3: dropped without a record
+	if got := h.rp.Decide(35); got != nil {
+		t.Fatalf("Decide adopted past MaxReplans: %+v", got)
+	}
+	h.mustRecords(runmon.ReplanAdopted, runmon.ReplanLimit)
+}

@@ -88,8 +88,9 @@ type streamState struct {
 	ewma      EWMA
 	cusum     CUSUM
 	count     int
-	obsSec    float64 // total observed seconds
-	predSec   float64 // total predicted seconds over scored events
+	obsSec    float64 // total observed seconds (display mean; never reset)
+	scoredObs float64 // observed seconds over scored events (reset on rebaseline)
+	scoredPred float64 // predicted seconds over scored events (reset on rebaseline)
 	lastSec   float64
 	alerted   bool
 	alertStep int
@@ -117,6 +118,7 @@ type Monitor struct {
 	projected   float64
 	budgetHit   bool
 	alerts      []Alert
+	replans     []ReplanRecord
 
 	mProjected *obs.Gauge
 	mThreshold *obs.Gauge
@@ -188,6 +190,16 @@ func (m *Monitor) Observe(e obs.LedgerEvent) {
 		if m.profile.ThresholdSec > 0 {
 			m.mThreshold.Set(m.profile.ThresholdSec)
 		}
+		m.rebaseline(e.Name)
+		if e.Name == StreamSim && e.Args["threshold_sec"] > 0 {
+			// A fresh budget (a replan's plan events carry one) re-arms the
+			// budget alert against the new threshold.
+			m.budgetHit = false
+		}
+	case obs.LedgerReplan:
+		if r, ok := replanRecordFromEvent(e); ok {
+			m.replans = append(m.replans, r)
+		}
 	case obs.LedgerStep:
 		if e.Step > m.step {
 			m.step = e.Step
@@ -204,6 +216,35 @@ func (m *Monitor) Observe(e obs.LedgerEvent) {
 		m.observe(OutputStream(e.Name), e.Step, sec)
 		m.projectBudget(e.Step)
 	}
+}
+
+// rebaseline aligns an already-created stream with a freshly absorbed plan
+// prediction. Before this fix a plan event arriving after a stream had begun
+// self-calibrating was silently ignored by that stream: the observations that
+// preceded the plan stayed in the calibration sum and also kept being scored
+// once calibration closed, double-counting them against a baseline the plan
+// had superseded. Adopting the plan prediction and resetting the detector
+// stack makes a mid-stream plan event a clean rebaseline — which is exactly
+// what a replanner needs: re-emitting plan events through Observe resets the
+// detectors for the adapted schedule. Callers hold m.mu.
+func (m *Monitor) rebaseline(name string) {
+	st, ok := m.streams[name]
+	if !ok {
+		return
+	}
+	pred := m.profile.Streams[name]
+	if pred <= 0 {
+		return
+	}
+	st.predicted = pred
+	st.calSum, st.calN = 0, 0
+	st.scoredObs, st.scoredPred = 0, 0
+	st.ewma = EWMA{Alpha: m.cfg.Alpha}
+	st.cusum.Reset()
+	st.alerted = false
+	st.mEWMA.Set(0)
+	st.mCusumPos.Set(0)
+	st.mCusumNeg.Set(0)
 }
 
 // stream returns (creating on first use) the detector stack for name.
@@ -249,7 +290,8 @@ func (m *Monitor) observe(name string, step int, sec float64) {
 		return
 	}
 
-	st.predSec += st.predicted
+	st.scoredObs += sec
+	st.scoredPred += st.predicted
 	x := (sec - st.predicted) / st.predicted
 	st.mEWMA.Set(st.ewma.Observe(x))
 	fired := st.cusum.Observe(x)
@@ -287,8 +329,8 @@ func (m *Monitor) projectBudget(step int) {
 		if st.name == StreamSim {
 			continue
 		}
-		obsSec += st.obsSec
-		predSec += st.predSec
+		obsSec += st.scoredObs
+		predSec += st.scoredPred
 	}
 	inflation := 1.0
 	if predSec > 0 {
@@ -355,5 +397,17 @@ func (m *Monitor) Alerts() []Alert {
 	defer m.mu.Unlock()
 	out := make([]Alert, len(m.alerts))
 	copy(out, m.alerts)
+	return out
+}
+
+// Replans returns a copy of every replan decision observed so far.
+func (m *Monitor) Replans() []ReplanRecord {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ReplanRecord, len(m.replans))
+	copy(out, m.replans)
 	return out
 }

@@ -262,3 +262,121 @@ func TestProfileFromPlanAndEventsRoundTrip(t *testing.T) {
 		t.Fatal("FromEvents invented a profile")
 	}
 }
+
+// Regression: a plan event arriving after a stream has begun self-calibrating
+// must rebaseline that stream on the plan's prediction. The old code left the
+// pre-plan observations in the calibration sum, so the eventual baseline
+// double-counted them and the plan prediction was never adopted.
+func TestPlanEventRebaselinesCalibratingStream(t *testing.T) {
+	m := NewMonitor(nil, Config{Calibration: 5})
+	// Three slow observations land before the plan (calibration still open).
+	for step := 1; step <= 3; step++ {
+		m.Observe(analysisEvent(step, "rdf", 0.050))
+	}
+	m.Observe(obs.LedgerEvent{
+		Type: obs.LedgerPlan, Name: AnalyzeStream("rdf"),
+		Args: map[string]float64{"sec_per_event": 0.020},
+	})
+	s := m.Snapshot()
+	if len(s.Streams) != 1 {
+		t.Fatalf("streams = %d, want 1", len(s.Streams))
+	}
+	if got := s.Streams[0].PredictedSec; got != 0.020 {
+		t.Fatalf("predicted after plan = %gs, want the plan's 0.020s (calibrated mean leaked through)", got)
+	}
+	// The pre-plan observations must not have been scored against the new
+	// baseline: residual statistics start clean.
+	if st := s.Streams[0]; st.CUSUMPos != 0 || st.CUSUMNeg != 0 || st.EWMARelErr != 0 {
+		t.Fatalf("detector state not reset by plan event: %+v", st)
+	}
+	// On-plan observations after the rebaseline stay silent.
+	for step := 4; step <= 20; step++ {
+		m.Observe(analysisEvent(step, "rdf", 0.020))
+	}
+	if alerts := m.Alerts(); len(alerts) != 0 {
+		t.Fatalf("faithful post-plan observations alerted: %+v", alerts)
+	}
+}
+
+// A plan event re-emitted mid-run (what an adopted replan does) resets the
+// drifted stream's detectors so the adapted schedule is scored fresh, and a
+// new threshold re-arms the budget alert.
+func TestPlanEventRebaselinesDriftedStream(t *testing.T) {
+	m := NewMonitor(testProfile(), Config{})
+	for step := 1; step <= 10; step++ {
+		m.Observe(stepEvent(step, 0.020)) // 2x the predicted 10ms
+	}
+	if m.Snapshot().DriftCount() == 0 {
+		t.Fatal("sustained 2x inflation did not alert")
+	}
+	// Replan: the adapted profile predicts the observed 20ms steps.
+	m.Observe(obs.LedgerEvent{
+		Type: obs.LedgerPlan, Name: StreamSim,
+		Args: map[string]float64{
+			"sec_per_event": 0.020, "steps": 100,
+			"threshold_sec": 0.5, "planned_sec": 0.2,
+		},
+	})
+	s := m.Snapshot()
+	if s.Streams[0].Alerted {
+		t.Fatal("stream still flagged after rebaseline")
+	}
+	if s.Streams[0].PredictedSec != 0.020 {
+		t.Fatalf("predicted = %g, want rebaselined 0.020", s.Streams[0].PredictedSec)
+	}
+	if s.BudgetAtRisk {
+		t.Fatal("budget flag survived a plan event carrying a threshold")
+	}
+	for step := 11; step <= 30; step++ {
+		m.Observe(stepEvent(step, 0.020))
+	}
+	if got := m.Snapshot().DriftCount(); got != 1 {
+		t.Fatalf("post-rebaseline on-plan steps re-alerted: %d drift alerts, want 1", got)
+	}
+}
+
+// Replan ledger events round-trip through the monitor into the snapshot's
+// replan timeline and the text report.
+func TestMonitorCollectsReplanEvents(t *testing.T) {
+	m := NewMonitor(testProfile(), Config{})
+	rec := ReplanRecord{
+		Step: 40, Trigger: AlertDrift, Stream: StreamSim,
+		Reason: ReplanAdopted, Adopted: true,
+		OldValue: 3, NewValue: 5, OldCostSec: 0.30, NewCostSec: 0.25,
+		BudgetSec: 0.40, SpentSec: 0.10,
+	}
+	m.Observe(rec.Event())
+	m.Observe(ReplanRecord{
+		Step: 80, Trigger: AlertBudget, Stream: "budget",
+		Reason: ReplanNoImprovement, OldValue: 5, BudgetSec: 0.05,
+	}.Event())
+	got := m.Replans()
+	if len(got) != 2 {
+		t.Fatalf("replans = %d, want 2", len(got))
+	}
+	if got[0] != rec {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got[0], rec)
+	}
+	if got[1].Trigger != AlertBudget || got[1].Reason != ReplanNoImprovement || got[1].Adopted {
+		t.Fatalf("second record = %+v", got[1])
+	}
+	if got[0].Delta() != 2 || got[1].Delta() != 0 {
+		t.Fatalf("deltas = %g, %g", got[0].Delta(), got[1].Delta())
+	}
+	var buf bytes.Buffer
+	if err := m.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "replans: 2") || !strings.Contains(out, "[adopted]") ||
+		!strings.Contains(out, "[no_improvement]") {
+		t.Fatalf("report missing replan timeline:\n%s", out)
+	}
+	// Events from a future replan schema are skipped, not misread.
+	e := rec.Event()
+	e.Args["replan_v"] = ReplanSchemaVersion + 1
+	m.Observe(e)
+	if len(m.Replans()) != 2 {
+		t.Fatal("future-schema replan event was not skipped")
+	}
+}

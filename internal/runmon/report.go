@@ -32,6 +32,7 @@ type Snapshot struct {
 	Ended        bool             `json:"ended"`
 	Streams      []StreamSnapshot `json:"streams"`
 	Alerts       []Alert          `json:"alerts"`
+	Replans      []ReplanRecord   `json:"replans,omitempty"`
 	AnalysisSec  float64          `json:"analysis_sec"`            // observed analysis+output time
 	ProjectedSec float64          `json:"projected_sec,omitempty"` // budget-at-risk projection
 	ThresholdSec float64          `json:"threshold_sec,omitempty"`
@@ -78,6 +79,10 @@ func (m *Monitor) Snapshot() Snapshot {
 	}
 	s.Alerts = make([]Alert, len(m.alerts))
 	copy(s.Alerts, m.alerts)
+	if len(m.replans) > 0 {
+		s.Replans = make([]ReplanRecord, len(m.replans))
+		copy(s.Replans, m.replans)
+	}
 	return s
 }
 
@@ -124,8 +129,10 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		return err
 	}
 	if len(s.Streams) == 0 {
-		_, err := fmt.Fprintln(w, "no monitored events yet")
-		return err
+		if _, err := fmt.Fprintln(w, "no monitored events yet"); err != nil {
+			return err
+		}
+		return s.writeReplans(w)
 	}
 	if _, err := fmt.Fprintf(w, "%-26s %6s %12s %12s %9s %8s %8s  %s\n",
 		"stream", "n", "pred_ms", "mean_ms", "ewma_err", "cusum+", "cusum-", "status"); err != nil {
@@ -156,8 +163,10 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 	}
 	if len(s.Alerts) == 0 {
-		_, err := fmt.Fprintln(w, "alerts: none")
-		return err
+		if _, err := fmt.Fprintln(w, "alerts: none"); err != nil {
+			return err
+		}
+		return s.writeReplans(w)
 	}
 	if _, err := fmt.Fprintf(w, "alerts: %d\n", len(s.Alerts)); err != nil {
 		return err
@@ -172,6 +181,32 @@ func (s Snapshot) WriteText(w io.Writer) error {
 				a.Direction, abs(a.RelErr)*100, a.Predicted*1e3, a.Observed*1e3, a.CUSUM)
 		}
 		if _, err := fmt.Fprintf(w, "  [%s] step %-5d %-24s %s\n", a.Kind, a.Step, a.Stream, detail); err != nil {
+			return err
+		}
+	}
+	return s.writeReplans(w)
+}
+
+// writeReplans renders the replan timeline, one decision per line. Silent
+// when the run never replanned, so unmonitored/static reports are unchanged.
+func (s Snapshot) writeReplans(w io.Writer) error {
+	if len(s.Replans) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "replans: %d\n", len(s.Replans)); err != nil {
+		return err
+	}
+	for _, r := range s.Replans {
+		var detail string
+		if r.Adopted {
+			detail = fmt.Sprintf("value %.2f -> %.2f, remaining cost %.3fs -> %.3fs of %.3fs budget",
+				r.OldValue, r.NewValue, r.OldCostSec, r.NewCostSec, r.BudgetSec)
+		} else {
+			detail = fmt.Sprintf("kept incumbent (value %.2f, remaining budget %.3fs)",
+				r.OldValue, r.BudgetSec)
+		}
+		if _, err := fmt.Fprintf(w, "  [%s] step %-5d %s/%-18s %s\n",
+			r.Reason, r.Step, r.Trigger, r.Stream, detail); err != nil {
 			return err
 		}
 	}
