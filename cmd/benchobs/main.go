@@ -10,6 +10,8 @@
 //	benchobs check [-dir dir] [-min-workers n] [-min-count n]
 //	benchobs serve [-addr host:port]
 //	benchobs summarize -ledger run.jsonl
+//	benchobs flightcheck -ledger run.jsonl
+//	benchobs runs [-dir dir] [-filter s] [-json]
 //
 // run executes the solver, pipeline, and iosim suites and writes one
 // BENCH_<suite>.json per suite (the files committed at the repo root are its
@@ -21,9 +23,16 @@
 // — so CI fails if the suite silently falls back to the serial search. serve
 // loops the instrumented pipeline workload forever and exposes the live
 // registry at /metrics (Prometheus text), /metrics.json, and the process at
-// /debug/pprof/; on SIGINT/SIGTERM it shuts down gracefully, draining
-// in-flight scrapes and the workload loop before exiting. summarize replays
-// a run ledger into a per-step activity table.
+// /debug/pprof/; it also runs one flight-recorded paper solve at startup so
+// /solve.json and /solve show a real gap-closure curve. On SIGINT/SIGTERM it
+// shuts down gracefully, draining in-flight scrapes and the workload loop
+// before exiting. summarize replays a run ledger into a per-step activity
+// table (including solver gap timelines when the ledger carries solveprog
+// events). flightcheck validates every solver flight stream in a ledger —
+// monotone invariants via obs.CheckSolveProg, plus each stream must close its
+// gap — and exits 1 on any violation or when no stream exists, making it a CI
+// gate for -flight output. runs scans a directory of *.jsonl ledgers into the
+// cross-run registry and prints one row per run (or JSON with -json).
 package main
 
 import (
@@ -48,8 +57,10 @@ commands:
   run        run the canonical suites and write BENCH_<suite>.json files
   compare    diff a run against baseline files; exit 1 on any regression
   check      audit a solver suite's recorded pool width; exit 1 if serial
-  serve      expose live /metrics and /debug/pprof over a looping workload
+  serve      expose live /metrics, /solve, and /debug/pprof over a looping workload
   summarize  reconstruct per-step timelines from a JSONL run ledger
+  flightcheck  validate the solver flight streams in a ledger; exit 1 on violation
+  runs       scan a directory of run ledgers into the cross-run registry
 
 run 'benchobs <command> -h' for the flags of each command.
 `
@@ -76,6 +87,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdServe(args[1:], stdout, stderr)
 	case "summarize":
 		return cmdSummarize(args[1:], stdout, stderr)
+	case "flightcheck":
+		return cmdFlightCheck(args[1:], stdout, stderr)
+	case "runs":
+		return cmdRuns(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		fmt.Fprint(stdout, usageText)
 		return 0
@@ -291,8 +306,17 @@ func runServe(ctx context.Context, ln net.Listener, stdout, stderr io.Writer) in
 	go func() {
 		loopDone <- serveLoop(reg, stop, 0)
 	}()
-	fmt.Fprintf(stdout, "benchobs: serving http://%s/metrics (also /metrics.json, /debug/pprof/)\n", ln.Addr())
-	err := obs.ServeUntil(ctx, ln, obs.NewServeMux(reg))
+	// One flight-recorded paper solve so /solve.json and /solve expose a real
+	// gap-closure curve; the solve is fast and deterministic, and a failure
+	// only leaves the flight pages empty.
+	flight := obs.NewFlightRecorder(0)
+	if err := perfbench.FlightSolve(flight); err != nil {
+		fmt.Fprintf(stderr, "benchobs: flight solve: %v\n", err)
+	}
+	mux := obs.NewServeMux(reg)
+	obs.AddFlightRoutes(mux, flight)
+	fmt.Fprintf(stdout, "benchobs: serving http://%s/metrics (also /metrics.json, /solve, /solve.json, /debug/pprof/)\n", ln.Addr())
+	err := obs.ServeUntil(ctx, ln, mux)
 	close(stop)
 	if loopErr := <-loopDone; loopErr != nil {
 		fmt.Fprintf(stderr, "benchobs: workload loop: %v\n", loopErr)
@@ -331,6 +355,118 @@ func cmdSummarize(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if err := obs.SummarizeLedger(events).WriteTimeline(stdout); err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// cmdFlightCheck validates every solver flight stream a ledger carries: the
+// monotone stream invariants (CheckSolveProg), and — unless -allow-gap — that
+// each stream ends optimal with the gap closed. It is the CI gate behind
+// `insitu-sched -flight`: a recorder or solver regression that breaks the
+// stream contract fails the build instead of silently corrupting telemetry.
+func cmdFlightCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchobs flightcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ledger := fs.String("ledger", "", "JSONL ledger holding solveprog events (required)")
+	allowGap := fs.Bool("allow-gap", false, "accept streams that end non-optimal or with an open gap")
+	tol := fs.Float64("tol", 1e-6, "absolute gap tolerance for a closed final gap")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	path := *ledger
+	if path == "" {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		fmt.Fprintln(stderr, "benchobs: flightcheck needs -ledger file.jsonl")
+		fs.Usage()
+		return 2
+	}
+	events, err := obs.ReadLedgerFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 1
+	}
+	runs := obs.GroupSolveProgEvents(events)
+	if len(runs) == 0 {
+		fmt.Fprintf(stderr, "benchobs: ledger %s: no solveprog events\n", path)
+		return 1
+	}
+	bad := 0
+	for i, r := range runs {
+		name := r.Name
+		if name == "" {
+			name = fmt.Sprintf("solve[%d]", i)
+		}
+		if err := obs.CheckSolveProg(r.Records); err != nil {
+			fmt.Fprintf(stdout, "  %-32s %4d event(s) BAD: %v\n", name, len(r.Records), err)
+			bad++
+			continue
+		}
+		gap, status, ok := obs.FinalGap(r.Records)
+		switch {
+		case *allowGap:
+			fmt.Fprintf(stdout, "  %-32s %4d event(s) ok (%s)\n", name, len(r.Records), orUnknown(status))
+		case !ok:
+			fmt.Fprintf(stdout, "  %-32s %4d event(s) BAD: no end event with a defined gap\n", name, len(r.Records))
+			bad++
+		case status != "optimal" || gap > *tol:
+			fmt.Fprintf(stdout, "  %-32s %4d event(s) BAD: status %s, final gap %.4g\n", name, len(r.Records), orUnknown(status), gap)
+			bad++
+		default:
+			fmt.Fprintf(stdout, "  %-32s %4d event(s) ok (optimal, gap %.4g)\n", name, len(r.Records), gap)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "benchobs: %d of %d flight stream(s) in %s failed validation\n", bad, len(runs), path)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchobs: %s: %d flight stream(s) ok\n", path, len(runs))
+	return 0
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}
+
+// cmdRuns scans a directory of *.jsonl run ledgers into the cross-run
+// registry: one row per run with its step/replan/solve counts, per-solve and
+// per-flight summaries, and the cross-run history with trends.
+func cmdRuns(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchobs runs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "directory holding *.jsonl run ledgers")
+	filter := fs.String("filter", "", "keep runs whose app, path, solve, or flight name contains this")
+	jsonOut := fs.Bool("json", false, "emit the registry as JSON instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	reg, err := obs.ScanRuns(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchobs: %v\n", err)
+		return 1
+	}
+	for _, w := range reg.Warnings {
+		fmt.Fprintf(stderr, "benchobs: warning: %s\n", w)
+	}
+	reg = reg.Filter(*filter)
+	if len(reg.Runs) == 0 {
+		fmt.Fprintf(stderr, "benchobs: no runs found in %s\n", *dir)
+		return 1
+	}
+	if *jsonOut {
+		if err := reg.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "benchobs: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := reg.WriteTable(stdout); err != nil {
 		fmt.Fprintf(stderr, "benchobs: %v\n", err)
 		return 1
 	}

@@ -31,6 +31,11 @@
 // solver counters (nodes, relaxations, simplex pivots, incumbents) in
 // Prometheus text format, or JSON when the path ends in .json.
 //
+// -flight records the solver's flight-recorder stream — per-wave incumbent,
+// bound, gap, and prune-taxonomy samples as schema-versioned solveprog
+// events — to a JSONL ledger file; benchobs flightcheck validates it and
+// benchobs summarize renders the gap-closure timeline.
+//
 // -workers sets the branch-and-bound pool width (0 = all CPUs). The default
 // of 1 keeps the legacy serial search; any width returns the same objective
 // and bound.
@@ -77,13 +82,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tracePath := fs.String("trace", "", "write the branch-and-bound search as Chrome trace JSON to this file")
 	metricsPath := fs.String("metrics", "", "write solver metrics to this file (Prometheus text, or JSON with a .json suffix)")
 	workers := fs.Int("workers", 1, "branch-and-bound worker count (0 = all CPUs, 1 = serial)")
+	flightPath := fs.String("flight", "", "record the solver's progress stream (solveprog events) to this JSONL ledger file")
 	monitorPath := fs.String("monitor", "", "score an executed run ledger (JSONL) against the solved schedule and print the drift report")
 	replanFlag := fs.Bool("replan", false, "with -monitor: replay the ledger through a rolling-horizon replanner and print the reschedules it would have made (advisory; nothing is re-executed)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-explain] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] [-workers n] [-monitor run.jsonl] [-replan] problem.json")
+		fmt.Fprintln(stderr, "usage: insitu-sched [-full] [-coupling] [-json] [-explain] [-export-lp model.lp] [-sensitivity] [-trace trace.json] [-metrics metrics.txt] [-flight flight.jsonl] [-workers n] [-monitor run.jsonl] [-replan] problem.json")
 		return 2
 	}
 	if *replanFlag && *monitorPath == "" {
@@ -127,6 +133,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var tracer *obs.Tracer
 	opts := core.SolveOptions{Workers: milp.AutoWorkers(*workers)}
+	var flight *obs.FlightRecorder
+	if *flightPath != "" {
+		flight = obs.NewFlightRecorder(0)
+		flight.SetName("solve")
+		opts.Flight = flight
+	}
 	var solveSpan *obs.Span
 	if *tracePath != "" {
 		tracer = obs.NewTracer()
@@ -146,6 +158,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	solveSpan.End()
+	if flight != nil {
+		l, err := obs.OpenEventLog(*flightPath)
+		if err != nil {
+			return fail(err)
+		}
+		flight.AppendLedger(l, "")
+		if err := l.Close(); err != nil {
+			return fail(err)
+		}
+		recs := flight.Snapshot()
+		line := fmt.Sprintf("wrote flight stream (%d events) to %s", len(recs), *flightPath)
+		if gap, status, ok := obs.FinalGap(recs); ok {
+			line += fmt.Sprintf(" — %s, final gap %.4g", status, gap)
+		}
+		fmt.Fprintln(stderr, line)
+	}
 	if *tracePath != "" {
 		if err := obs.WriteTraceFile(*tracePath, tracer); err != nil {
 			return fail(err)

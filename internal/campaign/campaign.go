@@ -107,6 +107,12 @@ type Config struct {
 	// solve time) followed by the executed run's events from the coupling
 	// runner. benchobs summarize reconstructs the timeline from the file.
 	Ledger *obs.EventLog
+	// Flight, when non-nil, captures the Plan solve's progress stream (see
+	// obs.FlightRecorder): Plan resets and attaches it to the
+	// branch-and-bound solve, then drains it into the Ledger as solveprog
+	// events. PlanSweep gives each threshold solve its own recorder and
+	// drains them in input order, so a shared ledger stays deterministic.
+	Flight *obs.FlightRecorder
 	// Monitor, when non-nil, watches the executed run live: Execute installs
 	// the solved plan as the monitor's predicted profile, writes the profile
 	// into the ledger as plan events (so post-hoc runmon report sees the
@@ -276,11 +282,16 @@ func (c *Campaign) Plan() (*Plan, error) {
 		return nil, err
 	}
 	res := c.envelope(simPerStep)
-	rec, err := c.solvePlan(specs, res, core.SolveOptions{Workers: c.cfg.SolveWorkers})
+	if c.cfg.Flight != nil {
+		c.cfg.Flight.Reset()
+		c.cfg.Flight.SetName("plan")
+	}
+	rec, err := c.solvePlan(specs, res, core.SolveOptions{Workers: c.cfg.SolveWorkers, Flight: c.cfg.Flight})
 	if err != nil {
 		return nil, err
 	}
 	c.ledgerSolve("plan", rec, res)
+	c.cfg.Flight.AppendLedger(c.cfg.Ledger, "plan")
 	return &Plan{Specs: specs, Resources: res, Rec: rec, SimSecPerStep: simPerStep}, nil
 }
 
@@ -303,6 +314,13 @@ func (c *Campaign) PlanSweep(thresholds []float64) ([]*Plan, error) {
 
 	plans := make([]*Plan, len(thresholds))
 	errs := make([]error, len(thresholds))
+	// Each sweep solve gets its own flight recorder (the solves run
+	// concurrently; interleaving one shared ring would scramble the streams),
+	// drained below in input order.
+	var flights []*obs.FlightRecorder
+	if c.cfg.Flight != nil {
+		flights = make([]*obs.FlightRecorder, len(thresholds))
+	}
 	w := c.cfg.SolveWorkers
 	if w < 1 {
 		w = 1
@@ -319,7 +337,12 @@ func (c *Campaign) PlanSweep(thresholds []float64) ([]*Plan, error) {
 			for i := range next {
 				res := base
 				res.TimeThreshold = thresholds[i]
-				rec, err := c.solvePlan(specs, res, core.SolveOptions{})
+				var fr *obs.FlightRecorder
+				if flights != nil {
+					fr = obs.NewFlightRecorder(0)
+					flights[i] = fr
+				}
+				rec, err := c.solvePlan(specs, res, core.SolveOptions{Flight: fr})
 				if err != nil {
 					errs[i] = err
 					continue
@@ -339,6 +362,9 @@ func (c *Campaign) PlanSweep(thresholds []float64) ([]*Plan, error) {
 			return nil, errs[i]
 		}
 		c.ledgerSolve("sweep", p.Rec, p.Resources)
+		if flights != nil {
+			flights[i].AppendLedger(c.cfg.Ledger, "sweep")
+		}
 	}
 	return plans, nil
 }

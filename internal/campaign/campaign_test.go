@@ -187,3 +187,73 @@ func TestCampaignInstrumented(t *testing.T) {
 		t.Errorf("summary missing metrics section:\n%s", sum)
 	}
 }
+
+func TestCampaignFlightRecorder(t *testing.T) {
+	var ledger bytes.Buffer
+	fr := obs.NewFlightRecorder(0)
+	c := mdCampaign(t, 20, 0, func(cfg *Config) {
+		cfg.Flight = fr
+		cfg.Ledger = obs.NewEventLog(&ledger)
+	})
+	p, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Name() != "plan" || fr.Len() == 0 {
+		t.Fatalf("flight recorder: name=%q len=%d", fr.Name(), fr.Len())
+	}
+	recs := fr.Snapshot()
+	if err := obs.CheckSolveProg(recs); err != nil {
+		t.Fatalf("plan flight stream: %v", err)
+	}
+	gap, status, ok := obs.FinalGap(recs)
+	if !ok || status != "optimal" || gap > 1e-6 {
+		t.Fatalf("plan flight end: gap=%g status=%q ok=%t", gap, status, ok)
+	}
+	if p.Rec.Stats.Nodes != recs[len(recs)-1].Nodes {
+		t.Fatalf("flight nodes %d != solver nodes %d", recs[len(recs)-1].Nodes, p.Rec.Stats.Nodes)
+	}
+	if err := c.cfg.Ledger.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadLedger(&ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := obs.GroupSolveProgEvents(events)
+	if len(runs) != 1 || runs[0].Name != "plan" || len(runs[0].Records) != len(recs) {
+		t.Fatalf("ledger flight runs = %+v", runs)
+	}
+}
+
+func TestCampaignSweepFlights(t *testing.T) {
+	var ledger bytes.Buffer
+	c := mdCampaign(t, 20, 0, func(cfg *Config) {
+		cfg.Flight = obs.NewFlightRecorder(0)
+		cfg.Ledger = obs.NewEventLog(&ledger)
+		cfg.SolveWorkers = 2
+	})
+	thresholds := []float64{0.05, 0.1, 0.2}
+	if _, err := c.PlanSweep(thresholds); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.cfg.Ledger.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadLedger(&ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := obs.GroupSolveProgEvents(events)
+	if len(runs) != len(thresholds) {
+		t.Fatalf("sweep produced %d flight runs, want %d", len(runs), len(thresholds))
+	}
+	for i, run := range runs {
+		if run.Name != "sweep" {
+			t.Fatalf("run %d name = %q", i, run.Name)
+		}
+		if err := obs.CheckSolveProg(run.Records); err != nil {
+			t.Fatalf("sweep run %d: %v", i, err)
+		}
+	}
+}

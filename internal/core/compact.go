@@ -7,6 +7,7 @@ import (
 
 	"insitu/internal/lp"
 	"insitu/internal/milp"
+	"insitu/internal/obs"
 )
 
 // SolveOptions tune the MILP search.
@@ -21,6 +22,14 @@ type SolveOptions struct {
 	// search. Events stay serialized in deterministic order at any worker
 	// count.
 	Observer func(milp.NodeEvent)
+	// Flight, when non-nil, captures the solver flight stream (start /
+	// per-wave / incumbent / end progress samples) into the recorder's ring
+	// buffer; drain it to a ledger, trace, or the /solve pages afterwards.
+	Flight *obs.FlightRecorder
+	// Progress overrides the flight hookup with a raw callback on every
+	// solver progress event; when set, Flight is ignored. Like Observer it
+	// runs synchronously on the sequential consume path.
+	Progress func(milp.ProgressEvent)
 	// Workers selects the branch-and-bound pool width (see
 	// milp.Options.Workers): 0 and 1 keep the historical serial search
 	// byte-for-byte, >= 2 enables the parallel search with warm-started
@@ -36,6 +45,7 @@ func (o SolveOptions) milpOptions() milp.Options {
 	return milp.Options{
 		MaxNodes:    o.MaxNodes,
 		Observer:    o.Observer,
+		Progress:    o.progressFunc(),
 		Workers:     o.Workers,
 		NoWarmStart: o.NoWarmStart,
 	}

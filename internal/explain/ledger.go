@@ -26,6 +26,10 @@ type Alignment struct {
 	// non-empty timeline explains planned-vs-executed drift that is not a
 	// failure: the run deliberately left the up-front plan.
 	Replans []runmon.ReplanRecord
+	// Flights holds the run's solver flight streams (solveprog events),
+	// grouped per solve; empty for ledgers recorded without a flight
+	// recorder, so old ledgers render unchanged.
+	Flights []obs.SolveProgRun
 }
 
 // AlignLedger reconstructs the ledger's per-step timelines and aligns them
@@ -33,7 +37,12 @@ type Alignment struct {
 // plus one for any kernel the ledger saw that the plan never mentioned.
 func (r *Report) AlignLedger(events []obs.LedgerEvent) {
 	sum := obs.SummarizeLedger(events)
-	a := &Alignment{App: sum.App, Steps: len(sum.Steps), Replans: runmon.ReplansFromEvents(events)}
+	a := &Alignment{
+		App:     sum.App,
+		Steps:   len(sum.Steps),
+		Replans: runmon.ReplansFromEvents(events),
+		Flights: obs.GroupSolveProgEvents(events),
+	}
 
 	counts := map[string]int{}
 	seconds := map[string]float64{}

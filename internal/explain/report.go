@@ -14,6 +14,7 @@ import (
 
 	"insitu/internal/core"
 	"insitu/internal/milp"
+	"insitu/internal/obs"
 )
 
 // Options tune report construction.
@@ -173,6 +174,16 @@ func writeAlignment(b *strings.Builder, a *Alignment) {
 				fmt.Fprintf(b, "    step %-5d [%s] %s/%s: kept incumbent (value %.2f, budget %.3fs)\n",
 					r.Step, r.Reason, r.Trigger, r.Stream, r.OldValue, r.BudgetSec)
 			}
+		}
+	}
+	// Solver gap-closure timelines, when the ledger carried flight streams.
+	for _, f := range a.Flights {
+		var tl strings.Builder
+		if err := obs.WriteGapTimeline(&tl, f.Name, f.Records); err != nil {
+			continue
+		}
+		for _, line := range strings.Split(strings.TrimRight(tl.String(), "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
 		}
 	}
 }

@@ -200,3 +200,50 @@ func TestAlignLedger(t *testing.T) {
 		t.Errorf("ledger section missing from report:\n%s", out)
 	}
 }
+
+func TestAlignLedgerFlights(t *testing.T) {
+	specs, res := waterIons(10)
+	r, err := Build(specs, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []obs.SolveProgress{
+		{Seq: 0, Kind: obs.SolveProgStart, Workers: 1, Vars: 8, IntVars: 4, Constraints: 10},
+		{Seq: 1, Kind: obs.SolveProgWave, Wave: 1, Workers: 1, Nodes: 1, Open: 1,
+			HasInc: true, Incumbent: 5, HasBound: true, Bound: 9},
+		{Seq: 2, Kind: obs.SolveProgEnd, Wave: 2, Workers: 1, Nodes: 2,
+			HasInc: true, Incumbent: 7, HasBound: true, Bound: 7, Status: "optimal"},
+	}
+	events := []obs.LedgerEvent{{Schema: 1, Type: obs.LedgerRunStart, Name: "lammps-mini"}}
+	for _, p := range recs {
+		events = append(events, p.Event("plan"))
+	}
+	r.AlignLedger(events)
+	if len(r.Ledger.Flights) != 1 || r.Ledger.Flights[0].Name != "plan" {
+		t.Fatalf("flights = %+v", r.Ledger.Flights)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"solve progress plan", "final: optimal, objective 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// A ledger without solveprog events renders no flight section.
+	r2, err := Build(specs, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.AlignLedger(events[:1])
+	var buf2 bytes.Buffer
+	if err := r2.WriteText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf2.String(), "solve progress") {
+		t.Error("old ledger grew a flight section")
+	}
+}

@@ -43,6 +43,13 @@ type SolverStats struct {
 	Warm   int // solves answered from a warm-started basis
 	Cold   int // solves that (re)built the tableau from scratch
 	Pivots int // simplex iterations (primal and dual) across all solves
+	// FallbackCold counts warm attempts whose basis restoration failed, so
+	// the solve fell through to the cold path. Those solves are counted in
+	// Cold as well; FallbackCold only classifies how they got there. The
+	// solver flight recorder surfaces it as a warm-start health signal — a
+	// rising fallback rate means the warm bases are not surviving the
+	// branching pattern.
+	FallbackCold int
 }
 
 // warmRebuildEvery bounds how many consecutive warm re-solves may reuse one
@@ -82,6 +89,7 @@ func (s *Solver) Solve(lower, upper []float64) (*Solution, bool) {
 		// The failed restoration left the tableau mid-pivot; the cold
 		// rebuild below discards it.
 		s.hasBasis = false
+		s.Stats.FallbackCold++
 	}
 	return s.SolveCold(lower, upper), false
 }

@@ -16,8 +16,10 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -118,6 +120,19 @@ type Stats struct {
 	WarmSolves        int
 	ColdSolves        int
 	PresolveTightened int
+	// FallbackColds counts warm node re-solves whose basis restoration
+	// failed and fell through to the cold path (a subset of ColdSolves),
+	// summed over the worker solver contexts.
+	FallbackColds int
+	// Prune-reason taxonomy over explored nodes:
+	// Nodes == PrunedBound + PrunedInfeasible + IntegralNodes + BranchedNodes.
+	PrunedBound      int // relaxation solved but dominated by the incumbent
+	PrunedInfeasible int // relaxation infeasible
+	IntegralNodes    int // relaxation already integer feasible
+	BranchedNodes    int // expanded into two children
+	// QueuePruned counts nodes discarded at pop time by the incumbent bound,
+	// without an LP solve; they are not explored nodes.
+	QueuePruned int
 }
 
 // Incumbent is one point of the incumbent-improvement trajectory.
@@ -167,6 +182,13 @@ type Options struct {
 	// it must be cheap; it is the hook the telemetry layer uses to stream
 	// the search into a trace.
 	Observer func(NodeEvent)
+	// Progress, when non-nil, streams the solver flight recording: one start
+	// event, one event per consumed wave, one per incumbent improvement, and
+	// one end event. Like Observer it runs synchronously on the sequential
+	// in-order consume path, so the stream is deterministic for a fixed
+	// Workers width at any actual parallelism; it must be cheap. A nil
+	// Progress costs nothing.
+	Progress func(ProgressEvent)
 	// Now is the clock used for Stats.SolveTime (default time.Now);
 	// injectable so tests are deterministic.
 	Now func() time.Time
@@ -245,6 +267,13 @@ type search struct {
 	best        *Solution
 	queue       *nodeQueue
 	nodes       int
+
+	// Flight-recording state: the progress-event sequence number, the
+	// consumed-wave counter, and the node solver contexts (for warm-fallback
+	// totals). All are touched only on the sequential consume path.
+	progSeq int
+	waveIdx int
+	solvers []*lp.Solver
 }
 
 // newSearch validates the problem and prepares the shared search state.
@@ -287,15 +316,14 @@ func newSearch(p *Problem, opts Options) (*search, error) {
 
 // finish stamps the search statistics and the terminal bound onto sol.
 func (s *search) finish(sol *Solution, bound float64) *Solution {
-	s.stats.Workers = s.opts.Workers
-	if s.stats.Workers < 2 {
-		s.stats.Workers = 1
-	}
+	s.stats.Workers = s.opts.workersWidth()
 	s.stats.Nodes = sol.Nodes
 	s.stats.BestBound = bound
+	s.stats.FallbackColds = s.fallbackColds()
 	s.stats.SolveTime = s.opts.Now().Sub(s.started)
 	sol.Bound = bound
 	sol.Stats = s.stats
+	s.emitEnd(sol, bound)
 	return sol
 }
 
@@ -316,6 +344,7 @@ func (s *search) pruneTol() float64 {
 // tightest global bound known at that moment.
 func (s *search) recordIncumbent(nodes int, obj, bound float64) {
 	s.stats.Incumbents = append(s.stats.Incumbents, Incumbent{Node: nodes, Objective: obj, Bound: bound})
+	s.emitIncumbent(obj, bound)
 }
 
 func (s *search) observe(nd *node, bound float64, action string) {
@@ -407,10 +436,12 @@ func (s *search) consume(nd *node, relaxSol *lp.Solution, warm bool, heur *heurC
 		s.stats.ColdSolves++
 	}
 	if relaxSol.Status != lp.Optimal {
+		s.stats.PrunedInfeasible++
 		s.observe(nd, nd.bound, "infeasible")
 		return // infeasible subtree (unbounded cannot appear below a bounded root)
 	}
 	if s.best.HasX && relaxSol.Objective <= s.best.Objective+s.pruneTol() {
+		s.stats.PrunedBound++
 		s.observe(nd, relaxSol.Objective, "pruned")
 		return
 	}
@@ -420,19 +451,26 @@ func (s *search) consume(nd *node, relaxSol *lp.Solution, warm bool, heur *heurC
 			s.best = &Solution{Status: Optimal, X: x, Objective: obj, HasX: true}
 			s.recordIncumbent(s.nodes, obj, math.Max(relaxSol.Objective, s.globalBound(extra)))
 		}
+		s.stats.IntegralNodes++
 		s.observe(nd, relaxSol.Objective, "integral")
 		return
 	}
 	// Rounding heuristic: costs two extra LP solves, so throttle it to
 	// early nodes where finding an incumbent matters most.
 	if s.nodes < 16 || s.nodes%32 == 0 {
-		if x, ok := heur.round(s.p, relaxSol.X, s.opts.IntTol, &s.stats); ok {
+		var x []float64
+		var ok bool
+		pprof.Do(context.Background(), pprof.Labels("solver_phase", "incumbent"), func(context.Context) {
+			x, ok = heur.round(s.p, relaxSol.X, s.opts.IntTol, &s.stats)
+		})
+		if ok {
 			if obj := s.p.LP.Eval(x); !s.best.HasX || obj > s.best.Objective {
 				s.best = &Solution{Status: Optimal, X: x, Objective: obj, HasX: true}
 				s.recordIncumbent(s.nodes, obj, math.Max(relaxSol.Objective, s.globalBound(extra)))
 			}
 		}
 	}
+	s.stats.BranchedNodes++
 	s.observe(nd, relaxSol.Objective, "branched")
 	s.expand(nd, relaxSol, s.nodes)
 }
@@ -442,7 +480,11 @@ func (s *search) consume(nd *node, relaxSol *lp.Solution, warm bool, heur *heurC
 // infeasible, unbounded, or already integral) or queues the root's
 // children. done is non-nil when the search is complete.
 func (s *search) openRoot(ctx *lp.Solver, heur *heurCtx, root *node) (done *Solution, err error) {
-	relax, warm := ctx.Solve(root.lower, root.upper)
+	var relax *lp.Solution
+	var warm bool
+	pprof.Do(context.Background(), pprof.Labels("solver_phase", "root"), func(context.Context) {
+		relax, warm = ctx.Solve(root.lower, root.upper)
+	})
 	s.stats.Relaxations++
 	s.stats.Pivots += relax.Iters
 	if warm {
@@ -473,12 +515,18 @@ func (s *search) openRoot(ctx *lp.Solver, heur *heurCtx, root *node) (done *Solu
 			obj := s.p.LP.Eval(x)
 			s.best = &Solution{Status: Optimal, X: x, Objective: obj, Nodes: s.nodes, HasX: true}
 			s.recordIncumbent(s.nodes, obj, root.bound)
+			s.stats.IntegralNodes++
 			s.observe(root, root.bound, "integral")
+			s.waveIdx++
+			s.emitWave(1, root.bound)
 			return s.finish(s.best, obj), nil
 		}
 	}
+	s.stats.BranchedNodes++
 	s.observe(root, root.bound, "branched")
 	s.expand(root, relax, 1)
+	s.waveIdx++
+	s.emitWave(1, s.globalBound(math.Inf(-1)))
 	return nil, nil
 }
 
@@ -495,7 +543,9 @@ type nodeResult struct {
 func solveNode(ctx *lp.Solver, nd *node) nodeResult {
 	sol, warm := ctx.Solve(nd.lower, nd.upper)
 	if warm && sol.Objective > nd.bound+1e-6 {
-		sol = ctx.SolveCold(nd.lower, nd.upper)
+		pprof.Do(context.Background(), pprof.Labels("solver_phase", "warm-resolve"), func(context.Context) {
+			sol = ctx.SolveCold(nd.lower, nd.upper)
+		})
 		warm = false
 	}
 	return nodeResult{sol: sol, warm: warm}
@@ -510,6 +560,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.emitStart()
 	if opts.Workers >= 2 {
 		return s.runParallel()
 	}
@@ -527,6 +578,7 @@ func (s *search) runSerial() (*Solution, error) {
 	}
 	ctx.Lean = true
 	ctx.NoWarm = true
+	s.registerSolvers(ctx)
 	heur, err := newHeurCtx(s.p)
 	if err != nil {
 		return nil, err
@@ -549,10 +601,13 @@ func (s *search) runSerial() (*Solution, error) {
 		}
 		nd := heap.Pop(s.queue).(*node)
 		if s.best.HasX && nd.bound <= s.best.Objective+s.pruneTol() {
+			s.stats.QueuePruned++
 			continue // pruned by bound before solving; not an explored node
 		}
 		res := solveNode(ctx, nd)
 		s.consume(nd, res.sol, res.warm, heur, math.Inf(-1))
+		s.waveIdx++
+		s.emitWave(1, s.globalBound(math.Inf(-1)))
 	}
 
 	out := *s.best

@@ -2,8 +2,11 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"insitu/internal/lp"
@@ -38,7 +41,11 @@ func (s *search) runParallel() (*Solution, error) {
 	lower := append([]float64(nil), s.p.LP.Lower...)
 	upper := append([]float64(nil), s.p.LP.Upper...)
 	if !s.opts.NoPresolve {
-		tightened, infeasible := presolveBounds(s.p, lower, upper)
+		var tightened int
+		var infeasible bool
+		pprof.Do(context.Background(), pprof.Labels("solver_phase", "presolve"), func(context.Context) {
+			tightened, infeasible = presolveBounds(s.p, lower, upper)
+		})
 		s.stats.PresolveTightened = tightened
 		if infeasible {
 			return s.finish(&Solution{Status: Infeasible}, math.Inf(-1)), nil
@@ -54,6 +61,7 @@ func (s *search) runParallel() (*Solution, error) {
 		ctx.NoWarm = s.opts.NoWarmStart
 		ctxs[g] = ctx
 	}
+	s.registerSolvers(ctxs...)
 	heur, err := newHeurCtx(s.p)
 	if err != nil {
 		return nil, err
@@ -73,6 +81,7 @@ func (s *search) runParallel() (*Solution, error) {
 		for len(wave) < w && s.queue.Len() > 0 && s.nodes+len(wave) < s.opts.MaxNodes {
 			nd := heap.Pop(s.queue).(*node)
 			if s.best.HasX && nd.bound <= s.best.Objective+s.pruneTol() {
+				s.stats.QueuePruned++
 				continue // pruned by bound before solving; not an explored node
 			}
 			wave = append(wave, nd)
@@ -96,9 +105,16 @@ func (s *search) runParallel() (*Solution, error) {
 				wg.Add(1)
 				go func(g int) {
 					defer wg.Done()
-					for i := g; i < len(wave); i += w {
-						results[i] = solveNode(ctxs[g], wave[i])
-					}
+					// The phase label attributes wave-solve CPU (and each
+					// worker's share of it) in pprof profiles.
+					pprof.Do(context.Background(), pprof.Labels(
+						"solver_phase", "wave",
+						"solver_worker", strconv.Itoa(g),
+					), func(context.Context) {
+						for i := g; i < len(wave); i += w {
+							results[i] = solveNode(ctxs[g], wave[i])
+						}
+					})
 				}(g)
 			}
 			wg.Wait()
@@ -114,6 +130,8 @@ func (s *search) runParallel() (*Solution, error) {
 			}
 			s.consume(nd, results[i].sol, results[i].warm, heur, extra)
 		}
+		s.waveIdx++
+		s.emitWave(len(wave), s.globalBound(math.Inf(-1)))
 	}
 
 	out := *s.best

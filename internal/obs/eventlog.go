@@ -21,16 +21,17 @@ const LedgerSchemaVersion = 1
 // these are the ones the coupling runner and campaign write and that
 // SummarizeLedger understands.
 const (
-	LedgerRunStart = "run_start" // one per run: args carry steps, kernels
-	LedgerRunEnd   = "run_end"   // one per run: args carry totals
-	LedgerStep     = "step"      // one per simulation step
-	LedgerPhase    = "phase"     // a named phase inside a step or run (advance, plan, ...)
-	LedgerAnalysis = "analysis"  // one kernel analysis invocation
-	LedgerOutput   = "output"    // one kernel output invocation
-	LedgerSolve    = "solve"     // one MILP solve: args carry nodes, pivots, objective
-	LedgerPlan     = "plan"      // predicted profile for one stream, written by monitored runs
-	LedgerAlert    = "alert"     // a runmon drift or budget alert: args carry the detector state
-	LedgerReplan   = "replan"    // a mid-run reschedule decision: args carry old/new plan value
+	LedgerRunStart  = "run_start" // one per run: args carry steps, kernels
+	LedgerRunEnd    = "run_end"   // one per run: args carry totals
+	LedgerStep      = "step"      // one per simulation step
+	LedgerPhase     = "phase"     // a named phase inside a step or run (advance, plan, ...)
+	LedgerAnalysis  = "analysis"  // one kernel analysis invocation
+	LedgerOutput    = "output"    // one kernel output invocation
+	LedgerSolve     = "solve"     // one MILP solve: args carry nodes, pivots, objective
+	LedgerPlan      = "plan"      // predicted profile for one stream, written by monitored runs
+	LedgerAlert     = "alert"     // a runmon drift or budget alert: args carry the detector state
+	LedgerReplan    = "replan"    // a mid-run reschedule decision: args carry old/new plan value
+	LedgerSolveProg = "solveprog" // one solver flight-recorder sample: args carry the solveprog_v payload
 )
 
 // KnownLedgerType reports whether this obs version understands the event
@@ -40,7 +41,7 @@ func KnownLedgerType(t string) bool {
 	switch t {
 	case LedgerRunStart, LedgerRunEnd, LedgerStep, LedgerPhase,
 		LedgerAnalysis, LedgerOutput, LedgerSolve, LedgerPlan, LedgerAlert,
-		LedgerReplan:
+		LedgerReplan, LedgerSolveProg:
 		return true
 	}
 	return false
@@ -298,11 +299,14 @@ type StepTimeline struct {
 
 // LedgerSummary is the reconstruction SummarizeLedger returns.
 type LedgerSummary struct {
-	App     string // Name of the run_start event, if present
-	Steps   []StepTimeline
-	Solves  []LedgerEvent // solve events in order
-	Runs    int           // run_start events seen
-	TotalUS float64       // summed step durations
+	App    string // Name of the run_start event, if present
+	Steps  []StepTimeline
+	Solves []LedgerEvent // solve events in order
+	// SolveProg holds the solver flight streams decoded from solveprog
+	// events, grouped per solve. Old ledgers leave it nil.
+	SolveProg []SolveProgRun
+	Runs      int     // run_start events seen
+	TotalUS   float64 // summed step durations
 	// Unknown counts events whose type this obs version does not understand,
 	// by type. They are skipped with a warning rather than failing the
 	// summary, so new event families never break old tooling.
@@ -314,6 +318,7 @@ type LedgerSummary struct {
 // output durations grouped by kernel name.
 func SummarizeLedger(events []LedgerEvent) LedgerSummary {
 	var s LedgerSummary
+	var progEvents []LedgerEvent
 	byStep := map[int]*StepTimeline{}
 	stepAt := func(n int) *StepTimeline {
 		st, ok := byStep[n]
@@ -342,6 +347,8 @@ func SummarizeLedger(events []LedgerEvent) LedgerSummary {
 			st.Bytes += e.Bytes
 		case LedgerSolve:
 			s.Solves = append(s.Solves, e)
+		case LedgerSolveProg:
+			progEvents = append(progEvents, e)
 		case LedgerPhase, LedgerRunEnd, LedgerPlan, LedgerAlert, LedgerReplan:
 			// Understood but not part of the per-step timeline.
 		default:
@@ -359,12 +366,13 @@ func SummarizeLedger(events []LedgerEvent) LedgerSummary {
 	for _, n := range steps {
 		s.Steps = append(s.Steps, *byStep[n])
 	}
+	s.SolveProg = GroupSolveProgEvents(progEvents)
 	return s
 }
 
 // Empty reports whether the summary was built from no events at all.
 func (s LedgerSummary) Empty() bool {
-	return s.Runs == 0 && len(s.Steps) == 0 && len(s.Solves) == 0
+	return s.Runs == 0 && len(s.Steps) == 0 && len(s.Solves) == 0 && len(s.SolveProg) == 0
 }
 
 // UnknownCount returns the total number of events skipped for carrying an
@@ -415,6 +423,14 @@ func (s LedgerSummary) WriteTimeline(w io.Writer) error {
 	for _, e := range s.Solves {
 		if _, err := fmt.Fprintf(w, "solve %-20s nodes=%-6.0f pivots=%-8.0f objective=%g (%.0f us)\n",
 			e.Name, e.Args["nodes"], e.Args["pivots"], e.Args["objective"], e.Dur); err != nil {
+			return err
+		}
+	}
+	// Flight streams render their gap-closure timelines; ledgers without
+	// solveprog events (anything written before the flight recorder) skip
+	// this section entirely.
+	for _, run := range s.SolveProg {
+		if err := WriteGapTimeline(w, run.Name, run.Records); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,795 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// SolveProgSchemaVersion is the version stamped into every solveprog ledger
+// event as the "solveprog_v" arg. Readers skip events stamped with a newer
+// version, mirroring alert_v and replan_v.
+const SolveProgSchemaVersion = 1
+
+// Solve progress kinds, matching milp's Progress* constants. obs does not
+// import milp (it is the dependency leaf), so the vocabulary is duplicated
+// here and pinned by the codec tests.
+const (
+	SolveProgStart     = "start"
+	SolveProgWave      = "wave"
+	SolveProgIncumbent = "incumbent"
+	SolveProgEnd       = "end"
+)
+
+// SolveProgress is one sample of the solver flight stream: the obs-side
+// record of a milp.ProgressEvent, decoupled from the solver packages so the
+// ledger, HTTP, and registry layers need no milp import. All counters are
+// cumulative since solve start. TUS follows the solver's wall clock and is
+// the only field excluded from the per-width determinism contract.
+type SolveProgress struct {
+	Seq  int     `json:"seq"`
+	Kind string  `json:"kind"`
+	TUS  float64 `json:"t_us"`
+
+	Wave     int `json:"wave"`
+	WaveSize int `json:"wave_size,omitempty"`
+	Workers  int `json:"workers"`
+	Nodes    int `json:"nodes"`
+	Open     int `json:"open"`
+
+	// HasInc gates Incumbent; HasBound gates Bound (the solver's bound can
+	// be ±Inf, which JSON cannot carry, so non-finite bounds are recorded as
+	// absent). The absolute gap is Bound-Incumbent when both are present.
+	HasInc    bool    `json:"has_inc"`
+	Incumbent float64 `json:"incumbent,omitempty"`
+	HasBound  bool    `json:"has_bound"`
+	Bound     float64 `json:"bound,omitempty"`
+
+	Pivots        int `json:"pivots"`
+	Relaxations   int `json:"relaxations"`
+	WarmSolves    int `json:"warm"`
+	ColdSolves    int `json:"cold"`
+	FallbackColds int `json:"fallback_cold,omitempty"`
+
+	PrunedBound      int `json:"prune_bound"`
+	PrunedInfeasible int `json:"prune_infeasible"`
+	IntegralNodes    int `json:"integral"`
+	BranchedNodes    int `json:"branched"`
+	QueuePruned      int `json:"queue_pruned"`
+
+	Vars        int `json:"vars,omitempty"`
+	IntVars     int `json:"int_vars,omitempty"`
+	Constraints int `json:"constraints,omitempty"`
+
+	// Status is set on end events: "optimal", "infeasible", "unbounded", or
+	// "node-limit".
+	Status string `json:"status,omitempty"`
+}
+
+// Gap returns the absolute optimality gap Bound-Incumbent and whether it is
+// defined (incumbent and finite bound both present).
+func (p SolveProgress) Gap() (float64, bool) {
+	if !p.HasInc || !p.HasBound {
+		return math.Inf(1), false
+	}
+	return p.Bound - p.Incumbent, true
+}
+
+// solveProgStatusCodes maps end-event statuses to the numeric codes the
+// ledger args carry (args are float64-only).
+var solveProgStatusCodes = map[string]float64{
+	"optimal":    0,
+	"infeasible": 1,
+	"unbounded":  2,
+	"node-limit": 3,
+}
+
+func solveProgStatusName(code float64) string {
+	for name, c := range solveProgStatusCodes {
+		if c == code {
+			return name
+		}
+	}
+	return fmt.Sprintf("status-%g", code)
+}
+
+var solveProgKindCodes = map[string]float64{
+	SolveProgStart:     0,
+	SolveProgWave:      1,
+	SolveProgIncumbent: 2,
+	SolveProgEnd:       3,
+}
+
+func solveProgKindName(code float64) string {
+	for name, c := range solveProgKindCodes {
+		if c == code {
+			return name
+		}
+	}
+	return fmt.Sprintf("kind-%g", code)
+}
+
+// Event encodes the record as one schema-versioned solveprog ledger event
+// under the given solve name, the same codec pattern as
+// runmon.ReplanRecord.Event.
+func (p SolveProgress) Event(name string) LedgerEvent {
+	args := map[string]float64{
+		"solveprog_v":      SolveProgSchemaVersion,
+		"seq":              float64(p.Seq),
+		"kind":             solveProgKindCodes[p.Kind],
+		"t_us":             p.TUS,
+		"wave":             float64(p.Wave),
+		"workers":          float64(p.Workers),
+		"nodes":            float64(p.Nodes),
+		"open":             float64(p.Open),
+		"pivots":           float64(p.Pivots),
+		"relaxations":      float64(p.Relaxations),
+		"warm":             float64(p.WarmSolves),
+		"cold":             float64(p.ColdSolves),
+		"fallback_cold":    float64(p.FallbackColds),
+		"prune_bound":      float64(p.PrunedBound),
+		"prune_infeasible": float64(p.PrunedInfeasible),
+		"integral":         float64(p.IntegralNodes),
+		"branched":         float64(p.BranchedNodes),
+		"queue_pruned":     float64(p.QueuePruned),
+	}
+	if p.WaveSize > 0 {
+		args["wave_size"] = float64(p.WaveSize)
+	}
+	if p.HasInc {
+		args["incumbent"] = p.Incumbent
+	}
+	if p.HasBound {
+		args["bound"] = p.Bound
+	}
+	if p.Kind == SolveProgStart {
+		args["vars"] = float64(p.Vars)
+		args["int_vars"] = float64(p.IntVars)
+		args["constraints"] = float64(p.Constraints)
+	}
+	if p.Kind == SolveProgEnd {
+		args["status"] = solveProgStatusCodes[p.Status]
+	}
+	return LedgerEvent{Type: LedgerSolveProg, Name: name, Args: args}
+}
+
+// SolveProgFromEvent decodes one solveprog ledger event. It returns false
+// for events of other types, events missing the version stamp, and events
+// from a newer solveprog schema (forward compatibility: skip, don't fail).
+func SolveProgFromEvent(e LedgerEvent) (SolveProgress, bool) {
+	if e.Type != LedgerSolveProg {
+		return SolveProgress{}, false
+	}
+	v, ok := e.Args["solveprog_v"]
+	if !ok || v > SolveProgSchemaVersion {
+		return SolveProgress{}, false
+	}
+	p := SolveProgress{
+		Seq:              int(e.Args["seq"]),
+		Kind:             solveProgKindName(e.Args["kind"]),
+		TUS:              e.Args["t_us"],
+		Wave:             int(e.Args["wave"]),
+		WaveSize:         int(e.Args["wave_size"]),
+		Workers:          int(e.Args["workers"]),
+		Nodes:            int(e.Args["nodes"]),
+		Open:             int(e.Args["open"]),
+		Pivots:           int(e.Args["pivots"]),
+		Relaxations:      int(e.Args["relaxations"]),
+		WarmSolves:       int(e.Args["warm"]),
+		ColdSolves:       int(e.Args["cold"]),
+		FallbackColds:    int(e.Args["fallback_cold"]),
+		PrunedBound:      int(e.Args["prune_bound"]),
+		PrunedInfeasible: int(e.Args["prune_infeasible"]),
+		IntegralNodes:    int(e.Args["integral"]),
+		BranchedNodes:    int(e.Args["branched"]),
+		QueuePruned:      int(e.Args["queue_pruned"]),
+		Vars:             int(e.Args["vars"]),
+		IntVars:          int(e.Args["int_vars"]),
+		Constraints:      int(e.Args["constraints"]),
+	}
+	if inc, ok := e.Args["incumbent"]; ok {
+		p.HasInc, p.Incumbent = true, inc
+	}
+	if b, ok := e.Args["bound"]; ok {
+		p.HasBound, p.Bound = true, b
+	}
+	if p.Kind == SolveProgEnd {
+		p.Status = solveProgStatusName(e.Args["status"])
+	}
+	return p, true
+}
+
+// SolveProgFromEvents decodes every solveprog event in a ledger, in order.
+// Old ledgers without solveprog events decode to nil — graceful no-op.
+func SolveProgFromEvents(events []LedgerEvent) []SolveProgress {
+	var out []SolveProgress
+	for _, e := range events {
+		if p, ok := SolveProgFromEvent(e); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DefaultFlightCapacity is the ring size NewFlightRecorder uses for
+// capacity <= 0: large enough to hold every event of the paper instances
+// (hundreds of waves) with room for big what-if sweeps.
+const DefaultFlightCapacity = 8192
+
+// FlightRecorder captures a solver progress stream into a fixed-size ring
+// buffer. It is safe for concurrent use (the solver records from its consume
+// path while an HTTP handler snapshots) and nil-safe, so instrumented code
+// needs no enable checks. When the ring wraps, the oldest records drop and
+// Dropped counts them; because every SolveProgress counter is cumulative, a
+// suffix of the stream still reads correct totals.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	name    string
+	buf     []SolveProgress
+	next    int
+	filled  bool
+	total   int
+	dropped int
+}
+
+// NewFlightRecorder returns a recorder holding up to capacity records
+// (DefaultFlightCapacity when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{buf: make([]SolveProgress, 0, capacity)}
+}
+
+// SetName labels the stream (typically the solve or instance name); it is
+// carried into ledger events and page titles.
+func (r *FlightRecorder) SetName(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.name = name
+}
+
+// Name returns the stream label.
+func (r *FlightRecorder) Name() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.name
+}
+
+// Record appends one progress sample, evicting the oldest when full.
+func (r *FlightRecorder) Record(p SolveProgress) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if !r.filled && len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, p)
+		if len(r.buf) == cap(r.buf) {
+			r.filled, r.next = true, 0
+		}
+		return
+	}
+	r.buf[r.next] = p
+	r.next = (r.next + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Reset clears the ring (capacity and name are kept).
+func (r *FlightRecorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.buf[:0]
+	r.next, r.filled, r.total, r.dropped = 0, false, 0, 0
+}
+
+// Len returns the number of records currently held.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns the number of records ever recorded (dropped included).
+func (r *FlightRecorder) Total() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many records the ring evicted.
+func (r *FlightRecorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot returns the held records oldest-first.
+func (r *FlightRecorder) Snapshot() []SolveProgress {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SolveProgress, 0, len(r.buf))
+	if r.filled {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// AppendLedger drains the held records into the ledger as solveprog events,
+// one line per record, under the recorder's name (or name when non-empty).
+func (r *FlightRecorder) AppendLedger(l *EventLog, name string) {
+	if r == nil || l == nil {
+		return
+	}
+	if name == "" {
+		name = r.Name()
+	}
+	for _, p := range r.Snapshot() {
+		l.Append(p.Event(name))
+	}
+}
+
+// AppendTraceCounters drains the held records into t as Chrome-trace counter
+// events (incumbent, bound, gap, open nodes), timestamped at the record's
+// solver-clock offset so the counters line up with solver spans.
+func (r *FlightRecorder) AppendTraceCounters(t *Tracer) {
+	if r == nil || t == nil {
+		return
+	}
+	for _, p := range r.Snapshot() {
+		if p.HasInc {
+			t.Counter("solve/incumbent", p.Incumbent)
+		}
+		if p.HasBound {
+			t.Counter("solve/bound", p.Bound)
+		}
+		if gap, ok := p.Gap(); ok {
+			t.Counter("solve/gap", gap)
+		}
+		t.Counter("solve/open_nodes", float64(p.Open))
+	}
+}
+
+// flightJSON is the /solve.json document.
+type flightJSON struct {
+	Schema  int             `json:"solveprog_v"`
+	Name    string          `json:"name,omitempty"`
+	Total   int             `json:"total"`
+	Dropped int             `json:"dropped,omitempty"`
+	Events  []SolveProgress `json:"events"`
+}
+
+// WriteJSON emits the held stream as one indented JSON document (the
+// /solve.json payload).
+func (r *FlightRecorder) WriteJSON(w io.Writer) error {
+	doc := flightJSON{Schema: SolveProgSchemaVersion, Events: []SolveProgress{}}
+	if r != nil {
+		doc.Name = r.Name()
+		doc.Total = r.Total()
+		doc.Dropped = r.Dropped()
+		doc.Events = r.Snapshot()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DeterministicBytes renders the full stream in a byte-stable text form with
+// the wall-clock field (t_us) excluded: for a fixed solver width the result
+// is identical run to run, which is what the solvercheck flight-determinism
+// corpus pins.
+func DeterministicBytes(recs []SolveProgress) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "solveprog_v=%d stream events=%d\n", SolveProgSchemaVersion, len(recs))
+	for _, p := range recs {
+		fmt.Fprintf(&b, "%d %s wave=%d size=%d workers=%d nodes=%d open=%d",
+			p.Seq, p.Kind, p.Wave, p.WaveSize, p.Workers, p.Nodes, p.Open)
+		if p.HasInc {
+			fmt.Fprintf(&b, " inc=%.9g", p.Incumbent)
+		}
+		if p.HasBound {
+			fmt.Fprintf(&b, " bound=%.9g", p.Bound)
+		}
+		fmt.Fprintf(&b, " pivots=%d relax=%d warm=%d cold=%d fb=%d prune=%d/%d int=%d branch=%d qprune=%d",
+			p.Pivots, p.Relaxations, p.WarmSolves, p.ColdSolves, p.FallbackColds,
+			p.PrunedBound, p.PrunedInfeasible, p.IntegralNodes, p.BranchedNodes, p.QueuePruned)
+		if p.Kind == SolveProgStart {
+			fmt.Fprintf(&b, " vars=%d ints=%d rows=%d", p.Vars, p.IntVars, p.Constraints)
+		}
+		if p.Kind == SolveProgEnd {
+			fmt.Fprintf(&b, " status=%s", p.Status)
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// CanonicalBytes renders the width-invariant projection of the stream: the
+// problem shape from the start event and the terminal status, objective,
+// bound, and gap from the end event. The parallel search explores a
+// different tree at different widths (see milp.runParallel), but the
+// objective and terminal bound are identical at any width — so this
+// projection is byte-identical at Workers=1 and Workers=8 while
+// DeterministicBytes pins the full per-wave stream per width.
+func CanonicalBytes(recs []SolveProgress) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "solveprog_v=%d canonical\n", SolveProgSchemaVersion)
+	for _, p := range recs {
+		switch p.Kind {
+		case SolveProgStart:
+			fmt.Fprintf(&b, "start vars=%d ints=%d rows=%d\n", p.Vars, p.IntVars, p.Constraints)
+		case SolveProgEnd:
+			fmt.Fprintf(&b, "end status=%s has_inc=%t", p.Status, p.HasInc)
+			if p.HasInc {
+				fmt.Fprintf(&b, " objective=%.9g", p.Incumbent)
+			}
+			if p.HasBound {
+				fmt.Fprintf(&b, " bound=%.9g", p.Bound)
+			}
+			if gap, ok := p.Gap(); ok {
+				fmt.Fprintf(&b, " gap=%.9g", gap)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.Bytes()
+}
+
+// checkTol absorbs the solver's numeric guard (warm answers are clamped to
+// parent bound + 1e-6) when checking monotonicity.
+const checkTol = 1e-6
+
+// CheckSolveProg validates the invariants every well-formed flight stream
+// must satisfy: sequence numbers strictly increasing, node counts
+// non-decreasing, the incumbent non-decreasing (maximization), the bound
+// non-increasing, and the absolute gap non-increasing, all within the
+// solver's numeric tolerance. It returns the first violation, or nil. The
+// flightrec-smoke CI job runs it over a real solve via benchobs flightcheck.
+func CheckSolveProg(recs []SolveProgress) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("obs: empty solveprog stream")
+	}
+	lastSeq, lastNodes := -1, -1
+	lastInc, lastBound, lastGap := math.Inf(-1), math.Inf(1), math.Inf(1)
+	haveInc := false
+	for i, p := range recs {
+		if p.Seq <= lastSeq {
+			return fmt.Errorf("obs: solveprog[%d]: seq %d not above %d", i, p.Seq, lastSeq)
+		}
+		lastSeq = p.Seq
+		if p.Nodes < lastNodes {
+			return fmt.Errorf("obs: solveprog[%d]: nodes %d fell below %d", i, p.Nodes, lastNodes)
+		}
+		lastNodes = p.Nodes
+		if p.HasInc {
+			if haveInc && p.Incumbent < lastInc-checkTol {
+				return fmt.Errorf("obs: solveprog[%d]: incumbent %g fell below %g", i, p.Incumbent, lastInc)
+			}
+			if p.Incumbent > lastInc {
+				lastInc = p.Incumbent
+			}
+			haveInc = true
+		}
+		if p.HasBound && p.Kind != SolveProgStart {
+			if p.Bound > lastBound+checkTol {
+				return fmt.Errorf("obs: solveprog[%d]: bound %g rose above %g", i, p.Bound, lastBound)
+			}
+			if p.Bound < lastBound {
+				lastBound = p.Bound
+			}
+		}
+		if gap, ok := p.Gap(); ok {
+			if gap > lastGap+checkTol {
+				return fmt.Errorf("obs: solveprog[%d]: gap %g rose above %g", i, gap, lastGap)
+			}
+			if gap < lastGap {
+				lastGap = gap
+			}
+			if gap < -checkTol {
+				return fmt.Errorf("obs: solveprog[%d]: negative gap %g", i, gap)
+			}
+		}
+	}
+	return nil
+}
+
+// FinalGap returns the end event's absolute gap. ok is false when the stream
+// holds no end event or its gap is undefined (no incumbent or infinite
+// bound).
+func FinalGap(recs []SolveProgress) (gap float64, status string, ok bool) {
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Kind == SolveProgEnd {
+			g, defined := recs[i].Gap()
+			return g, recs[i].Status, defined
+		}
+	}
+	return 0, "", false
+}
+
+// WriteGapTimeline renders the gap-closure timeline of one stream as text:
+// a header with the shape and outcome, then up to maxGapRows sampled curve
+// rows with a bar visualizing the remaining gap. Streams without any wave
+// data still render the header. It is the shared renderer behind benchobs
+// summarize, schedexplain, and the runmon report.
+func WriteGapTimeline(w io.Writer, name string, recs []SolveProgress) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	head := fmt.Sprintf("solve progress %s", name)
+	if name == "" {
+		head = "solve progress"
+	}
+	var start, end *SolveProgress
+	for i := range recs {
+		switch recs[i].Kind {
+		case SolveProgStart:
+			if start == nil {
+				start = &recs[i]
+			}
+		case SolveProgEnd:
+			end = &recs[i]
+		}
+	}
+	last := recs[len(recs)-1]
+	if _, err := fmt.Fprintf(w, "%s: %d event(s), %d node(s), %d wave(s) at width %d\n",
+		head, len(recs), last.Nodes, last.Wave, last.Workers); err != nil {
+		return err
+	}
+	if start != nil {
+		if _, err := fmt.Fprintf(w, "  shape: %d vars (%d integer), %d constraints\n",
+			start.Vars, start.IntVars, start.Constraints); err != nil {
+			return err
+		}
+	}
+	rows := gapRows(recs)
+	initGap := 0.0
+	if len(rows) > 0 {
+		initGap, _ = rows[0].Gap()
+	}
+	for _, p := range sampleRows(rows, maxGapRows) {
+		gap, _ := p.Gap()
+		bar := gapBar(gap, initGap)
+		if _, err := fmt.Fprintf(w, "  node %6d  incumbent %-12.6g bound %-12.6g gap %-10.4g %s\n",
+			p.Nodes, p.Incumbent, p.Bound, gap, bar); err != nil {
+			return err
+		}
+	}
+	if end != nil {
+		line := fmt.Sprintf("  final: %s", end.Status)
+		if end.HasInc {
+			line += fmt.Sprintf(", objective %.6g", end.Incumbent)
+		}
+		if gap, ok := end.Gap(); ok {
+			line += fmt.Sprintf(", gap %.4g", gap)
+		}
+		line += fmt.Sprintf(" (%d pivots, %d warm / %d cold solves", end.Pivots, end.WarmSolves, end.ColdSolves)
+		if end.FallbackColds > 0 {
+			line += fmt.Sprintf(", %d warm fallback(s)", end.FallbackColds)
+		}
+		line += fmt.Sprintf("; pruned %d bound / %d infeasible, %d integral, %d branched)",
+			end.PrunedBound, end.PrunedInfeasible, end.IntegralNodes, end.BranchedNodes)
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxGapRows bounds the curve rows WriteGapTimeline prints per stream.
+const maxGapRows = 12
+
+// gapRows filters a stream to the rows with a defined gap.
+func gapRows(recs []SolveProgress) []SolveProgress {
+	var out []SolveProgress
+	for _, p := range recs {
+		if _, ok := p.Gap(); ok && p.Kind != SolveProgStart {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sampleRows keeps at most n rows, always including the first and last.
+func sampleRows(rows []SolveProgress, n int) []SolveProgress {
+	if len(rows) <= n || n < 2 {
+		return rows
+	}
+	out := make([]SolveProgress, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rows[i*(len(rows)-1)/(n-1)])
+	}
+	return out
+}
+
+// gapBar renders the remaining gap as a fraction of the initial gap.
+func gapBar(gap, initGap float64) string {
+	const width = 20
+	if initGap <= 0 || gap < 0 {
+		return "|" + strings.Repeat(" ", width) + "|"
+	}
+	n := int(math.Round(gap / initGap * width))
+	if n > width {
+		n = width
+	}
+	return "|" + strings.Repeat("#", n) + strings.Repeat(" ", width-n) + "|"
+}
+
+// GroupSolveProg splits a decoded ledger stream into per-solve runs: a new
+// run starts at every start event (ledgers may carry several solves, e.g. a
+// campaign sweep). Records before the first start form their own run.
+type SolveProgRun struct {
+	Name    string
+	Records []SolveProgress
+}
+
+// GroupSolveProgEvents decodes and groups the solveprog events of a ledger
+// by solve, preserving order. Old ledgers yield nil.
+func GroupSolveProgEvents(events []LedgerEvent) []SolveProgRun {
+	var runs []SolveProgRun
+	for _, e := range events {
+		p, ok := SolveProgFromEvent(e)
+		if !ok {
+			continue
+		}
+		if len(runs) == 0 || p.Kind == SolveProgStart {
+			runs = append(runs, SolveProgRun{Name: e.Name})
+		}
+		r := &runs[len(runs)-1]
+		if r.Name == "" {
+			r.Name = e.Name
+		}
+		r.Records = append(r.Records, p)
+	}
+	return runs
+}
+
+// FlightJSONHandler serves the /solve.json document from snap, which must
+// return the stream name and an oldest-first snapshot.
+func FlightJSONHandler(snap func() (string, []SolveProgress)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		name, recs := snap()
+		if recs == nil {
+			recs = []SolveProgress{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(flightJSON{Schema: SolveProgSchemaVersion, Name: name, Total: len(recs), Events: recs})
+	})
+}
+
+// GapCurveHandler serves the /solve HTML page: an inline-SVG gap-closure
+// curve (incumbent and bound vs nodes) plus the text timeline, no scripts.
+func GapCurveHandler(snap func() (string, []SolveProgress)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		name, recs := snap()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = WriteGapCurveHTML(w, name, recs)
+	})
+}
+
+// AddFlightRoutes mounts /solve.json and /solve (live gap-curve page) for
+// the recorder on mux; benchobs serve and runmon serve both use it.
+func AddFlightRoutes(mux *http.ServeMux, r *FlightRecorder) {
+	snap := func() (string, []SolveProgress) { return r.Name(), r.Snapshot() }
+	mux.Handle("/solve.json", FlightJSONHandler(snap))
+	mux.Handle("/solve", GapCurveHandler(snap))
+}
+
+// WriteGapCurveHTML renders the gap-closure page: header, an SVG plotting
+// incumbent (rising) and bound (falling) against explored nodes, and the
+// text timeline for the numbers behind the picture.
+func WriteGapCurveHTML(w io.Writer, name string, recs []SolveProgress) error {
+	title := "solver flight"
+	if name != "" {
+		title += ": " + name
+	}
+	if _, err := fmt.Fprintf(w, `<!doctype html><html><head><meta charset="utf-8"><title>%s</title>
+<style>body{font-family:monospace;margin:2em;background:#fafafa}svg{background:#fff;border:1px solid #ccc}pre{background:#fff;border:1px solid #ccc;padding:1em}</style>
+</head><body><h1>%s</h1>
+`, htmlEscape(title), htmlEscape(title)); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		if _, err := io.WriteString(w, "<p>no solveprog events recorded yet</p></body></html>\n"); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := writeGapCurveSVG(w, recs); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "<pre>"); err != nil {
+		return err
+	}
+	var text strings.Builder
+	if err := WriteGapTimeline(&text, name, recs); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, htmlEscape(text.String())); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "</pre></body></html>\n")
+	return err
+}
+
+func htmlEscape(s string) string {
+	rep := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return rep.Replace(s)
+}
+
+// writeGapCurveSVG plots the incumbent and bound curves over explored nodes.
+func writeGapCurveSVG(w io.Writer, recs []SolveProgress) error {
+	rows := gapRows(recs)
+	if len(rows) == 0 {
+		_, err := io.WriteString(w, "<p>no bounded progress rows yet</p>\n")
+		return err
+	}
+	const W, H, pad = 640.0, 320.0, 40.0
+	minN, maxN := float64(rows[0].Nodes), float64(rows[len(rows)-1].Nodes)
+	if maxN <= minN {
+		maxN = minN + 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range rows {
+		lo = math.Min(lo, p.Incumbent)
+		hi = math.Max(hi, p.Bound)
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	x := func(n int) float64 { return pad + (float64(n)-minN)/(maxN-minN)*(W-2*pad) }
+	y := func(v float64) float64 { return H - pad - (v-lo)/(hi-lo)*(H-2*pad) }
+	poly := func(get func(SolveProgress) float64) string {
+		var b strings.Builder
+		for i, p := range rows {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.1f,%.1f", x(p.Nodes), y(get(p)))
+		}
+		return b.String()
+	}
+	_, err := fmt.Fprintf(w, `<svg width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">
+<polyline points="%s" fill="none" stroke="#c0392b" stroke-width="2"/>
+<polyline points="%s" fill="none" stroke="#27ae60" stroke-width="2"/>
+<text x="%.0f" y="16" fill="#c0392b">bound</text>
+<text x="%.0f" y="32" fill="#27ae60">incumbent</text>
+<text x="%.0f" y="%.0f" fill="#333">nodes %.0f..%.0f, objective %.6g..%.6g</text>
+</svg>
+`, W, H, W, H,
+		poly(func(p SolveProgress) float64 { return p.Bound }),
+		poly(func(p SolveProgress) float64 { return p.Incumbent }),
+		pad, pad, pad, H-8, minN, maxN, lo, hi)
+	return err
+}

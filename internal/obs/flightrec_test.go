@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// progStream builds a small well-formed flight stream: start, two waves with
+// a tightening gap, an incumbent bump, and an optimal end.
+func progStream() []SolveProgress {
+	return []SolveProgress{
+		{Seq: 0, Kind: SolveProgStart, Workers: 1, Vars: 6, IntVars: 4, Constraints: 9},
+		{Seq: 1, Kind: SolveProgWave, Wave: 1, WaveSize: 1, Workers: 1, Nodes: 1, Open: 2,
+			HasInc: true, Incumbent: 10, HasBound: true, Bound: 20, Pivots: 12, Relaxations: 1, ColdSolves: 1, BranchedNodes: 1},
+		{Seq: 2, Kind: SolveProgIncumbent, Wave: 1, Workers: 1, Nodes: 2, Open: 1,
+			HasInc: true, Incumbent: 14, HasBound: true, Bound: 18, Pivots: 20, Relaxations: 2, WarmSolves: 1, ColdSolves: 1, BranchedNodes: 2},
+		{Seq: 3, Kind: SolveProgWave, Wave: 2, WaveSize: 1, Workers: 1, Nodes: 3, Open: 0,
+			HasInc: true, Incumbent: 15, HasBound: true, Bound: 15, Pivots: 25, Relaxations: 3, WarmSolves: 2, ColdSolves: 1,
+			PrunedBound: 1, IntegralNodes: 1, BranchedNodes: 2},
+		{Seq: 4, Kind: SolveProgEnd, Wave: 2, Workers: 1, Nodes: 3,
+			HasInc: true, Incumbent: 15, HasBound: true, Bound: 15, Pivots: 25, Relaxations: 3, WarmSolves: 2, ColdSolves: 1,
+			PrunedBound: 1, IntegralNodes: 1, BranchedNodes: 2, Status: "optimal"},
+	}
+}
+
+func TestSolveProgGap(t *testing.T) {
+	p := SolveProgress{HasInc: true, Incumbent: 10, HasBound: true, Bound: 14}
+	if gap, ok := p.Gap(); !ok || gap != 4 {
+		t.Fatalf("gap = %g, %t; want 4, true", gap, ok)
+	}
+	if _, ok := (SolveProgress{HasInc: true, Incumbent: 1}).Gap(); ok {
+		t.Fatal("gap defined without a bound")
+	}
+	if _, ok := (SolveProgress{HasBound: true, Bound: 1}).Gap(); ok {
+		t.Fatal("gap defined without an incumbent")
+	}
+}
+
+func TestSolveProgLedgerRoundTrip(t *testing.T) {
+	for _, p := range progStream() {
+		e := p.Event("plan")
+		if e.Type != LedgerSolveProg || e.Name != "plan" {
+			t.Fatalf("event type/name = %q/%q", e.Type, e.Name)
+		}
+		if e.Args["solveprog_v"] != SolveProgSchemaVersion {
+			t.Fatalf("missing schema stamp in %v", e.Args)
+		}
+		got, ok := SolveProgFromEvent(e)
+		if !ok {
+			t.Fatalf("decode failed for kind %s", p.Kind)
+		}
+		// TUS travels through the args, everything else must round-trip.
+		got.TUS = p.TUS
+		if got != p {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+		}
+	}
+}
+
+func TestSolveProgFromEventSkips(t *testing.T) {
+	if _, ok := SolveProgFromEvent(LedgerEvent{Type: LedgerSolve}); ok {
+		t.Fatal("decoded a non-solveprog event")
+	}
+	if _, ok := SolveProgFromEvent(LedgerEvent{Type: LedgerSolveProg}); ok {
+		t.Fatal("decoded an event missing the version stamp")
+	}
+	newer := LedgerEvent{Type: LedgerSolveProg, Args: map[string]float64{"solveprog_v": SolveProgSchemaVersion + 1}}
+	if _, ok := SolveProgFromEvent(newer); ok {
+		t.Fatal("decoded an event from a newer schema")
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	r := NewFlightRecorder(3)
+	r.SetName("demo")
+	for i := 0; i < 5; i++ {
+		r.Record(SolveProgress{Seq: i, Kind: SolveProgWave, Nodes: i})
+	}
+	if r.Len() != 3 || r.Total() != 5 || r.Dropped() != 2 {
+		t.Fatalf("len/total/dropped = %d/%d/%d; want 3/5/2", r.Len(), r.Total(), r.Dropped())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].Seq != 2 || snap[2].Seq != 4 {
+		t.Fatalf("snapshot = %+v; want seqs 2..4 oldest-first", snap)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 || r.Name() != "demo" {
+		t.Fatalf("reset kept state: len=%d total=%d dropped=%d name=%q", r.Len(), r.Total(), r.Dropped(), r.Name())
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(SolveProgress{})
+	r.SetName("x")
+	r.Reset()
+	r.AppendLedger(nil, "")
+	r.AppendTraceCounters(nil)
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 || r.Name() != "" || r.Snapshot() != nil {
+		t.Fatal("nil recorder must be a no-op")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on nil recorder: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"events": []`) {
+		t.Fatalf("nil recorder JSON = %s", buf.String())
+	}
+}
+
+func TestFlightRecorderAppendLedger(t *testing.T) {
+	r := NewFlightRecorder(0)
+	r.SetName("plan")
+	for _, p := range progStream() {
+		r.Record(p)
+	}
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	r.AppendLedger(l, "")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := SolveProgFromEvents(events)
+	if len(recs) != len(progStream()) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(progStream()))
+	}
+	if err := CheckSolveProg(recs); err != nil {
+		t.Fatalf("round-tripped stream fails invariants: %v", err)
+	}
+	runs := GroupSolveProgEvents(events)
+	if len(runs) != 1 || runs[0].Name != "plan" || len(runs[0].Records) != len(progStream()) {
+		t.Fatalf("grouped runs = %+v", runs)
+	}
+}
+
+func TestFlightRecorderAppendTraceCounters(t *testing.T) {
+	r := NewFlightRecorder(0)
+	for _, p := range progStream() {
+		r.Record(p)
+	}
+	tr := NewTracer()
+	r.AppendTraceCounters(tr)
+	counts := map[string]int{}
+	for _, e := range tr.Events() {
+		if e.Phase != PhaseCounter {
+			t.Fatalf("non-counter event %q in flight counters", e.Name)
+		}
+		counts[e.Name]++
+	}
+	// 4 records carry incumbent+bound+gap; all 5 carry open_nodes.
+	if counts["solve/incumbent"] != 4 || counts["solve/bound"] != 4 ||
+		counts["solve/gap"] != 4 || counts["solve/open_nodes"] != 5 {
+		t.Fatalf("counter mix = %v", counts)
+	}
+}
+
+func TestCheckSolveProgViolations(t *testing.T) {
+	base := progStream()
+	cases := []struct {
+		name   string
+		mutate func([]SolveProgress) []SolveProgress
+		want   string
+	}{
+		{"empty", func([]SolveProgress) []SolveProgress { return nil }, "empty"},
+		{"seq", func(r []SolveProgress) []SolveProgress { r[2].Seq = r[1].Seq; return r }, "seq"},
+		{"nodes", func(r []SolveProgress) []SolveProgress { r[3].Nodes = 0; return r }, "nodes"},
+		{"incumbent", func(r []SolveProgress) []SolveProgress { r[3].Incumbent = 1; r[4].Incumbent = 1; return r }, "incumbent"},
+		{"bound", func(r []SolveProgress) []SolveProgress { r[3].Bound = 99; r[4].Bound = 99; return r }, "bound"},
+		{"gap", func(r []SolveProgress) []SolveProgress {
+			// Incumbent above the bound: negative gap (rising incumbent and
+			// falling bound keep the other monotonicity checks quiet).
+			r[3].Incumbent, r[3].Bound = 16, 15
+			r[4].Incumbent, r[4].Bound = 16, 15
+			return r
+		}, "negative gap"},
+	}
+	for _, tc := range cases {
+		recs := tc.mutate(append([]SolveProgress(nil), base...))
+		err := CheckSolveProg(recs)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: CheckSolveProg = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	if err := CheckSolveProg(base); err != nil {
+		t.Fatalf("well-formed stream rejected: %v", err)
+	}
+}
+
+func TestFinalGap(t *testing.T) {
+	gap, status, ok := FinalGap(progStream())
+	if !ok || gap != 0 || status != "optimal" {
+		t.Fatalf("FinalGap = %g, %q, %t; want 0, optimal, true", gap, status, ok)
+	}
+	if _, _, ok := FinalGap(progStream()[:4]); ok {
+		t.Fatal("FinalGap without an end event must report ok=false")
+	}
+}
+
+func TestDeterministicAndCanonicalBytes(t *testing.T) {
+	recs := progStream()
+	det1, det2 := DeterministicBytes(recs), DeterministicBytes(recs)
+	if !bytes.Equal(det1, det2) {
+		t.Fatal("DeterministicBytes not stable")
+	}
+	// t_us must not leak into the deterministic projection.
+	shifted := append([]SolveProgress(nil), recs...)
+	for i := range shifted {
+		shifted[i].TUS += 1e6
+	}
+	if !bytes.Equal(det1, DeterministicBytes(shifted)) {
+		t.Fatal("DeterministicBytes depends on t_us")
+	}
+	// The canonical projection keeps only start shape and end outcome, so a
+	// wider run with a different middle must agree.
+	wide := []SolveProgress{recs[0], recs[4]}
+	wide[0].Workers, wide[1].Workers = 8, 8
+	wide[1].Pivots, wide[1].Nodes = 999, 7
+	if !bytes.Equal(CanonicalBytes(recs), CanonicalBytes(wide)) {
+		t.Fatalf("canonical projections differ:\n%s\n%s", CanonicalBytes(recs), CanonicalBytes(wide))
+	}
+	if bytes.Equal(det1, DeterministicBytes(wide)) {
+		t.Fatal("full streams should differ between widths in this fixture")
+	}
+}
+
+func TestGroupSolveProgEventsMultipleRuns(t *testing.T) {
+	var events []LedgerEvent
+	for _, p := range progStream() {
+		events = append(events, p.Event("first"))
+	}
+	second := progStream()
+	for _, p := range second {
+		events = append(events, p.Event("second"))
+	}
+	runs := GroupSolveProgEvents(events)
+	if len(runs) != 2 || runs[0].Name != "first" || runs[1].Name != "second" {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if len(runs[0].Records) != 5 || len(runs[1].Records) != 5 {
+		t.Fatalf("record split = %d/%d", len(runs[0].Records), len(runs[1].Records))
+	}
+	if GroupSolveProgEvents([]LedgerEvent{{Type: LedgerStep}}) != nil {
+		t.Fatal("old ledger must group to nil")
+	}
+}
+
+func TestWriteGapTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGapTimeline(&buf, "plan", progStream()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"solve progress plan",
+		"shape: 6 vars (4 integer), 9 constraints",
+		"final: optimal, objective 15, gap 0",
+		"2 warm / 1 cold solves",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteGapTimeline(&buf, "", nil); err != nil || buf.Len() != 0 {
+		t.Fatalf("empty stream must render nothing: %q, %v", buf.String(), err)
+	}
+}
+
+func TestSampleRowsKeepsEnds(t *testing.T) {
+	rows := make([]SolveProgress, 100)
+	for i := range rows {
+		rows[i].Nodes = i
+	}
+	got := sampleRows(rows, maxGapRows)
+	if len(got) != maxGapRows || got[0].Nodes != 0 || got[len(got)-1].Nodes != 99 {
+		t.Fatalf("sampleRows = %d rows, first %d, last %d", len(got), got[0].Nodes, got[len(got)-1].Nodes)
+	}
+}
+
+func TestFlightHandlers(t *testing.T) {
+	r := NewFlightRecorder(0)
+	r.SetName("plan")
+	for _, p := range progStream() {
+		r.Record(p)
+	}
+	mux := NewServeMux(nil)
+	AddFlightRoutes(mux, r)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/solve.json", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/solve.json status %d", rec.Code)
+	}
+	var doc struct {
+		Schema int             `json:"solveprog_v"`
+		Name   string          `json:"name"`
+		Events []SolveProgress `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != SolveProgSchemaVersion || doc.Name != "plan" || len(doc.Events) != 5 {
+		t.Fatalf("/solve.json doc = %+v", doc)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/solve", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/solve status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"<svg", "incumbent", "solve progress plan"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/solve page missing %q", want)
+		}
+	}
+
+	// An empty recorder still serves a valid page.
+	empty := NewFlightRecorder(0)
+	mux2 := NewServeMux(nil)
+	AddFlightRoutes(mux2, empty)
+	rec = httptest.NewRecorder()
+	mux2.ServeHTTP(rec, httptest.NewRequest("GET", "/solve", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "no solveprog events") {
+		t.Fatalf("empty /solve page: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestFlightWriteJSON(t *testing.T) {
+	r := NewFlightRecorder(0)
+	r.SetName("plan")
+	for _, p := range progStream() {
+		r.Record(p)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc flightJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != SolveProgSchemaVersion || doc.Name != "plan" || doc.Total != 5 || len(doc.Events) != 5 {
+		t.Fatalf("doc = %+v", doc)
+	}
+}

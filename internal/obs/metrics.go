@@ -177,6 +177,40 @@ type family struct {
 	series  map[string]*series // by labelKey
 }
 
+// MetricError is the typed rejection a Registry raises (by panicking with
+// it) for invalid or conflicting metric registrations: a name outside the
+// Prometheus charset, a name re-registered as a different kind, or a
+// histogram re-registered with different buckets. Registration mistakes are
+// programming errors — silently accepting them would overwrite or fork the
+// family — so they fail loudly at the registration site; recover and unwrap
+// with errors.As in tests.
+type MetricError struct {
+	Name   string // the offending metric name
+	Reason string // what was wrong with the registration
+}
+
+func (e *MetricError) Error() string {
+	return fmt.Sprintf("obs: metric %q: %s", e.Name, e.Reason)
+}
+
+// ValidMetricName reports whether name fits the Prometheus metric charset
+// [a-zA-Z_:][a-zA-Z0-9_:]* (returning a *MetricError when it does not).
+// Registry enforces it on first registration of every family.
+func ValidMetricName(name string) error {
+	if name == "" {
+		return &MetricError{Name: name, Reason: "empty metric name"}
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return &MetricError{Name: name, Reason: fmt.Sprintf("invalid character %q at position %d", c, i)}
+		}
+	}
+	return nil
+}
+
 // Registry holds named metrics. Handle lookups lock; the returned handles
 // are lock-free, so instrumented code should look up once and reuse. A nil
 // *Registry hands out nil (no-op) handles.
@@ -193,13 +227,37 @@ func NewRegistry() *Registry {
 func (r *Registry) family(name, kind string, buckets []float64) *family {
 	f, ok := r.families[name]
 	if !ok {
+		if err := ValidMetricName(name); err != nil {
+			panic(err)
+		}
+		if kind == kindHistogram && len(buckets) == 0 {
+			buckets = DefBuckets
+		}
 		f = &family{name: name, kind: kind, buckets: buckets, series: make(map[string]*series)}
 		r.families[name] = f
 	}
 	if f.kind != kind {
-		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+		panic(&MetricError{Name: name, Reason: fmt.Sprintf("registered as %s, requested as %s", f.kind, kind)})
+	}
+	// Empty buckets on a later call mean "the existing layout" (a handle
+	// lookup); an explicit different layout is a conflicting registration.
+	if kind == kindHistogram && len(buckets) > 0 && !sameBuckets(f.buckets, buckets) {
+		panic(&MetricError{Name: name, Reason: "histogram re-registered with different buckets"})
 	}
 	return f
+}
+
+// sameBuckets reports whether two bucket layouts are identical.
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (f *family) at(labels Labels) *series {
@@ -253,9 +311,6 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 func (r *Registry) Histogram(name string, buckets []float64, labels Labels) *Histogram {
 	if r == nil {
 		return nil
-	}
-	if len(buckets) == 0 {
-		buckets = DefBuckets
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

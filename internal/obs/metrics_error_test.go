@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidMetricName(t *testing.T) {
+	for _, name := range []string{"a", "runs_total", "ns:sub_sys:metric", "_hidden", "Up9"} {
+		if err := ValidMetricName(name); err != nil {
+			t.Errorf("ValidMetricName(%q) = %v, want nil", name, err)
+		}
+	}
+	for _, name := range []string{"", "9lives", "has space", "dash-ed", "dotted.name", "unié"} {
+		err := ValidMetricName(name)
+		if err == nil {
+			t.Errorf("ValidMetricName(%q) = nil, want error", name)
+			continue
+		}
+		var me *MetricError
+		if !errors.As(err, &me) || me.Name != name {
+			t.Errorf("ValidMetricName(%q) = %v, want *MetricError carrying the name", name, err)
+		}
+	}
+}
+
+// mustPanicMetricError runs f and asserts it panics with a *MetricError for
+// the given metric name.
+func mustPanicMetricError(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: no panic", name)
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("%s: panic value %v is not an error", name, r)
+		}
+		var me *MetricError
+		if !errors.As(err, &me) {
+			t.Fatalf("%s: panic error %v is not a *MetricError", name, err)
+		}
+		if me.Name != name {
+			t.Fatalf("%s: MetricError.Name = %q", name, me.Name)
+		}
+	}()
+	f()
+}
+
+func TestRegistryRejectsInvalidName(t *testing.T) {
+	r := NewRegistry()
+	mustPanicMetricError(t, "bad name", func() { r.Counter("bad name", nil) })
+	mustPanicMetricError(t, "", func() { r.Gauge("", nil) })
+}
+
+func TestRegistryRejectsKindConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", nil)
+	mustPanicMetricError(t, "runs_total", func() { r.Gauge("runs_total", nil) })
+	mustPanicMetricError(t, "runs_total", func() { r.Histogram("runs_total", nil, nil) })
+	// The original registration is untouched by the failed ones.
+	r.Counter("runs_total", nil).Add(1)
+	if v := r.Counter("runs_total", nil).Value(); v != 1 {
+		t.Fatalf("counter after rejected re-registrations = %g", v)
+	}
+}
+
+func TestRegistryRejectsBucketConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", []float64{1, 10}, nil).Observe(5)
+	// Empty buckets are a handle lookup, not a conflicting registration.
+	if c := r.Histogram("lat", nil, nil).Count(); c != 1 {
+		t.Fatalf("lookup with nil buckets sees count %d, want 1", c)
+	}
+	if c := r.Histogram("lat", []float64{1, 10}, nil).Count(); c != 1 {
+		t.Fatalf("lookup with identical buckets sees count %d, want 1", c)
+	}
+	mustPanicMetricError(t, "lat", func() { r.Histogram("lat", []float64{1, 10, 100}, nil) })
+	mustPanicMetricError(t, "lat", func() { r.Histogram("lat", []float64{1, 20}, nil) })
+}
+
+func TestMetricErrorMessage(t *testing.T) {
+	err := &MetricError{Name: "lat", Reason: "boom"}
+	if got := err.Error(); got != `obs: metric "lat": boom` {
+		t.Fatalf("Error() = %q", got)
+	}
+}

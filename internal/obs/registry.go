@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The cross-run registry indexes many JSONL run ledgers into one queryable
+// history, so solver regressions show up across real runs — not just
+// against the committed BENCH_*.json snapshot. benchobs runs is the CLI
+// face; ScanRuns + History are the library face.
+
+// SolveSummary is one solve event of a ledger, reduced to the registry's
+// query dimensions.
+type SolveSummary struct {
+	Name      string  `json:"name"`
+	Nodes     int     `json:"nodes"`
+	Pivots    int     `json:"pivots"`
+	Objective float64 `json:"objective"`
+	WallUS    float64 `json:"wall_us"`
+}
+
+// FlightSummary condenses one solver flight stream (a solveprog run) into
+// the registry's gap-closure view.
+type FlightSummary struct {
+	Name    string `json:"name"`
+	Events  int    `json:"events"`
+	Workers int    `json:"workers"`
+	Status  string `json:"status,omitempty"`
+	// Objective and FinalGap come from the end event when present.
+	Objective float64 `json:"objective,omitempty"`
+	HasObj    bool    `json:"has_obj"`
+	InitGap   float64 `json:"init_gap,omitempty"`
+	FinalGap  float64 `json:"final_gap,omitempty"`
+	HasGap    bool    `json:"has_gap"`
+	// GapCloseNode is the explored-node count at which the absolute gap
+	// first dropped to <= 10% of the initial gap (0 when it never did or no
+	// gap was ever defined) — the registry's gap-closure trajectory signal.
+	GapCloseNode int     `json:"gap_close_node,omitempty"`
+	Nodes        int     `json:"nodes"`
+	Pivots       int     `json:"pivots"`
+	WarmSolves   int     `json:"warm"`
+	ColdSolves   int     `json:"cold"`
+	WallUS       float64 `json:"wall_us"`
+}
+
+// RunRecord is one ledger file's index entry.
+type RunRecord struct {
+	Path    string          `json:"path"`
+	App     string          `json:"app,omitempty"`
+	Steps   int             `json:"steps"`
+	Events  int             `json:"events"`
+	Ended   bool            `json:"ended"`
+	Alerts  int             `json:"alerts,omitempty"`
+	Replans int             `json:"replans,omitempty"`
+	Solves  []SolveSummary  `json:"solves,omitempty"`
+	Flights []FlightSummary `json:"flights,omitempty"`
+}
+
+// RunRegistry is the indexed history of many run ledgers.
+type RunRegistry struct {
+	Runs []RunRecord `json:"runs"`
+	// Warnings lists files that were skipped (unreadable or malformed);
+	// indexing is lenient so one corrupt ledger cannot hide the rest.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// summarizeFlight reduces one stream to its registry row.
+func summarizeFlight(run SolveProgRun) FlightSummary {
+	fs := FlightSummary{Name: run.Name, Events: len(run.Records)}
+	initSet := false
+	for _, p := range run.Records {
+		fs.Workers = p.Workers
+		fs.Nodes = p.Nodes
+		fs.Pivots = p.Pivots
+		fs.WarmSolves = p.WarmSolves
+		fs.ColdSolves = p.ColdSolves
+		fs.WallUS = p.TUS
+		if gap, ok := p.Gap(); ok {
+			if !initSet {
+				fs.InitGap, initSet = gap, true
+			}
+			if fs.GapCloseNode == 0 && gap <= fs.InitGap*0.1+1e-9 {
+				fs.GapCloseNode = p.Nodes
+			}
+		}
+		if p.Kind == SolveProgEnd {
+			fs.Status = p.Status
+			if p.HasInc {
+				fs.Objective, fs.HasObj = p.Incumbent, true
+			}
+			if gap, ok := p.Gap(); ok {
+				fs.FinalGap, fs.HasGap = gap, true
+			}
+		}
+	}
+	return fs
+}
+
+// IndexLedger reduces one parsed ledger to its registry record.
+func IndexLedger(path string, events []LedgerEvent) RunRecord {
+	rec := RunRecord{Path: path, Events: len(events)}
+	maxStep := 0
+	for _, e := range events {
+		switch e.Type {
+		case LedgerRunStart:
+			if rec.App == "" {
+				rec.App = e.Name
+			}
+		case LedgerRunEnd:
+			rec.Ended = true
+		case LedgerStep:
+			if e.Step > maxStep {
+				maxStep = e.Step
+			}
+		case LedgerAlert:
+			rec.Alerts++
+		case LedgerReplan:
+			rec.Replans++
+		case LedgerSolve:
+			rec.Solves = append(rec.Solves, SolveSummary{
+				Name:      e.Name,
+				Nodes:     int(e.Args["nodes"]),
+				Pivots:    int(e.Args["pivots"]),
+				Objective: e.Args["objective"],
+				WallUS:    e.Dur,
+			})
+		}
+	}
+	rec.Steps = maxStep
+	for _, run := range GroupSolveProgEvents(events) {
+		rec.Flights = append(rec.Flights, summarizeFlight(run))
+	}
+	return rec
+}
+
+// ScanRuns indexes every *.jsonl ledger under dir (sorted by name, so the
+// registry order is deterministic). Unreadable or malformed files become
+// Warnings, not errors.
+func ScanRuns(dir string) (*RunRegistry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	reg := &RunRegistry{}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			reg.Warnings = append(reg.Warnings, fmt.Sprintf("%s: %v", p, err))
+			continue
+		}
+		events, _, err := ReadLedgerStats(f)
+		f.Close()
+		if err != nil {
+			reg.Warnings = append(reg.Warnings, fmt.Sprintf("%s: %v", p, err))
+			continue
+		}
+		reg.Runs = append(reg.Runs, IndexLedger(p, events))
+	}
+	return reg, nil
+}
+
+// Filter returns the registry restricted to runs whose app, path, solve, or
+// flight name contains q (case-insensitive). An empty q returns r itself.
+func (r *RunRegistry) Filter(q string) *RunRegistry {
+	if q == "" {
+		return r
+	}
+	q = strings.ToLower(q)
+	match := func(rec RunRecord) bool {
+		if strings.Contains(strings.ToLower(rec.App), q) || strings.Contains(strings.ToLower(rec.Path), q) {
+			return true
+		}
+		for _, s := range rec.Solves {
+			if strings.Contains(strings.ToLower(s.Name), q) {
+				return true
+			}
+		}
+		for _, f := range rec.Flights {
+			if strings.Contains(strings.ToLower(f.Name), q) {
+				return true
+			}
+		}
+		return false
+	}
+	out := &RunRegistry{Warnings: r.Warnings}
+	for _, rec := range r.Runs {
+		if match(rec) {
+			out.Runs = append(out.Runs, rec)
+		}
+	}
+	return out
+}
+
+// HistoryRow aggregates one solve name across every indexed run, in run
+// order — the cross-run trend behind "is this instance getting slower".
+type HistoryRow struct {
+	Name   string    `json:"name"`
+	Runs   int       `json:"runs"`
+	Nodes  []int     `json:"nodes"`
+	Pivots []int     `json:"pivots"`
+	WallUS []float64 `json:"wall_us"`
+	// GapCloseNodes tracks the flight streams' 10%-gap-closure node counts
+	// (absent for plain solve events).
+	GapCloseNodes []int `json:"gap_close_nodes,omitempty"`
+}
+
+// History groups solves and flights by name across runs, names sorted.
+func (r *RunRegistry) History() []HistoryRow {
+	byName := map[string]*HistoryRow{}
+	at := func(name string) *HistoryRow {
+		h, ok := byName[name]
+		if !ok {
+			h = &HistoryRow{Name: name}
+			byName[name] = h
+		}
+		return h
+	}
+	for _, rec := range r.Runs {
+		for _, s := range rec.Solves {
+			h := at(s.Name)
+			h.Runs++
+			h.Nodes = append(h.Nodes, s.Nodes)
+			h.Pivots = append(h.Pivots, s.Pivots)
+			h.WallUS = append(h.WallUS, s.WallUS)
+		}
+		for _, f := range rec.Flights {
+			h := at(f.Name)
+			h.Runs++
+			h.Nodes = append(h.Nodes, f.Nodes)
+			h.Pivots = append(h.Pivots, f.Pivots)
+			h.WallUS = append(h.WallUS, f.WallUS)
+			h.GapCloseNodes = append(h.GapCloseNodes, f.GapCloseNode)
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]HistoryRow, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byName[n])
+	}
+	return out
+}
+
+// WriteJSON emits the registry as one indented JSON document, history
+// included.
+func (r *RunRegistry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		*RunRegistry
+		History []HistoryRow `json:"history"`
+	}{r, r.History()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteTable renders the registry as text: one row per run, one per solve,
+// then the cross-run history with pivot trends.
+func (r *RunRegistry) WriteTable(w io.Writer) error {
+	for _, warn := range r.Warnings {
+		if _, err := fmt.Fprintf(w, "warning: %s\n", warn); err != nil {
+			return err
+		}
+	}
+	if len(r.Runs) == 0 {
+		_, err := fmt.Fprintln(w, "registry: no run ledgers found")
+		return err
+	}
+	for _, rec := range r.Runs {
+		state := "running"
+		if rec.Ended {
+			state = "ended"
+		}
+		if _, err := fmt.Fprintf(w, "run %s  app=%s steps=%d events=%d %s alerts=%d replans=%d\n",
+			rec.Path, orDash(rec.App), rec.Steps, rec.Events, state, rec.Alerts, rec.Replans); err != nil {
+			return err
+		}
+		for _, s := range rec.Solves {
+			if _, err := fmt.Fprintf(w, "  solve  %-20s nodes=%-6d pivots=%-8d objective=%-12g wall=%.0fus\n",
+				s.Name, s.Nodes, s.Pivots, s.Objective, s.WallUS); err != nil {
+				return err
+			}
+		}
+		for _, f := range rec.Flights {
+			line := fmt.Sprintf("  flight %-20s events=%-5d nodes=%-6d pivots=%-8d width=%d",
+				orDash(f.Name), f.Events, f.Nodes, f.Pivots, f.Workers)
+			if f.Status != "" {
+				line += " status=" + f.Status
+			}
+			if f.HasGap {
+				line += fmt.Sprintf(" gap=%.4g", f.FinalGap)
+			}
+			if f.GapCloseNode > 0 {
+				line += fmt.Sprintf(" gap90@node=%d", f.GapCloseNode)
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	hist := r.History()
+	if len(hist) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "history (%d solve name(s) across %d run(s)):\n", len(hist), len(r.Runs)); err != nil {
+		return err
+	}
+	for _, h := range hist {
+		if _, err := fmt.Fprintf(w, "  %-20s runs=%-3d pivots=%s wall_us=%s\n",
+			h.Name, h.Runs, intTrend(h.Pivots), floatTrend(h.WallUS)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// intTrend renders a short first→last trend with min/max for a series.
+func intTrend(xs []int) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return fmt.Sprintf("%d→%d (min %d, max %d)", xs[0], xs[len(xs)-1], lo, hi)
+}
+
+func floatTrend(xs []float64) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return fmt.Sprintf("%.0f→%.0f (min %.0f, max %.0f)", xs[0], xs[len(xs)-1], lo, hi)
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeRunLedger writes one ledger file with a run envelope, a solve event,
+// and a full flight stream named solveName.
+func writeRunLedger(t *testing.T, path, app, solveName string, pivots int) {
+	t.Helper()
+	l, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(LedgerEvent{Type: LedgerRunStart, Name: app})
+	l.Append(LedgerEvent{Type: LedgerStep, Step: 3})
+	l.Append(LedgerEvent{Type: LedgerAlert, Name: "drift"})
+	l.Append(LedgerEvent{Type: LedgerSolve, Name: solveName, Dur: 1500,
+		Args: map[string]float64{"nodes": 3, "pivots": float64(pivots), "objective": 15}})
+	for _, p := range progStream() {
+		p.Pivots += pivots - 25 // shift the cumulative pivot curve per run
+		l.Append(p.Event(solveName))
+	}
+	l.Append(LedgerEvent{Type: LedgerRunEnd})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexLedger(t *testing.T) {
+	var events []LedgerEvent
+	events = append(events, LedgerEvent{Type: LedgerRunStart, Name: "lulesh"})
+	events = append(events, LedgerEvent{Type: LedgerStep, Step: 7})
+	events = append(events, LedgerEvent{Type: LedgerReplan, Name: "replan"})
+	events = append(events, LedgerEvent{Type: LedgerSolve, Name: "plan", Dur: 900,
+		Args: map[string]float64{"nodes": 3, "pivots": 25, "objective": 15}})
+	for _, p := range progStream() {
+		events = append(events, p.Event("plan"))
+	}
+	events = append(events, LedgerEvent{Type: LedgerRunEnd})
+
+	rec := IndexLedger("runs/a.jsonl", events)
+	if rec.App != "lulesh" || rec.Steps != 7 || !rec.Ended || rec.Replans != 1 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if len(rec.Solves) != 1 || rec.Solves[0].Pivots != 25 || rec.Solves[0].Objective != 15 {
+		t.Fatalf("solves = %+v", rec.Solves)
+	}
+	if len(rec.Flights) != 1 {
+		t.Fatalf("flights = %+v", rec.Flights)
+	}
+	f := rec.Flights[0]
+	if f.Name != "plan" || f.Events != 5 || f.Status != "optimal" || !f.HasObj || f.Objective != 15 {
+		t.Fatalf("flight = %+v", f)
+	}
+	if !f.HasGap || f.FinalGap != 0 || f.InitGap != 10 {
+		t.Fatalf("flight gaps = %+v", f)
+	}
+	// Gap first reaches <=10% of the initial gap (1.0) at the closing wave.
+	if f.GapCloseNode != 3 {
+		t.Fatalf("GapCloseNode = %d, want 3", f.GapCloseNode)
+	}
+}
+
+func TestScanRunsFilterHistory(t *testing.T) {
+	dir := t.TempDir()
+	writeRunLedger(t, filepath.Join(dir, "run1.jsonl"), "lulesh", "plan", 25)
+	writeRunLedger(t, filepath.Join(dir, "run2.jsonl"), "comd", "plan", 40)
+	if err := os.WriteFile(filepath.Join(dir, "broken.jsonl"), []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := ScanRuns(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Runs) != 2 {
+		t.Fatalf("indexed %d runs, want 2 (warnings %v)", len(reg.Runs), reg.Warnings)
+	}
+	if len(reg.Warnings) != 1 || !strings.Contains(reg.Warnings[0], "broken.jsonl") {
+		t.Fatalf("warnings = %v", reg.Warnings)
+	}
+	// Sorted by file name: run1 (lulesh) then run2 (comd).
+	if reg.Runs[0].App != "lulesh" || reg.Runs[1].App != "comd" {
+		t.Fatalf("run order = %s, %s", reg.Runs[0].App, reg.Runs[1].App)
+	}
+
+	if got := reg.Filter("comd"); len(got.Runs) != 1 || got.Runs[0].App != "comd" {
+		t.Fatalf("Filter(comd) = %+v", got.Runs)
+	}
+	if got := reg.Filter("plan"); len(got.Runs) != 2 {
+		t.Fatalf("Filter(plan) matched %d runs, want 2 (solve-name match)", len(got.Runs))
+	}
+	if got := reg.Filter("nomatch"); len(got.Runs) != 0 {
+		t.Fatalf("Filter(nomatch) matched %d runs", len(got.Runs))
+	}
+	if got := reg.Filter(""); got != reg {
+		t.Fatal("empty filter must return the registry itself")
+	}
+
+	hist := reg.History()
+	if len(hist) != 1 || hist[0].Name != "plan" {
+		t.Fatalf("history = %+v", hist)
+	}
+	h := hist[0]
+	// One solve event + one flight stream per run.
+	if h.Runs != 4 || len(h.Pivots) != 4 || len(h.GapCloseNodes) != 2 {
+		t.Fatalf("history row = %+v", h)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"warning:", "run ", "solve  plan", "flight plan", "history (1 solve name(s)", "gap90@node=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs    []RunRecord  `json:"runs"`
+		History []HistoryRow `json:"history"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 2 || len(doc.History) != 1 {
+		t.Fatalf("JSON doc: %d runs, %d history rows", len(doc.Runs), len(doc.History))
+	}
+}
+
+func TestScanRunsEmptyDir(t *testing.T) {
+	reg, err := ScanRuns(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Runs) != 0 || len(reg.Warnings) != 0 {
+		t.Fatalf("registry = %+v", reg)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no run ledgers") {
+		t.Fatalf("empty table = %q", buf.String())
+	}
+}
+
+func TestIntFloatTrend(t *testing.T) {
+	if got := intTrend([]int{3, 1, 7, 5}); got != "3→5 (min 1, max 7)" {
+		t.Fatalf("intTrend = %q", got)
+	}
+	if got := intTrend(nil); got != "-" {
+		t.Fatalf("intTrend(nil) = %q", got)
+	}
+	if got := floatTrend([]float64{10, 20}); got != "10→20 (min 10, max 20)" {
+		t.Fatalf("floatTrend = %q", got)
+	}
+	if got := floatTrend(nil); got != "-" {
+		t.Fatalf("floatTrend(nil) = %q", got)
+	}
+}

@@ -119,9 +119,11 @@ func (t *Tracer) BeginOn(track int, name, cat string) *Span {
 }
 
 // Arg attaches a numeric argument to the span and returns it for chaining.
+// After End the span is sealed and Arg is a no-op — the recorded event owns
+// the argument map, so late writes must not reach readers of the timeline.
 func (s *Span) Arg(key string, v float64) *Span {
-	if s == nil {
-		return nil
+	if s == nil || s.done {
+		return s
 	}
 	if s.args == nil {
 		s.args = make(map[string]float64)
@@ -136,6 +138,10 @@ func (s *Span) End() {
 		return
 	}
 	s.done = true
+	// Hand the argument map over to the recorded event; the span keeps no
+	// reference, so a (buggy) post-End Arg cannot race with trace writers.
+	args := s.args
+	s.args = nil
 	t := s.t
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -147,7 +153,7 @@ func (s *Span) End() {
 		Track: s.track,
 		Start: s.start,
 		Dur:   end - s.start,
-		Args:  s.args,
+		Args:  args,
 	})
 }
 
@@ -203,13 +209,17 @@ func (t *Tracer) Events() []Event {
 	t.mu.Lock()
 	out := append([]Event(nil), t.events...)
 	t.mu.Unlock()
+	sortEvents(out)
+	return out
+}
+
+func sortEvents(out []Event) {
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
 		}
 		return out[i].Dur > out[j].Dur
 	})
-	return out
 }
 
 // micros renders a duration as trace_event microseconds (a JSON double).
@@ -228,6 +238,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
 		return err
 	}
+	// One critical section for names, tracks, and events: a concurrent
+	// SetTrackName or span End between separate snapshots could otherwise
+	// produce a stream whose events reference lanes with no metadata.
 	t.mu.Lock()
 	proc := t.procName
 	tracks := make([]int, 0, len(t.trackNames))
@@ -239,7 +252,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	for i, id := range tracks {
 		names[i] = t.trackNames[id]
 	}
+	events := append([]Event(nil), t.events...)
 	t.mu.Unlock()
+	sortEvents(events)
 	if proc == "" {
 		proc = "insitu"
 	}
@@ -257,7 +272,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, `,{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`, id, nameJSON)
 	}
-	for _, e := range t.Events() {
+	for _, e := range events {
 		b.WriteByte(',')
 		nameJSON, err := json.Marshal(e.Name)
 		if err != nil {

@@ -189,6 +189,37 @@ func solverWorkloads() []Workload {
 		}, nil
 	}})
 
+	// sched_flight_overhead prices the flight recorder: the paper batch bare
+	// versus with a recorder attached, at the same width. The recorded event
+	// count is deterministic per width (exact-gated via Model); the wall-time
+	// overhead ratio is informational — the ISSUE budget is <= 5%, but wall
+	// clock is too noisy to gate in CI.
+	ws = append(ws, Workload{Name: "sched_flight_overhead", Run: func() (Sample, error) {
+		nodes, pivots, objective, bareWall, err := solvePaperBatch(core.SolveOptions{Workers: BenchWorkers})
+		if err != nil {
+			return Sample{}, err
+		}
+		fr := obs.NewFlightRecorder(0)
+		_, _, _, flightWall, err := solvePaperBatch(core.SolveOptions{Workers: BenchWorkers, Flight: fr})
+		if err != nil {
+			return Sample{}, err
+		}
+		sample := Sample{
+			Nodes:  nodes,
+			Pivots: pivots,
+			Model: map[string]float64{
+				"objective":      objective,
+				"flight_events":  float64(fr.Total()),
+				"solver_workers": BenchWorkers,
+			},
+			Info: map[string]float64{},
+		}
+		if bareWall > 0 {
+			sample.Info["flight_overhead_ratio"] = flightWall.Seconds() / bareWall.Seconds()
+		}
+		return sample, nil
+	}})
+
 	ws = append(ws, Workload{Name: "solvercheck_scenario_batch", Run: func() (Sample, error) {
 		// Fixed seed: the same 24 differential instances every iteration.
 		rng := rand.New(rand.NewSource(1789))
@@ -231,6 +262,19 @@ func solvePaperBatch(opts core.SolveOptions) (nodes, pivots int, objective float
 		objective += rec.Objective
 	}
 	return nodes, pivots, objective, time.Since(t0), nil
+}
+
+// FlightSolve solves one paper scheduling instance (water+ions at the 5%
+// threshold) with fr attached, so live servers can expose a real gap-closure
+// curve at /solve. fr is reset and named first; the recorded stream is
+// deterministic at BenchWorkers.
+func FlightSolve(fr *obs.FlightRecorder) error {
+	fr.Reset()
+	fr.SetName("sched_waterions_a1a4_t5pct")
+	_, err := core.Solve(experiments.WaterIonsSpecs(16384),
+		core.Resources{Steps: 1000, TimeThreshold: 64.69, MemThreshold: int64(12) << 30},
+		core.SolveOptions{Workers: BenchWorkers, Flight: fr})
+	return err
 }
 
 // benchKernel is a deterministic synthetic analysis kernel: Analyze does a

@@ -81,19 +81,19 @@ type Alert struct {
 
 // streamState is the per-stream detector stack.
 type streamState struct {
-	name      string
-	predicted float64 // seconds per event; 0 while calibrating
-	calSum    float64
-	calN      int
-	ewma      EWMA
-	cusum     CUSUM
-	count     int
-	obsSec    float64 // total observed seconds (display mean; never reset)
-	scoredObs float64 // observed seconds over scored events (reset on rebaseline)
+	name       string
+	predicted  float64 // seconds per event; 0 while calibrating
+	calSum     float64
+	calN       int
+	ewma       EWMA
+	cusum      CUSUM
+	count      int
+	obsSec     float64 // total observed seconds (display mean; never reset)
+	scoredObs  float64 // observed seconds over scored events (reset on rebaseline)
 	scoredPred float64 // predicted seconds over scored events (reset on rebaseline)
-	lastSec   float64
-	alerted   bool
-	alertStep int
+	lastSec    float64
+	alerted    bool
+	alertStep  int
 
 	mEWMA     *obs.Gauge
 	mCusumPos *obs.Gauge
@@ -119,6 +119,7 @@ type Monitor struct {
 	budgetHit   bool
 	alerts      []Alert
 	replans     []ReplanRecord
+	flights     []obs.SolveProgRun
 
 	mProjected *obs.Gauge
 	mThreshold *obs.Gauge
@@ -166,8 +167,10 @@ func (m *Monitor) SetProfile(p *Profile) {
 
 // Observe scores one ledger-style event. It accepts exactly the events
 // coupling.Runner and campaign emit (run_start, step, analysis, output,
-// plan, run_end); every other type is ignored, so a whole ledger can be
-// replayed through it unfiltered. Nil-safe: a nil monitor drops events.
+// plan, run_end, plus solveprog flight samples, which it retains for the
+// Snapshot's gap-closure view); every other type is ignored, so a whole
+// ledger can be replayed through it unfiltered. Nil-safe: a nil monitor
+// drops events.
 func (m *Monitor) Observe(e obs.LedgerEvent) {
 	if m == nil {
 		return
@@ -200,6 +203,8 @@ func (m *Monitor) Observe(e obs.LedgerEvent) {
 		if r, ok := replanRecordFromEvent(e); ok {
 			m.replans = append(m.replans, r)
 		}
+	case obs.LedgerSolveProg:
+		m.observeSolveProg(e)
 	case obs.LedgerStep:
 		if e.Step > m.step {
 			m.step = e.Step
@@ -409,5 +414,57 @@ func (m *Monitor) Replans() []ReplanRecord {
 	defer m.mu.Unlock()
 	out := make([]ReplanRecord, len(m.replans))
 	copy(out, m.replans)
+	return out
+}
+
+// Flight-stream retention bounds: a live monitor keeps the most recent
+// maxFlightRuns solves (older runs roll off) and caps each run's record
+// count, so a replanning run cannot grow the monitor without bound.
+const (
+	maxFlightRuns    = 8
+	maxFlightRecords = obs.DefaultFlightCapacity
+)
+
+// observeSolveProg folds one solver flight sample into the retained
+// gap-closure streams; a start event opens a new run. Callers hold m.mu.
+func (m *Monitor) observeSolveProg(e obs.LedgerEvent) {
+	p, ok := obs.SolveProgFromEvent(e)
+	if !ok {
+		return
+	}
+	if len(m.flights) == 0 || p.Kind == obs.SolveProgStart {
+		m.flights = append(m.flights, obs.SolveProgRun{Name: e.Name})
+		if len(m.flights) > maxFlightRuns {
+			m.flights = m.flights[len(m.flights)-maxFlightRuns:]
+		}
+	}
+	r := &m.flights[len(m.flights)-1]
+	if r.Name == "" {
+		r.Name = e.Name
+	}
+	if len(r.Records) < maxFlightRecords {
+		r.Records = append(r.Records, p)
+	}
+}
+
+// Flights returns a copy of the retained solver flight streams, oldest
+// first.
+func (m *Monitor) Flights() []obs.SolveProgRun {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return copyFlights(m.flights)
+}
+
+func copyFlights(flights []obs.SolveProgRun) []obs.SolveProgRun {
+	if len(flights) == 0 {
+		return nil
+	}
+	out := make([]obs.SolveProgRun, len(flights))
+	for i, f := range flights {
+		out[i] = obs.SolveProgRun{Name: f.Name, Records: append([]obs.SolveProgress(nil), f.Records...)}
+	}
 	return out
 }

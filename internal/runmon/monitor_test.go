@@ -380,3 +380,61 @@ func TestMonitorCollectsReplanEvents(t *testing.T) {
 		t.Fatal("future-schema replan event was not skipped")
 	}
 }
+
+// flightEvents builds a minimal well-formed solveprog run as ledger events.
+func flightEvents(name string) []obs.LedgerEvent {
+	recs := []obs.SolveProgress{
+		{Seq: 0, Kind: obs.SolveProgStart, Workers: 1, Vars: 4, IntVars: 2, Constraints: 5},
+		{Seq: 1, Kind: obs.SolveProgWave, Wave: 1, Workers: 1, Nodes: 1, Open: 1,
+			HasInc: true, Incumbent: 8, HasBound: true, Bound: 12},
+		{Seq: 2, Kind: obs.SolveProgEnd, Wave: 2, Workers: 1, Nodes: 2,
+			HasInc: true, Incumbent: 10, HasBound: true, Bound: 10, Status: "optimal"},
+	}
+	var out []obs.LedgerEvent
+	for _, p := range recs {
+		out = append(out, p.Event(name))
+	}
+	return out
+}
+
+func TestMonitorObservesSolveProg(t *testing.T) {
+	m := NewMonitor(nil, Config{})
+	for _, e := range flightEvents("plan") {
+		m.Observe(e)
+	}
+	for _, e := range flightEvents("replan") {
+		m.Observe(e)
+	}
+	flights := m.Flights()
+	if len(flights) != 2 || flights[0].Name != "plan" || flights[1].Name != "replan" {
+		t.Fatalf("flights = %+v", flights)
+	}
+	if len(flights[1].Records) != 3 {
+		t.Fatalf("replan run holds %d records, want 3", len(flights[1].Records))
+	}
+	snap := m.Snapshot()
+	if len(snap.Flights) != 2 {
+		t.Fatalf("snapshot flights = %d", len(snap.Flights))
+	}
+	var buf strings.Builder
+	if err := snap.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"solve progress plan", "solve progress replan", "final: optimal"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestMonitorFlightRetentionBounds(t *testing.T) {
+	m := NewMonitor(nil, Config{})
+	for i := 0; i < maxFlightRuns+3; i++ {
+		for _, e := range flightEvents("solve") {
+			m.Observe(e)
+		}
+	}
+	if got := len(m.Flights()); got != maxFlightRuns {
+		t.Fatalf("retained %d flight runs, want %d", got, maxFlightRuns)
+	}
+}

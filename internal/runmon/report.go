@@ -37,6 +37,9 @@ type Snapshot struct {
 	ProjectedSec float64          `json:"projected_sec,omitempty"` // budget-at-risk projection
 	ThresholdSec float64          `json:"threshold_sec,omitempty"`
 	BudgetAtRisk bool             `json:"budget_at_risk"`
+	// Flights holds the retained solver flight streams (solveprog events seen
+	// by the monitor); empty for ledgers without flight recording.
+	Flights []obs.SolveProgRun `json:"flights,omitempty"`
 }
 
 // Snapshot freezes the monitor state. Nil-safe: a nil monitor snapshots
@@ -83,6 +86,7 @@ func (m *Monitor) Snapshot() Snapshot {
 		s.Replans = make([]ReplanRecord, len(m.replans))
 		copy(s.Replans, m.replans)
 	}
+	s.Flights = copyFlights(m.flights)
 	return s
 }
 
@@ -191,7 +195,7 @@ func (s Snapshot) WriteText(w io.Writer) error {
 // when the run never replanned, so unmonitored/static reports are unchanged.
 func (s Snapshot) writeReplans(w io.Writer) error {
 	if len(s.Replans) == 0 {
-		return nil
+		return s.writeFlights(w)
 	}
 	if _, err := fmt.Fprintf(w, "replans: %d\n", len(s.Replans)); err != nil {
 		return err
@@ -207,6 +211,18 @@ func (s Snapshot) writeReplans(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "  [%s] step %-5d %s/%-18s %s\n",
 			r.Reason, r.Step, r.Trigger, r.Stream, detail); err != nil {
+			return err
+		}
+	}
+	return s.writeFlights(w)
+}
+
+// writeFlights renders the gap-closure timeline of every retained solver
+// flight stream. Silent when the ledger carried no solveprog events, so
+// reports over old ledgers are byte-identical to before.
+func (s Snapshot) writeFlights(w io.Writer) error {
+	for _, f := range s.Flights {
+		if err := obs.WriteGapTimeline(w, f.Name, f.Records); err != nil {
 			return err
 		}
 	}

@@ -26,6 +26,8 @@ type RunInfo struct {
 //	/            the drift report as HTML (the live dashboard)
 //	/runs        JSON listing of the monitored run(s)
 //	/drift.json  the full Snapshot as JSON
+//	/solve.json  the latest observed solver flight stream as JSON
+//	/solve       the live gap-closure curve page for that stream
 //	/metrics     Prometheus text exposition of reg (runmon gauges included)
 //	/metrics.json, /debug/pprof/...  as in benchobs serve
 //
@@ -63,6 +65,18 @@ func NewServeMux(m *Monitor, reg *obs.Registry) *http.ServeMux {
 	mux.HandleFunc("/drift.json", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, m.Snapshot())
 	})
+	// /solve.json and /solve serve the most recent solver flight stream the
+	// monitor has observed (empty until a solveprog event arrives).
+	snap := func() (string, []obs.SolveProgress) {
+		flights := m.Flights()
+		if len(flights) == 0 {
+			return "", nil
+		}
+		last := flights[len(flights)-1]
+		return last.Name, last.Records
+	}
+	mux.Handle("/solve.json", obs.FlightJSONHandler(snap))
+	mux.Handle("/solve", obs.GapCurveHandler(snap))
 	return mux
 }
 

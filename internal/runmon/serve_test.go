@@ -78,3 +78,37 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestServeMuxFlightRoutes(t *testing.T) {
+	m := NewMonitor(nil, Config{})
+	mux := NewServeMux(m, nil)
+
+	// Before any solveprog event the routes serve empty documents.
+	code, body := serveGet(t, mux, "/solve")
+	if code != http.StatusOK || !strings.Contains(body, "no solveprog events") {
+		t.Fatalf("/solve before flights -> %d %q", code, body)
+	}
+
+	for _, e := range flightEvents("plan") {
+		m.Observe(e)
+	}
+	code, body = serveGet(t, mux, "/solve.json")
+	if code != http.StatusOK {
+		t.Fatalf("/solve.json -> %d", code)
+	}
+	var doc struct {
+		Schema int                 `json:"solveprog_v"`
+		Name   string              `json:"name"`
+		Events []obs.SolveProgress `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/solve.json not JSON: %v\n%s", err, body)
+	}
+	if doc.Schema != obs.SolveProgSchemaVersion || doc.Name != "plan" || len(doc.Events) != 3 {
+		t.Fatalf("/solve.json doc = %+v", doc)
+	}
+	code, body = serveGet(t, mux, "/solve")
+	if code != http.StatusOK || !strings.Contains(body, "<svg") || !strings.Contains(body, "plan") {
+		t.Fatalf("/solve -> %d %q", code, body[:min(len(body), 120)])
+	}
+}
