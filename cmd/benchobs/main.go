@@ -261,16 +261,16 @@ func cmdCheck(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// serveLoop drives the instrumented pipeline workload against reg until stop
-// closes (or, when iterations > 0, for that many runs), so the served
+// serveLoop drives the instrumented pipeline workload against reg until ctx
+// is canceled (or, when iterations > 0, for that many runs), so the served
 // /metrics endpoint always has live counters moving underneath it.
-func serveLoop(reg *obs.Registry, stop <-chan struct{}, iterations int) error {
+func serveLoop(ctx context.Context, reg *obs.Registry, iterations int) error {
 	for n := 0; iterations == 0 || n < iterations; n++ {
 		if _, err := perfbench.InstrumentedPipeline(nil, reg, nil).Run(); err != nil {
 			return err
 		}
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			return nil
 		default:
 		}
@@ -298,14 +298,10 @@ func cmdServe(args []string, stdout, stderr io.Writer) int {
 // runServe drives the workload loop and the HTTP endpoints until ctx is
 // canceled (SIGINT/SIGTERM in cmdServe), then shuts the server down
 // gracefully: in-flight scrapes finish, the workload loop stops at its next
-// iteration boundary, and both are drained before returning.
+// iteration boundary, and both are drained before returning — the shared
+// obs.ServeLoop shape all the repo's daemons sit on.
 func runServe(ctx context.Context, ln net.Listener, stdout, stderr io.Writer) int {
 	reg := obs.NewRegistry()
-	stop := make(chan struct{})
-	loopDone := make(chan error, 1)
-	go func() {
-		loopDone <- serveLoop(reg, stop, 0)
-	}()
 	// One flight-recorded paper solve so /solve.json and /solve expose a real
 	// gap-closure curve; the solve is fast and deterministic, and a failure
 	// only leaves the flight pages empty.
@@ -316,12 +312,12 @@ func runServe(ctx context.Context, ln net.Listener, stdout, stderr io.Writer) in
 	mux := obs.NewServeMux(reg)
 	obs.AddFlightRoutes(mux, flight)
 	fmt.Fprintf(stdout, "benchobs: serving http://%s/metrics (also /metrics.json, /solve, /solve.json, /debug/pprof/)\n", ln.Addr())
-	err := obs.ServeUntil(ctx, ln, mux)
-	close(stop)
-	if loopErr := <-loopDone; loopErr != nil {
-		fmt.Fprintf(stderr, "benchobs: workload loop: %v\n", loopErr)
-		return 1
-	}
+	err := obs.ServeLoop(ctx, ln, mux, func(bgCtx context.Context) error {
+		if err := serveLoop(bgCtx, reg, 0); err != nil {
+			return fmt.Errorf("workload loop: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "benchobs: %v\n", err)
 		return 1

@@ -125,7 +125,7 @@ func TestRunAndCompareEndToEnd(t *testing.T) {
 
 func TestServeLoopFeedsRegistry(t *testing.T) {
 	reg := obs.NewRegistry()
-	if err := serveLoop(reg, nil, 1); err != nil {
+	if err := serveLoop(context.Background(), reg, 1); err != nil {
 		t.Fatal(err)
 	}
 	var steps float64
@@ -137,10 +137,10 @@ func TestServeLoopFeedsRegistry(t *testing.T) {
 	if steps != 240 {
 		t.Fatalf("steps_total = %g after one pipeline run, want 240", steps)
 	}
-	// A pre-closed stop channel still completes the in-flight run, then exits.
-	stop := make(chan struct{})
-	close(stop)
-	if err := serveLoop(reg, stop, 0); err != nil {
+	// A pre-canceled context still completes the in-flight run, then exits.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := serveLoop(canceled, reg, 0); err != nil {
 		t.Fatal(err)
 	}
 }

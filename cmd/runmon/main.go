@@ -221,23 +221,21 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 }
 
 // serveLedger follows the ledger into a live monitor and serves the runmon
-// HTTP surface on ln until ctx is canceled; the follower and the HTTP server
-// share the context, so one signal stops both and the listener is closed by
-// the graceful shutdown inside obs.ServeUntil.
+// HTTP surface on ln until ctx is canceled. Both sit on obs.ServeLoop — the
+// shared daemon shape — so one signal stops the server and the follower
+// together, and both are drained before returning.
 func serveLedger(ctx context.Context, ln net.Listener, path string, poll time.Duration, stdout, stderr io.Writer) int {
 	reg := obs.NewRegistry()
 	mon := runmon.NewMonitor(nil, runmon.Config{Metrics: reg})
-	followErr := make(chan error, 1)
-	go func() {
-		followErr <- runmon.Follow(ctx, path, poll, mon.Observe)
-	}()
 	fmt.Fprintf(stdout, "runmon: serving http://%s/ (also /runs, /drift.json, /metrics) from %s\n", ln.Addr(), path)
-	if err := obs.ServeUntil(ctx, ln, runmon.NewServeMux(mon, reg)); err != nil {
+	err := obs.ServeLoop(ctx, ln, runmon.NewServeMux(mon, reg), func(bgCtx context.Context) error {
+		if err := runmon.Follow(bgCtx, path, poll, mon.Observe); err != nil {
+			return fmt.Errorf("ledger follow: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
 		fmt.Fprintf(stderr, "runmon: %v\n", err)
-		return 1
-	}
-	if err := <-followErr; err != nil {
-		fmt.Fprintf(stderr, "runmon: ledger follow: %v\n", err)
 		return 1
 	}
 	return 0

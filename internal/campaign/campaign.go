@@ -8,6 +8,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -119,6 +120,12 @@ type Config struct {
 	// same predictions), and feeds every run event through the monitor's
 	// drift detectors as it happens.
 	Monitor *runmon.Monitor
+	// Ctx, when non-nil, scopes the campaign's solves to a caller's lifetime:
+	// Plan and PlanSweep hand it to the branch-and-bound search, which aborts
+	// with an error wrapping milp.ErrCanceled once it is canceled, and any
+	// request-scoped pprof labels on it survive into solver CPU profiles. The
+	// service tier (schedd) sets it per request.
+	Ctx context.Context
 	// Replan, when non-nil, closes the loop on the executed run: Execute
 	// builds a replan.Replanner over the live monitor (creating one when
 	// Monitor is nil) and installs it as the coupling runner's replan hook,
@@ -286,7 +293,7 @@ func (c *Campaign) Plan() (*Plan, error) {
 		c.cfg.Flight.Reset()
 		c.cfg.Flight.SetName("plan")
 	}
-	rec, err := c.solvePlan(specs, res, core.SolveOptions{Workers: c.cfg.SolveWorkers, Flight: c.cfg.Flight})
+	rec, err := c.solvePlan(specs, res, core.SolveOptions{Workers: c.cfg.SolveWorkers, Flight: c.cfg.Flight, Ctx: c.cfg.Ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +349,7 @@ func (c *Campaign) PlanSweep(thresholds []float64) ([]*Plan, error) {
 					fr = obs.NewFlightRecorder(0)
 					flights[i] = fr
 				}
-				rec, err := c.solvePlan(specs, res, core.SolveOptions{Flight: fr})
+				rec, err := c.solvePlan(specs, res, core.SolveOptions{Flight: fr, Ctx: c.cfg.Ctx})
 				if err != nil {
 					errs[i] = err
 					continue

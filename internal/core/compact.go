@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -38,6 +39,11 @@ type SolveOptions struct {
 	Workers int
 	// NoWarmStart forces cold node relaxations in the parallel search.
 	NoWarmStart bool
+	// Ctx, when non-nil, scopes the solve to a caller's lifetime: the search
+	// aborts with an error wrapping milp.ErrCanceled once it is canceled, and
+	// request-scoped pprof labels on it survive into solver CPU profiles (see
+	// milp.Options.Ctx).
+	Ctx context.Context
 }
 
 // milpOptions translates the core options into solver options.
@@ -48,6 +54,7 @@ func (o SolveOptions) milpOptions() milp.Options {
 		Progress:    o.progressFunc(),
 		Workers:     o.Workers,
 		NoWarmStart: o.NoWarmStart,
+		Ctx:         o.Ctx,
 	}
 }
 

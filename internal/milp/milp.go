@@ -17,6 +17,7 @@ package milp
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime/pprof"
@@ -25,6 +26,11 @@ import (
 
 	"insitu/internal/lp"
 )
+
+// ErrCanceled is wrapped by the error Solve returns when Options.Ctx is
+// canceled mid-search. Callers distinguish abandonment (client hung up,
+// deadline passed) from solver failure with errors.Is.
+var ErrCanceled = errors.New("milp: solve canceled")
 
 // Problem is a linear program plus integrality markers.
 type Problem struct {
@@ -208,6 +214,22 @@ type Options struct {
 	// NoPresolve disables the parallel search's root bound-tightening
 	// presolve.
 	NoPresolve bool
+	// Ctx, when non-nil, scopes the search to a caller's lifetime in two
+	// ways: the search checks it between nodes (serial) or waves (parallel)
+	// and aborts with an error wrapping ErrCanceled once it is done, and it
+	// becomes the base context for the solver's pprof phase labels, so
+	// request-scoped labels (e.g. schedd's request IDs) survive into CPU
+	// profiles of the solve. A nil Ctx behaves exactly like previous
+	// releases: never canceled, labels rooted at context.Background().
+	Ctx context.Context
+}
+
+// context returns the search's base context, never nil.
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults() Options {
@@ -460,7 +482,7 @@ func (s *search) consume(nd *node, relaxSol *lp.Solution, warm bool, heur *heurC
 	if s.nodes < 16 || s.nodes%32 == 0 {
 		var x []float64
 		var ok bool
-		pprof.Do(context.Background(), pprof.Labels("solver_phase", "incumbent"), func(context.Context) {
+		pprof.Do(s.opts.context(), pprof.Labels("solver_phase", "incumbent"), func(context.Context) {
 			x, ok = heur.round(s.p, relaxSol.X, s.opts.IntTol, &s.stats)
 		})
 		if ok {
@@ -482,7 +504,7 @@ func (s *search) consume(nd *node, relaxSol *lp.Solution, warm bool, heur *heurC
 func (s *search) openRoot(ctx *lp.Solver, heur *heurCtx, root *node) (done *Solution, err error) {
 	var relax *lp.Solution
 	var warm bool
-	pprof.Do(context.Background(), pprof.Labels("solver_phase", "root"), func(context.Context) {
+	pprof.Do(s.opts.context(), pprof.Labels("solver_phase", "root"), func(context.Context) {
 		relax, warm = ctx.Solve(root.lower, root.upper)
 	})
 	s.stats.Relaxations++
@@ -539,11 +561,13 @@ type nodeResult struct {
 // solveNode solves one node's relaxation through a per-worker solver
 // context. A warm answer above the parent bound is numerically suspect (a
 // child's relaxation can never beat its parent's), so it is re-solved cold
-// before anyone trusts it.
-func solveNode(ctx *lp.Solver, nd *node) nodeResult {
+// before anyone trusts it. pctx is the pprof label base — the wave workers
+// pass their already-labeled context so the warm-resolve label nests under
+// the wave/worker labels.
+func solveNode(pctx context.Context, ctx *lp.Solver, nd *node) nodeResult {
 	sol, warm := ctx.Solve(nd.lower, nd.upper)
 	if warm && sol.Objective > nd.bound+1e-6 {
-		pprof.Do(context.Background(), pprof.Labels("solver_phase", "warm-resolve"), func(context.Context) {
+		pprof.Do(pctx, pprof.Labels("solver_phase", "warm-resolve"), func(context.Context) {
 			sol = ctx.SolveCold(nd.lower, nd.upper)
 		})
 		warm = false
@@ -592,7 +616,11 @@ func (s *search) runSerial() (*Solution, error) {
 		return done, err
 	}
 
+	pctx := s.opts.context()
 	for s.queue.Len() > 0 {
+		if err := pctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w after %d nodes: %v", ErrCanceled, s.nodes, err)
+		}
 		if s.nodes >= s.opts.MaxNodes {
 			out := *s.best
 			out.Status = NodeLimit
@@ -604,7 +632,7 @@ func (s *search) runSerial() (*Solution, error) {
 			s.stats.QueuePruned++
 			continue // pruned by bound before solving; not an explored node
 		}
-		res := solveNode(ctx, nd)
+		res := solveNode(pctx, ctx, nd)
 		s.consume(nd, res.sol, res.warm, heur, math.Inf(-1))
 		s.waveIdx++
 		s.emitWave(1, s.globalBound(math.Inf(-1)))

@@ -3,6 +3,7 @@ package milp
 import (
 	"container/heap"
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"runtime/pprof"
@@ -38,12 +39,13 @@ func AutoWorkers(n int) int {
 // each worker's previous basis.
 func (s *search) runParallel() (*Solution, error) {
 	w := s.opts.Workers
+	pctx := s.opts.context()
 	lower := append([]float64(nil), s.p.LP.Lower...)
 	upper := append([]float64(nil), s.p.LP.Upper...)
 	if !s.opts.NoPresolve {
 		var tightened int
 		var infeasible bool
-		pprof.Do(context.Background(), pprof.Labels("solver_phase", "presolve"), func(context.Context) {
+		pprof.Do(pctx, pprof.Labels("solver_phase", "presolve"), func(context.Context) {
 			tightened, infeasible = presolveBounds(s.p, lower, upper)
 		})
 		s.stats.PresolveTightened = tightened
@@ -74,6 +76,9 @@ func (s *search) runParallel() (*Solution, error) {
 	wave := make([]*node, 0, w)
 	results := make([]nodeResult, w)
 	for {
+		if err := pctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w after %d nodes: %v", ErrCanceled, s.nodes, err)
+		}
 		// Assemble the next wave: best-bound order, pre-pruning against the
 		// current incumbent exactly like the serial pop loop, and never
 		// popping more nodes than the node budget allows.
@@ -98,7 +103,7 @@ func (s *search) runParallel() (*Solution, error) {
 		}
 
 		if len(wave) == 1 {
-			results[0] = solveNode(ctxs[0], wave[0])
+			results[0] = solveNode(pctx, ctxs[0], wave[0])
 		} else {
 			var wg sync.WaitGroup
 			for g := 0; g < w && g < len(wave); g++ {
@@ -107,12 +112,12 @@ func (s *search) runParallel() (*Solution, error) {
 					defer wg.Done()
 					// The phase label attributes wave-solve CPU (and each
 					// worker's share of it) in pprof profiles.
-					pprof.Do(context.Background(), pprof.Labels(
+					pprof.Do(pctx, pprof.Labels(
 						"solver_phase", "wave",
 						"solver_worker", strconv.Itoa(g),
-					), func(context.Context) {
+					), func(lctx context.Context) {
 						for i := g; i < len(wave); i += w {
-							results[i] = solveNode(ctxs[g], wave[i])
+							results[i] = solveNode(lctx, ctxs[g], wave[i])
 						}
 					})
 				}(g)

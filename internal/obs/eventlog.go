@@ -32,6 +32,7 @@ const (
 	LedgerAlert     = "alert"     // a runmon drift or budget alert: args carry the detector state
 	LedgerReplan    = "replan"    // a mid-run reschedule decision: args carry old/new plan value
 	LedgerSolveProg = "solveprog" // one solver flight-recorder sample: args carry the solveprog_v payload
+	LedgerReqLog    = "reqlog"    // one service request (schedd access ledger): args carry the reqlog_v payload
 )
 
 // KnownLedgerType reports whether this obs version understands the event
@@ -41,7 +42,7 @@ func KnownLedgerType(t string) bool {
 	switch t {
 	case LedgerRunStart, LedgerRunEnd, LedgerStep, LedgerPhase,
 		LedgerAnalysis, LedgerOutput, LedgerSolve, LedgerPlan, LedgerAlert,
-		LedgerReplan, LedgerSolveProg:
+		LedgerReplan, LedgerSolveProg, LedgerReqLog:
 		return true
 	}
 	return false
@@ -82,7 +83,21 @@ type EventLog struct {
 	epoch  time.Time
 	err    error
 	count  int
+
+	// Rotation state, set only for file-backed ledgers (OpenEventLog).
+	// maxBytes caps the active file: once an append pushes written past it,
+	// the file is renamed to path+rotateSuffix (replacing any previous
+	// generation) and a fresh file is started, so a long-lived daemon holds
+	// at most two generations on disk instead of an unbounded ledger.
+	path      string
+	maxBytes  int64
+	written   int64
+	rotations int
 }
+
+// rotateSuffix is appended to the ledger path for the single retained
+// previous generation.
+const rotateSuffix = ".1"
 
 // NewEventLog starts a ledger on w with the epoch at the current time.
 func NewEventLog(w io.Writer) *EventLog {
@@ -94,13 +109,111 @@ func NewEventLog(w io.Writer) *EventLog {
 	return l
 }
 
-// OpenEventLog creates (or truncates) a ledger file at path.
+// OpenEventLog creates (or truncates) a ledger file at path. File-backed
+// ledgers support size-capped rotation; see SetMaxBytes and Rotate.
 func OpenEventLog(path string) (*EventLog, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	return NewEventLog(f), nil
+	l := NewEventLog(f)
+	l.path = path
+	return l, nil
+}
+
+// OpenEventLogCapped is OpenEventLog with a size cap already applied: the
+// one-call form for long-lived daemons (schedd serve) whose ledgers must
+// not grow unboundedly.
+func OpenEventLogCapped(path string, maxBytes int64) (*EventLog, error) {
+	l, err := OpenEventLog(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.SetMaxBytes(maxBytes); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// SetMaxBytes arms size-capped rotation: once an append pushes the active
+// file past maxBytes, the log rotates (see Rotate). A maxBytes <= 0
+// disarms the cap. Only file-backed ledgers (OpenEventLog) can rotate;
+// arming any other ledger is an error.
+func (l *EventLog) SetMaxBytes(maxBytes int64) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.path == "" && maxBytes > 0 {
+		return fmt.Errorf("obs: ledger is not file-backed; size cap needs OpenEventLog")
+	}
+	l.maxBytes = maxBytes
+	return nil
+}
+
+// Rotate flushes and closes the active ledger file, renames it to
+// path+".1" (replacing the previous generation, so at most two files ever
+// exist), and starts a fresh file at path. The epoch is preserved: events
+// in the new generation keep timestamps relative to the original open, so
+// the two generations concatenate into one coherent timeline. Errors are
+// sticky exactly like append errors — a failed rotation wedges the log and
+// is reported by Err/Close. Rotating a non-file ledger is an error (not
+// sticky: the log itself is still healthy).
+func (l *EventLog) Rotate() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.path == "" {
+		return fmt.Errorf("obs: ledger is not file-backed; rotation needs OpenEventLog")
+	}
+	if l.err != nil {
+		return l.err
+	}
+	l.rotateLocked()
+	return l.err
+}
+
+// Rotations reports how many times the log has rotated.
+func (l *EventLog) Rotations() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rotations
+}
+
+// rotateLocked performs the rename-and-reopen under l.mu; any failure is
+// recorded as the sticky error.
+func (l *EventLog) rotateLocked() {
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return
+	}
+	if l.closer != nil {
+		if err := l.closer.Close(); err != nil {
+			l.err = err
+			return
+		}
+		l.closer = nil
+	}
+	if err := os.Rename(l.path, l.path+rotateSuffix); err != nil {
+		l.err = err
+		return
+	}
+	f, err := os.Create(l.path)
+	if err != nil {
+		l.err = err
+		return
+	}
+	l.w = bufio.NewWriter(f)
+	l.closer = f
+	l.written = 0
+	l.rotations++
 }
 
 // SetClock replaces the log's clock and re-anchors the epoch, exactly like
@@ -151,6 +264,10 @@ func (l *EventLog) Append(e LedgerEvent) {
 		return
 	}
 	l.count++
+	l.written += int64(len(line)) + 1
+	if l.maxBytes > 0 && l.written >= l.maxBytes {
+		l.rotateLocked()
+	}
 }
 
 // Event appends a span-style event of the given type.
@@ -349,7 +466,7 @@ func SummarizeLedger(events []LedgerEvent) LedgerSummary {
 			s.Solves = append(s.Solves, e)
 		case LedgerSolveProg:
 			progEvents = append(progEvents, e)
-		case LedgerPhase, LedgerRunEnd, LedgerPlan, LedgerAlert, LedgerReplan:
+		case LedgerPhase, LedgerRunEnd, LedgerPlan, LedgerAlert, LedgerReplan, LedgerReqLog:
 			// Understood but not part of the per-step timeline.
 		default:
 			if s.Unknown == nil {

@@ -27,16 +27,30 @@ func MetricsJSONHandler(r *Registry) http.Handler {
 	})
 }
 
+// HealthHandler answers liveness probes: 200 "ok\n" unconditionally. A
+// process that can still serve this handler is alive; readiness (is it
+// willing to take work?) is a separate, service-specific route.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
 // NewServeMux builds the observatory endpoint set on one mux:
 //
+//	/healthz       liveness probe (200 "ok")
 //	/metrics       Prometheus text exposition of reg
 //	/metrics.json  JSON snapshot of reg (quantiles included)
 //	/debug/pprof/  the standard runtime profiles (heap, goroutine, profile, ...)
 //
 // The pprof routes mirror net/http/pprof's DefaultServeMux registrations but
-// on an explicit mux, so callers never have to expose DefaultServeMux.
+// on an explicit mux, so callers never have to expose DefaultServeMux. Every
+// daemon in the repo (benchobs serve, runmon serve, schedd) builds on this
+// mux, so they all report liveness uniformly.
 func NewServeMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.Handle("/healthz", HealthHandler())
 	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.Handle("/metrics.json", MetricsJSONHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -73,4 +87,30 @@ func ServeUntil(ctx context.Context, ln net.Listener, h http.Handler) error {
 		}
 		return nil
 	}
+}
+
+// ServeLoop is ServeUntil plus a managed background task: the shape every
+// daemon in the repo has (benchobs serve loops a workload, runmon serve
+// tails a ledger, schedd keeps none). It serves h on ln until ctx is
+// canceled, runs bg (when non-nil) on a context that is canceled as soon as
+// serving stops, and returns only after both have drained. The first error
+// wins: a serve failure is reported over a background failure, and a clean
+// shutdown returns whatever the background task returned (nil included).
+func ServeLoop(ctx context.Context, ln net.Listener, h http.Handler, bg func(context.Context) error) error {
+	bgCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan error, 1)
+	if bg != nil {
+		go func() { done <- bg(bgCtx) }()
+	}
+	err := ServeUntil(ctx, ln, h)
+	cancel()
+	var bgErr error
+	if bg != nil {
+		bgErr = <-done
+	}
+	if err != nil {
+		return err
+	}
+	return bgErr
 }

@@ -30,7 +30,11 @@ func TestMetricsHandler(t *testing.T) {
 		return resp.StatusCode, string(body)
 	}
 
-	code, body := get("/metrics")
+	code, body := get("/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body = get("/metrics")
 	if code != http.StatusOK || !strings.Contains(body, "steps_total 7") {
 		t.Fatalf("/metrics = %d %q", code, body)
 	}
@@ -59,6 +63,72 @@ func TestMetricsHandlerNilRegistry(t *testing.T) {
 	MetricsJSONHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
 	if strings.TrimSpace(rec.Body.String()) != "[]" {
 		t.Fatalf("nil registry /metrics.json = %q", rec.Body.String())
+	}
+}
+
+func TestServeLoop(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bgStopped := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ServeLoop(ctx, ln, NewServeMux(nil), func(bgCtx context.Context) error {
+			<-bgCtx.Done()
+			close(bgStopped)
+			return nil
+		})
+	}()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeLoop after cancel: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeLoop did not return after context cancellation")
+	}
+	select {
+	case <-bgStopped:
+	default:
+		t.Fatal("ServeLoop returned before the background task drained")
+	}
+}
+
+func TestServeLoopBackgroundError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	want := io.ErrUnexpectedEOF
+	done := make(chan error, 1)
+	go func() {
+		done <- ServeLoop(ctx, ln, NewServeMux(nil), func(context.Context) error { return want })
+	}()
+	// The background task fails immediately; the loop still serves until the
+	// context ends, then surfaces the background error.
+	cancel()
+	select {
+	case err := <-done:
+		if err != want {
+			t.Fatalf("ServeLoop = %v, want %v", err, want)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeLoop did not return")
 	}
 }
 

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRequestID(t *testing.T) {
+	if got := RequestID(nil); got != "" {
+		t.Fatalf("RequestID(nil) = %q", got)
+	}
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("RequestID(empty) = %q", got)
+	}
+	if WithRequestID(ctx, "") != ctx {
+		t.Fatal("WithRequestID with an empty id should be a no-op")
+	}
+	ctx = WithRequestID(ctx, "req-7f")
+	if got := RequestID(ctx); got != "req-7f" {
+		t.Fatalf("RequestID = %q, want req-7f", got)
+	}
+	// Inner IDs shadow outer ones, as nested scopes expect.
+	inner := WithRequestID(ctx, "req-80")
+	if got := RequestID(inner); got != "req-80" {
+		t.Fatalf("nested RequestID = %q, want req-80", got)
+	}
+	if got := RequestID(ctx); got != "req-7f" {
+		t.Fatalf("outer ctx mutated: %q", got)
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEventLogRotationCap writes events through a tightly capped ledger and
+// checks the rotation contract: at most two generations on disk, both
+// parseable, the total appended count preserved across them plus whatever
+// earlier generations were dropped, and the epoch shared (timestamps keep
+// rising across the boundary).
+func TestEventLogRotationCap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	l, err := OpenEventLogCapped(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		l.Append(LedgerEvent{Type: LedgerStep, Step: i + 1, Dur: 100})
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("ledger error: %v", err)
+	}
+	if l.Rotations() == 0 {
+		t.Fatal("50 events through a 256-byte cap should have rotated")
+	}
+	// The 50th append may have landed exactly on a rotation boundary, leaving
+	// the fresh generation empty; one more event pins both files non-empty.
+	l.Append(LedgerEvent{Type: LedgerStep, Step: 51, Dur: 100})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := ReadLedgerFile(path)
+	if err != nil {
+		t.Fatalf("active generation unreadable: %v", err)
+	}
+	prev, err := ReadLedgerFile(path + ".1")
+	if err != nil {
+		t.Fatalf("previous generation unreadable: %v", err)
+	}
+	if len(cur) == 0 || len(prev) == 0 {
+		t.Fatalf("want events in both generations, got %d current, %d previous", len(cur), len(prev))
+	}
+	fi, err := os.Stat(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One event may straddle the cap, so allow a line of slack.
+	if fi.Size() > 256+128 {
+		t.Fatalf("rotated generation is %d bytes, far past the 256-byte cap", fi.Size())
+	}
+	// The retained files hold contiguous suffixes of the stream: the last
+	// previous-generation step immediately precedes the first current one.
+	if prev[len(prev)-1].Step+1 != cur[0].Step {
+		t.Fatalf("generations not contiguous: previous ends at step %d, current starts at %d",
+			prev[len(prev)-1].Step, cur[0].Step)
+	}
+	if cur[len(cur)-1].Step != 51 {
+		t.Fatalf("active generation should end at step 51, got %d", cur[len(cur)-1].Step)
+	}
+	// Shared epoch: timestamps rise monotonically across the boundary.
+	if cur[0].TS < prev[len(prev)-1].TS {
+		t.Fatalf("epoch reset across rotation: %.0f then %.0f", prev[len(prev)-1].TS, cur[0].TS)
+	}
+}
+
+// TestEventLogExplicitRotate exercises the on-demand Rotate call.
+func TestEventLogExplicitRotate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	l, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(LedgerEvent{Type: LedgerRunStart, Name: "app"})
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	l.Append(LedgerEvent{Type: LedgerRunEnd})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Rotations(); got != 1 {
+		t.Fatalf("rotations = %d, want 1", got)
+	}
+	prev, err := ReadLedgerFile(path + ".1")
+	if err != nil || len(prev) != 1 || prev[0].Type != LedgerRunStart {
+		t.Fatalf("previous generation = %v, %v", prev, err)
+	}
+	cur, err := ReadLedgerFile(path)
+	if err != nil || len(cur) != 1 || cur[0].Type != LedgerRunEnd {
+		t.Fatalf("current generation = %v, %v", cur, err)
+	}
+}
+
+// TestEventLogRotateNotFileBacked: rotation needs a path; in-memory ledgers
+// refuse without wedging the log.
+func TestEventLogRotateNotFileBacked(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	if err := l.Rotate(); err == nil {
+		t.Fatal("rotating an in-memory ledger should fail")
+	}
+	if err := l.SetMaxBytes(1024); err == nil {
+		t.Fatal("capping an in-memory ledger should fail")
+	}
+	l.Append(LedgerEvent{Type: LedgerStep, Step: 1})
+	if err := l.Err(); err != nil {
+		t.Fatalf("refused rotation must not be sticky, got %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("log should still accept events, len = %d", l.Len())
+	}
+	if !strings.Contains(buf.String(), `"type":"step"`) {
+		t.Fatalf("event not written: %q", buf.String())
+	}
+}
+
+// TestEventLogRotationStickyError wedges the rename target and checks the
+// rotation failure is sticky: later appends become no-ops and Close reports
+// the first error, matching the append-error contract.
+func TestEventLogRotationStickyError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "run.jsonl")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenEventLogCapped(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing the parent directory makes the rename-and-reopen fail.
+	if err := os.RemoveAll(filepath.Dir(path)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		l.Append(LedgerEvent{Type: LedgerStep, Step: i + 1})
+	}
+	if l.Err() == nil {
+		t.Fatal("rotation into a removed directory should stick an error")
+	}
+	before := l.Len()
+	l.Append(LedgerEvent{Type: LedgerStep, Step: 99})
+	if l.Len() != before {
+		t.Fatal("appends after a sticky error must be no-ops")
+	}
+	if err := l.Close(); err == nil {
+		t.Fatal("Close must report the sticky rotation error")
+	}
+}

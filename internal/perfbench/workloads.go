@@ -21,10 +21,11 @@ const (
 	SuiteSolver   = "solver"
 	SuitePipeline = "pipeline"
 	SuiteIOSim    = "iosim"
+	SuiteService  = "service"
 )
 
 // SuiteNames lists the canonical suites in run order.
-var SuiteNames = []string{SuiteSolver, SuitePipeline, SuiteIOSim}
+var SuiteNames = []string{SuiteSolver, SuitePipeline, SuiteIOSim, SuiteService}
 
 // BenchWorkers is the branch-and-bound pool width the scheduling workloads
 // run with. It is fixed (not runtime.NumCPU()) so the recorded
@@ -46,6 +47,8 @@ func Workloads(suite string) ([]Workload, error) {
 		return pipelineWorkloads(), nil
 	case SuiteIOSim:
 		return iosimWorkloads(), nil
+	case SuiteService:
+		return serviceWorkloads(), nil
 	}
 	return nil, fmt.Errorf("perfbench: unknown suite %q (have %v)", suite, SuiteNames)
 }

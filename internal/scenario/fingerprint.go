@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// fingerprintVersion names the canonical encoding below. Bump it whenever
+// the encoding (field set, defaults, float format) changes, so stale cache
+// entries keyed on the old encoding can never be returned for new requests.
+const fingerprintVersion = "scenario_v1"
+
+// Fingerprint returns a canonical content hash of the scenario:
+// "sha256:<hex>" over a normalized encoding in which the order of the
+// analyses does not matter and defaulted fields hash identically to their
+// explicit values (Weight 0 == 1, MinInterval <= 0 == 1). Two scenarios with
+// equal fingerprints describe the same scheduling problem and therefore the
+// same optimal schedule — the property the schedd solution cache keys on.
+// Any semantic change (a duration, a size, the envelope, a name, the
+// optional-output flag) changes the hash.
+//
+// Floats are encoded with strconv's exact hexadecimal format, so fingerprint
+// equality means bit-equality of the inputs, not approximate closeness; -0
+// is normalized onto +0 first.
+func (p Problem) Fingerprint() string {
+	lines := make([]string, len(p.Analyses))
+	for i, a := range p.Analyses {
+		w := a.Weight
+		if w == 0 {
+			w = 1
+		}
+		itv := a.MinInterval
+		if itv <= 0 {
+			itv = 1
+		}
+		lines[i] = fmt.Sprintf("name=%s|ft=%s|it=%s|ct=%s|ot=%s|fm=%d|im=%d|cm=%d|om=%d|w=%s|itv=%d|oo=%t",
+			a.Name, hexFloat(a.FTSec), hexFloat(a.ITSec), hexFloat(a.CTSec), hexFloat(a.OTSec),
+			a.FMBytes, a.IMBytes, a.CMBytes, a.OMBytes, hexFloat(w), itv, a.OutputOptional)
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|steps=%d|time=%s|mem=%d|bw=%s\n", fingerprintVersion,
+		p.Resources.Steps, hexFloat(p.Resources.TimeSec), p.Resources.MemBytes, hexFloat(p.Resources.Bandwidth))
+	h.Write([]byte(strings.Join(lines, "\n")))
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// hexFloat encodes v exactly (no rounding) and maps -0 onto +0 so the two
+// zero bit patterns hash equal, matching their arithmetic equality.
+func hexFloat(v float64) string {
+	return strconv.FormatFloat(v+0, 'x', -1, 64)
+}

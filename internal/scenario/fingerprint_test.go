@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoAnalysisProblem() Problem {
+	return Problem{
+		Resources: Envelope{Steps: 100, TimeSec: 12.5, MemBytes: 1 << 30, Bandwidth: 1 << 20},
+		Analyses: []Analysis{
+			{Name: "descriptors", CTSec: 1.5, OTSec: 0.25, CMBytes: 1 << 20, MinInterval: 2, Weight: 2},
+			{Name: "msd", CTSec: 0.75, OMBytes: 1 << 19, MinInterval: 1},
+		},
+	}
+}
+
+func TestFingerprintShape(t *testing.T) {
+	fp := twoAnalysisProblem().Fingerprint()
+	if !strings.HasPrefix(fp, "sha256:") || len(fp) != len("sha256:")+64 {
+		t.Fatalf("fingerprint shape: %q", fp)
+	}
+	if fp != twoAnalysisProblem().Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	p := twoAnalysisProblem()
+	q := twoAnalysisProblem()
+	q.Analyses[0], q.Analyses[1] = q.Analyses[1], q.Analyses[0]
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Fatal("reordering analyses changed the fingerprint")
+	}
+}
+
+func TestFingerprintDefaultsNormalized(t *testing.T) {
+	p := twoAnalysisProblem()
+	q := twoAnalysisProblem()
+	// msd's omitted weight means 1, and MinInterval 0 means 1; writing the
+	// defaults explicitly must hash identically.
+	q.Analyses[1].Weight = 1
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Fatal("explicit default weight changed the fingerprint")
+	}
+	q = twoAnalysisProblem()
+	q.Analyses[1].MinInterval = 0
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Fatal("zero MinInterval should normalize to 1")
+	}
+}
+
+func TestFingerprintSensitive(t *testing.T) {
+	base := twoAnalysisProblem().Fingerprint()
+	mutations := map[string]func(*Problem){
+		"name":        func(p *Problem) { p.Analyses[0].Name = "descriptors2" },
+		"ct":          func(p *Problem) { p.Analyses[0].CTSec += 0.25 },
+		"ot":          func(p *Problem) { p.Analyses[0].OTSec = 0 },
+		"cm":          func(p *Problem) { p.Analyses[0].CMBytes++ },
+		"weight":      func(p *Problem) { p.Analyses[0].Weight = 3 },
+		"interval":    func(p *Problem) { p.Analyses[0].MinInterval = 3 },
+		"optional":    func(p *Problem) { p.Analyses[0].OutputOptional = true },
+		"steps":       func(p *Problem) { p.Resources.Steps = 101 },
+		"time":        func(p *Problem) { p.Resources.TimeSec += 0.5 },
+		"mem":         func(p *Problem) { p.Resources.MemBytes-- },
+		"bandwidth":   func(p *Problem) { p.Resources.Bandwidth *= 2 },
+		"dropped":     func(p *Problem) { p.Analyses = p.Analyses[:1] },
+		"duplicated":  func(p *Problem) { p.Analyses = append(p.Analyses, p.Analyses[0]) },
+		"field-moved": func(p *Problem) { p.Analyses[0].CTSec, p.Analyses[0].OTSec = p.Analyses[0].OTSec, p.Analyses[0].CTSec },
+	}
+	for what, mutate := range mutations {
+		p := twoAnalysisProblem()
+		mutate(&p)
+		if p.Fingerprint() == base {
+			t.Errorf("%s change did not change the fingerprint", what)
+		}
+	}
+}

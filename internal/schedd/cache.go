@@ -1,0 +1,101 @@
+package schedd
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"insitu/internal/core"
+	"insitu/internal/obs"
+)
+
+// solved is one cached solve: everything request-agnostic about the answer.
+// Responses are built fresh from it per request, and the recommendation,
+// explanation, and flight recorder are never mutated after the solve, so
+// sharing one solved across concurrent readers is safe.
+type solved struct {
+	fingerprint string
+	rec         *core.Recommendation
+	expl        *core.Explanation
+	flight      *obs.FlightRecorder
+	at          time.Time // when the solve finished
+}
+
+// cacheAgeBuckets grade hit ages from sub-second replays to day-old
+// campaigns (seconds).
+var cacheAgeBuckets = []float64{0.1, 1, 10, 60, 600, 3600, 86400}
+
+// cache is the LRU solution cache, keyed on the scenario's canonical
+// fingerprint (plus the explain bit). Hits, misses, evictions, the live
+// entry count, and the age-at-hit distribution are reported on the server's
+// metrics registry.
+type cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+	now func() time.Time
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	entries   *obs.Gauge
+	age       *obs.Histogram
+}
+
+type cacheEntry struct {
+	key string
+	val *solved
+}
+
+func newCache(capacity int, reg *obs.Registry, now func() time.Time) *cache {
+	return &cache{
+		cap:       capacity,
+		ll:        list.New(),
+		m:         make(map[string]*list.Element),
+		now:       now,
+		hits:      reg.Counter("schedd_cache_hits_total", nil),
+		misses:    reg.Counter("schedd_cache_misses_total", nil),
+		evictions: reg.Counter("schedd_cache_evictions_total", nil),
+		entries:   reg.Gauge("schedd_cache_entries", nil),
+		age:       reg.Histogram("schedd_cache_age_seconds", cacheAgeBuckets, nil),
+	}
+}
+
+// get returns the cached solve and its age. Every call is counted as a hit
+// or a miss.
+func (c *cache) get(key string) (*solved, time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(el)
+	val := el.Value.(*cacheEntry).val
+	age := c.now().Sub(val.at)
+	c.hits.Inc()
+	c.age.Observe(age.Seconds())
+	return val, age, true
+}
+
+// put inserts (or refreshes) a solve, evicting the least recently used entry
+// past capacity.
+func (c *cache) put(key string, val *solved) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.entries.Set(float64(c.ll.Len()))
+}

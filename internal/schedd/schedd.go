@@ -1,0 +1,669 @@
+// Package schedd is the scheduling-as-a-service tier: an HTTP/JSON daemon
+// that accepts scenario documents (the same files insitu-sched and
+// schedexplain read), solves them through the parallel core/milp stack, and
+// returns schedules plus optional explain attributions. It is the repo's
+// answer to the paper's premise that optimal schedules are cheap enough to
+// answer many what-if queries: the daemon memoizes identical what-ifs behind
+// a canonical-fingerprint solution cache, coalesces concurrent duplicates
+// onto one solve, and admission-controls the solver pool so a burst of
+// queries degrades into fast 503s instead of an unbounded pile-up.
+//
+// Observability is the headline layer, not a retrofit. Every request carries
+// a propagated request ID (obs.RequestIDHeader in, response field + header
+// out) that travels by context through campaign→core→milp→lp, so solver
+// pprof phase labels nest under a per-request label and the flight-recorder
+// stream of each solve is attributed to the request that paid for it. The
+// server reports RED metrics (rate, error taxonomy, duration histograms) and
+// cache hit/miss/age/eviction telemetry on an obs.Registry, appends a
+// schema-versioned reqlog ledger (one root event per request, with the
+// solve span and solveprog flight events nested under the same request ID),
+// and serves per-request flight JSON at /v1/requests/{id}/solve.json next to
+// the uniform /healthz, /readyz, /metrics, and /debug/pprof routes.
+package schedd
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"insitu/internal/core"
+	"insitu/internal/milp"
+	"insitu/internal/obs"
+	"insitu/internal/scenario"
+)
+
+// SchemaVersion versions the request/response JSON ("schedd_v") and the
+// reqlog ledger events ("reqlog_v").
+const SchemaVersion = 1
+
+// maxBodyBytes caps a request body; scenario documents are a few KiB.
+const maxBodyBytes = 1 << 20
+
+// Error taxonomy: every failed request is classified with one of these
+// kinds, reported in the response error object and counted on
+// schedd_errors_total{kind=...}.
+const (
+	ErrBadRequest    = "bad_request"   // 400: body unreadable or not scenario JSON
+	ErrUnprocessable = "unprocessable" // 422: scenario parsed but cannot be solved
+	ErrSolver        = "solver_error"  // 500: the solver failed unexpectedly
+	ErrQueueTimeout  = "queue_timeout" // 503: no solver slot within QueueTimeout
+	ErrCanceled      = "canceled"      // 499: client went away mid-request
+)
+
+// numeric codes for the kinds above, for the reqlog Args payload.
+var errKindCodes = map[string]float64{
+	"": 0, ErrBadRequest: 1, ErrUnprocessable: 2, ErrSolver: 3, ErrQueueTimeout: 4, ErrCanceled: 5,
+}
+
+// Config tunes the daemon. The zero value serves with defaults.
+type Config struct {
+	// Workers is the branch-and-bound pool width per solve (see
+	// core.SolveOptions.Workers). 0 and 1 run the serial search.
+	Workers int
+	// MaxInFlight is the solver-pool width: how many solves may run
+	// concurrently (default 4). Distinct concurrent requests share this pool
+	// the way campaign.PlanSweep shares its threshold fan-out pool; requests
+	// past the limit queue.
+	MaxInFlight int
+	// QueueTimeout bounds how long a request waits for a solver slot before
+	// it is rejected with a queue_timeout error (default 5s).
+	QueueTimeout time.Duration
+	// CacheEntries caps the LRU solution cache (default 128 scenarios).
+	CacheEntries int
+	// RecentRequests caps the in-memory request registry behind
+	// /v1/requests (default 64).
+	RecentRequests int
+	// Registry receives the RED and cache metrics (default: a fresh one).
+	Registry *obs.Registry
+	// Ledger, when non-nil, receives the reqlog access ledger: per request
+	// one root reqlog event plus, for solves, a solve span and the solveprog
+	// flight stream, all named by the request ID.
+	Ledger *obs.EventLog
+	// Now is the clock (default time.Now); injectable for tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.RecentRequests <= 0 {
+		c.RecentRequests = 64
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// SolveRequest is the POST /v1/solve body.
+type SolveRequest struct {
+	Scenario scenario.Problem `json:"scenario"`
+	// Explain additionally runs the decision-attribution layer (core.Explain)
+	// and attaches its summary to the response.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// ScheduleJSON is one analysis schedule of the response.
+type ScheduleJSON struct {
+	Name             string  `json:"name"`
+	Enabled          bool    `json:"enabled"`
+	Count            int     `json:"count"`
+	OutputEvery      int     `json:"output_every,omitempty"`
+	Outputs          int     `json:"outputs,omitempty"`
+	AnalysisSteps    []int   `json:"analysis_steps,omitempty"`
+	OutputSteps      []int   `json:"output_steps,omitempty"`
+	PredictedTimeSec float64 `json:"predicted_time_sec"`
+	PeakMemoryBytes  int64   `json:"peak_memory_bytes"`
+}
+
+// SolverInfo summarizes the branch-and-bound search behind a response.
+type SolverInfo struct {
+	Nodes        int     `json:"nodes"`
+	Relaxations  int     `json:"relaxations"`
+	Pivots       int     `json:"pivots"`
+	Workers      int     `json:"workers"`
+	SolveTimeSec float64 `json:"solve_time_sec"`
+	Bound        float64 `json:"bound"`
+}
+
+// AttributionJSON is the wire form of one core.Attribution.
+type AttributionJSON struct {
+	Name            string   `json:"name"`
+	Enabled         bool     `json:"enabled"`
+	Count           int      `json:"count"`
+	MaxCount        int      `json:"max_count"`
+	Binding         string   `json:"binding,omitempty"`
+	BindingSlack    float64  `json:"binding_slack,omitempty"`
+	ForcedFeasible  bool     `json:"forced_feasible,omitempty"`
+	ForcedDelta     float64  `json:"forced_delta,omitempty"`
+	ForcedViolation string   `json:"forced_violation,omitempty"`
+	Conflict        []string `json:"conflict,omitempty"`
+}
+
+// ExplainJSON is the response's explain summary.
+type ExplainJSON struct {
+	TimeSlackSec  float64           `json:"time_slack_sec"`
+	MemSlackBytes float64           `json:"mem_slack_bytes"`
+	Attributions  []AttributionJSON `json:"attributions"`
+}
+
+// ErrorJSON classifies a failed request.
+type ErrorJSON struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// SolveResponse is the POST /v1/solve reply (also the /v1/requests/{id}
+// record, minus the schedules).
+type SolveResponse struct {
+	Schema      int     `json:"schedd_v"`
+	RequestID   string  `json:"request_id"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	CacheHit    bool    `json:"cache_hit"`
+	Coalesced   bool    `json:"coalesced,omitempty"`
+	CacheAgeSec float64 `json:"cache_age_sec,omitempty"`
+
+	Objective       float64        `json:"objective"`
+	TotalTimeSec    float64        `json:"total_time_sec"`
+	PeakMemoryBytes int64          `json:"peak_memory_bytes"`
+	Schedules       []ScheduleJSON `json:"schedules"`
+	Solver          SolverInfo     `json:"solver"`
+	Explain         *ExplainJSON   `json:"explain,omitempty"`
+
+	Error *ErrorJSON `json:"error,omitempty"`
+}
+
+// reqRecord is one entry of the recent-request registry.
+type reqRecord struct {
+	ID          string  `json:"request_id"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Code        int     `json:"code"`
+	ErrKind     string  `json:"error_kind,omitempty"`
+	CacheHit    bool    `json:"cache_hit"`
+	Coalesced   bool    `json:"coalesced,omitempty"`
+	DurUs       float64 `json:"dur_us"`
+	QueueUs     float64 `json:"queue_us,omitempty"`
+	SolveUs     float64 `json:"solve_us,omitempty"`
+	Nodes       int     `json:"nodes,omitempty"`
+	Objective   float64 `json:"objective,omitempty"`
+
+	flight *obs.FlightRecorder
+}
+
+// flightCall is one in-flight solve that duplicate concurrent requests
+// coalesce onto.
+type flightCall struct {
+	done chan struct{}
+	val  *solved
+	err  error
+}
+
+// Server is the schedd daemon core: construct with New, mount Handler on a
+// listener (obs.ServeUntil in cmd/schedd), flip SetReady(false) to drain.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	ledger *obs.EventLog
+	cache  *cache
+	sem    chan struct{}
+
+	mu       sync.Mutex
+	calls    map[string]*flightCall
+	recent   []*reqRecord // ring, newest last
+	seq      uint64
+	notReady bool
+
+	requests  *obs.Counter
+	inflight  *obs.Gauge
+	reqDur    *obs.Histogram
+	solveDur  *obs.Histogram
+	queueDur  *obs.Histogram
+	nodesTot  *obs.Counter
+	pivotsTot *obs.Counter
+	coalesced *obs.Counter
+}
+
+// New builds a Server; it is ready as soon as it returns.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		ledger:    cfg.Ledger,
+		cache:     newCache(cfg.CacheEntries, reg, cfg.Now),
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		calls:     make(map[string]*flightCall),
+		requests:  reg.Counter("schedd_requests_total", nil),
+		inflight:  reg.Gauge("schedd_inflight", nil),
+		reqDur:    reg.Histogram("schedd_request_seconds", obs.DefBuckets, nil),
+		solveDur:  reg.Histogram("schedd_solve_seconds", obs.DefBuckets, nil),
+		queueDur:  reg.Histogram("schedd_queue_seconds", obs.DefBuckets, nil),
+		nodesTot:  reg.Counter("schedd_solver_nodes_total", nil),
+		pivotsTot: reg.Counter("schedd_solver_pivots_total", nil),
+		coalesced: reg.Counter("schedd_coalesced_total", nil),
+	}
+	return s
+}
+
+// Registry exposes the server's metrics registry (for embedding callers).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SetReady flips the /readyz answer; cmd/schedd sets false on the first
+// shutdown signal so load balancers drain the instance while in-flight
+// requests finish.
+func (s *Server) SetReady(ready bool) {
+	s.mu.Lock()
+	s.notReady = !ready
+	s.mu.Unlock()
+}
+
+// Handler mounts the full route set: the obs observatory mux (/healthz,
+// /metrics, /metrics.json, /debug/pprof) plus the service routes.
+func (s *Server) Handler() http.Handler {
+	mux := obs.NewServeMux(s.reg)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/requests", s.handleRequests)
+	mux.HandleFunc("GET /v1/requests/{id}/solve.json", s.handleRequestFlight)
+	return mux
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.notReady
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// genID mints a request ID when the client did not send one.
+func (s *Server) genID() string {
+	s.mu.Lock()
+	s.seq++
+	n := s.seq
+	s.mu.Unlock()
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	return fmt.Sprintf("r%06d-%s", n, hex.EncodeToString(b[:]))
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get(obs.RequestIDHeader)
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	decodeErr := dec.Decode(&req)
+	resp, code := s.process(r.Context(), id, req, decodeErr)
+	writeJSON(w, resp.RequestID, code, resp)
+}
+
+// Process runs one request through the full service pipeline — request ID,
+// cache, coalescing, admission, metrics, and ledger — without HTTP. It is
+// the engine behind POST /v1/solve, and what `schedd once` calls so one-shot
+// CLI solves answer byte-identically (schema, telemetry, cache keys) to the
+// daemon. An empty id mints one. The int is the would-be HTTP status.
+func (s *Server) Process(ctx context.Context, id string, req SolveRequest) (*SolveResponse, int) {
+	return s.process(ctx, id, req, nil)
+}
+
+func (s *Server) process(ctx context.Context, id string, req SolveRequest, decodeErr error) (*SolveResponse, int) {
+	start := s.cfg.Now()
+	if id == "" {
+		id = s.genID()
+	}
+	ctx = obs.WithRequestID(ctx, id)
+	s.requests.Inc()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	rec := &reqRecord{ID: id}
+	if decodeErr != nil {
+		return s.finish(start, rec, nil, &ErrorJSON{Kind: ErrBadRequest, Message: "decoding request: " + decodeErr.Error()})
+	}
+	if len(req.Scenario.Analyses) == 0 {
+		return s.finish(start, rec, nil, &ErrorJSON{Kind: ErrUnprocessable, Message: "scenario: no analyses"})
+	}
+	fp := req.Scenario.Fingerprint()
+	rec.Fingerprint = fp
+	key := fp
+	if req.Explain {
+		key += "|explain"
+	}
+
+	if val, age, ok := s.cache.get(key); ok {
+		rec.CacheHit = true
+		resp := s.buildResponse(id, val, req.Explain)
+		resp.CacheHit = true
+		resp.CacheAgeSec = age.Seconds()
+		rec.flight = val.flight
+		rec.Nodes = 0 // served from cache: no new solver work
+		rec.Objective = val.rec.Objective
+		return s.finish(start, rec, resp, nil)
+	}
+
+	val, ejson := s.solveShared(ctx, id, key, rec, req)
+	if ejson != nil {
+		return s.finish(start, rec, nil, ejson)
+	}
+	resp := s.buildResponse(id, val, req.Explain)
+	resp.Coalesced = rec.Coalesced
+	rec.flight = val.flight
+	rec.Objective = val.rec.Objective
+	return s.finish(start, rec, resp, nil)
+}
+
+// solveShared coalesces identical concurrent requests onto one solve and
+// admission-controls the leader through the solver-slot semaphore.
+func (s *Server) solveShared(ctx context.Context, id, key string, rec *reqRecord, req SolveRequest) (*solved, *ErrorJSON) {
+	s.mu.Lock()
+	if f, ok := s.calls[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Inc()
+		rec.Coalesced = true
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, classify(f.err)
+			}
+			return f.val, nil
+		case <-ctx.Done():
+			return nil, &ErrorJSON{Kind: ErrCanceled, Message: "client went away while coalesced on an in-flight solve"}
+		}
+	}
+	f := &flightCall{done: make(chan struct{})}
+	s.calls[key] = f
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.calls, key)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+
+	// Admission: wait for a solver slot, but not past QueueTimeout.
+	qStart := s.cfg.Now()
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+	case <-timer.C:
+		f.err = errQueueTimeout
+		return nil, classify(f.err)
+	case <-ctx.Done():
+		f.err = ctx.Err()
+		return nil, classify(f.err)
+	}
+	defer func() { <-s.sem }()
+	queue := s.cfg.Now().Sub(qStart)
+	s.queueDur.Observe(queue.Seconds())
+	rec.QueueUs = float64(queue.Microseconds())
+
+	val, err := s.solve(ctx, id, req)
+	if err != nil {
+		f.err = err
+		return nil, classify(err)
+	}
+	rec.SolveUs = float64(val.rec.SolveTime.Microseconds())
+	rec.Nodes = val.rec.Stats.Nodes
+	s.cache.put(key, val)
+	f.val = val
+	return val, nil
+}
+
+// errQueueTimeout marks an admission rejection for classify.
+var errQueueTimeout = errors.New("schedd: no solver slot within the queue timeout")
+
+// classify maps a solve-path error onto the response taxonomy.
+func classify(err error) *ErrorJSON {
+	switch {
+	case errors.Is(err, errQueueTimeout):
+		return &ErrorJSON{Kind: ErrQueueTimeout, Message: err.Error()}
+	case errors.Is(err, milp.ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return &ErrorJSON{Kind: ErrCanceled, Message: err.Error()}
+	default:
+		// The core layer rejects malformed scenarios (bad thresholds,
+		// impossible intervals) with descriptive errors; those are the
+		// client's to fix.
+		return &ErrorJSON{Kind: ErrUnprocessable, Message: err.Error()}
+	}
+}
+
+// solve runs one cache-miss solve under the request's pprof label, records
+// its flight stream, and ledgers the solve span plus the flight events under
+// the request ID.
+func (s *Server) solve(ctx context.Context, id string, req SolveRequest) (*solved, error) {
+	specs, res := req.Scenario.Decode()
+	fr := obs.NewFlightRecorder(0)
+	fr.SetName(id)
+	opts := core.SolveOptions{Workers: s.cfg.Workers, Flight: fr}
+
+	var rc *core.Recommendation
+	var expl *core.Explanation
+	var err error
+	pprof.Do(ctx, pprof.Labels("schedd_request", id), func(lctx context.Context) {
+		opts.Ctx = lctx
+		if req.Explain {
+			expl, err = core.Explain(specs, res, opts)
+			if err == nil {
+				rc = expl.Rec
+			}
+		} else {
+			rc, err = core.Solve(specs, res, opts)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.nodesTot.Add(float64(rc.Stats.Nodes))
+	s.pivotsTot.Add(float64(rc.Stats.Pivots))
+	s.solveDur.Observe(rc.SolveTime.Seconds())
+	s.ledger.Append(obs.LedgerEvent{
+		Type: obs.LedgerSolve, Name: id,
+		Dur: float64(rc.SolveTime.Nanoseconds()) / 1e3,
+		Args: map[string]float64{
+			"nodes":     float64(rc.Stats.Nodes),
+			"pivots":    float64(rc.Stats.Pivots),
+			"objective": rc.Objective,
+			"threshold": res.TimeThreshold,
+		},
+	})
+	fr.AppendLedger(s.ledger, id)
+	return &solved{fingerprint: req.Scenario.Fingerprint(), rec: rc, expl: expl, flight: fr, at: s.cfg.Now()}, nil
+}
+
+// buildResponse renders a solved into a fresh response document.
+func (s *Server) buildResponse(id string, val *solved, withExplain bool) *SolveResponse {
+	rc := val.rec
+	resp := &SolveResponse{
+		Schema:          SchemaVersion,
+		RequestID:       id,
+		Fingerprint:     val.fingerprint,
+		Objective:       rc.Objective,
+		TotalTimeSec:    rc.TotalTime,
+		PeakMemoryBytes: rc.PeakMemory,
+		Solver: SolverInfo{
+			Nodes:        rc.Stats.Nodes,
+			Relaxations:  rc.Stats.Relaxations,
+			Pivots:       rc.Stats.Pivots,
+			Workers:      rc.Stats.Workers,
+			SolveTimeSec: rc.SolveTime.Seconds(),
+			Bound:        rc.Stats.BestBound,
+		},
+	}
+	for _, sch := range rc.Schedules {
+		resp.Schedules = append(resp.Schedules, ScheduleJSON{
+			Name:             sch.Name,
+			Enabled:          sch.Enabled,
+			Count:            sch.Count,
+			OutputEvery:      sch.OutputEvery,
+			Outputs:          sch.Outputs,
+			AnalysisSteps:    sch.AnalysisSteps,
+			OutputSteps:      sch.OutputSteps,
+			PredictedTimeSec: sch.PredictedTime,
+			PeakMemoryBytes:  sch.PeakMemory,
+		})
+	}
+	if withExplain && val.expl != nil {
+		ex := &ExplainJSON{TimeSlackSec: val.expl.TimeSlack, MemSlackBytes: val.expl.MemSlack}
+		for _, a := range val.expl.Attributions {
+			ex.Attributions = append(ex.Attributions, AttributionJSON{
+				Name:            a.Name,
+				Enabled:         a.Enabled,
+				Count:           a.Count,
+				MaxCount:        a.MaxCount,
+				Binding:         a.Binding,
+				BindingSlack:    a.BindingSlack,
+				ForcedFeasible:  a.ForcedFeasible,
+				ForcedDelta:     a.ForcedDelta,
+				ForcedViolation: a.ForcedViolation,
+				Conflict:        a.Conflict,
+			})
+		}
+		resp.Explain = ex
+	}
+	return resp
+}
+
+// httpCode maps an error kind onto its status code.
+func httpCode(kind string) int {
+	switch kind {
+	case ErrBadRequest:
+		return http.StatusBadRequest
+	case ErrUnprocessable:
+		return http.StatusUnprocessableEntity
+	case ErrQueueTimeout:
+		return http.StatusServiceUnavailable
+	case ErrCanceled:
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// finish closes out one request: RED metrics, the reqlog root event, and
+// the recent-request registry entry. It returns the response document and
+// its status code; the transport (HTTP handler or CLI) renders them.
+func (s *Server) finish(start time.Time, rec *reqRecord, resp *SolveResponse, ejson *ErrorJSON) (*SolveResponse, int) {
+	dur := s.cfg.Now().Sub(start)
+	s.reqDur.Observe(dur.Seconds())
+	rec.DurUs = float64(dur.Microseconds())
+
+	code := http.StatusOK
+	if ejson != nil {
+		code = httpCode(ejson.Kind)
+		rec.ErrKind = ejson.Kind
+		s.reg.Counter("schedd_errors_total", obs.Labels{"kind": ejson.Kind}).Inc()
+		if ejson.Kind == ErrQueueTimeout {
+			s.reg.Counter("schedd_rejected_total", obs.Labels{"reason": "queue_timeout"}).Inc()
+		}
+		resp = &SolveResponse{Schema: SchemaVersion, RequestID: rec.ID, Error: ejson}
+	}
+	rec.Code = code
+
+	// The request's root span: everything nested under it (solve span,
+	// solveprog flight events) shares the request ID in Name.
+	args := map[string]float64{
+		"reqlog_v":  SchemaVersion,
+		"code":      float64(code),
+		"err":       errKindCodes[rec.ErrKind],
+		"cache_hit": b2f(rec.CacheHit),
+		"queue_us":  rec.QueueUs,
+		"solve_us":  rec.SolveUs,
+		"nodes":     float64(rec.Nodes),
+	}
+	if rec.Coalesced {
+		args["coalesced"] = 1
+	}
+	if resp != nil && resp.Error == nil {
+		args["objective"] = resp.Objective
+	}
+	s.ledger.Append(obs.LedgerEvent{
+		Type: obs.LedgerReqLog, Name: rec.ID,
+		Dur:  rec.DurUs,
+		Args: args,
+	})
+
+	s.mu.Lock()
+	s.recent = append(s.recent, rec)
+	if over := len(s.recent) - s.cfg.RecentRequests; over > 0 {
+		s.recent = append(s.recent[:0], s.recent[over:]...)
+	}
+	s.mu.Unlock()
+	return resp, code
+}
+
+// writeJSON renders one finished request over HTTP.
+func writeJSON(w http.ResponseWriter, id string, code int, resp *SolveResponse) {
+	w.Header().Set(obs.RequestIDHeader, id)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handleRequests serves the recent-request registry, newest first.
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]*reqRecord, len(s.recent))
+	for i, rec := range s.recent {
+		out[len(s.recent)-1-i] = rec
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// handleRequestFlight serves one request's solver flight stream in the same
+// JSON shape as the live /solve.json routes (obs.FlightJSONHandler).
+func (s *Server) handleRequestFlight(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	var found *reqRecord
+	for i := len(s.recent) - 1; i >= 0; i-- {
+		if s.recent[i].ID == id {
+			found = s.recent[i]
+			break
+		}
+	}
+	s.mu.Unlock()
+	if found == nil || found.flight == nil {
+		http.Error(w, "no flight recording for request "+id, http.StatusNotFound)
+		return
+	}
+	fr := found.flight
+	obs.FlightJSONHandler(func() (string, []obs.SolveProgress) {
+		return id, fr.Snapshot()
+	}).ServeHTTP(w, r)
+}

@@ -1,0 +1,91 @@
+package solvercheck
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"insitu/internal/scenario"
+)
+
+// TestFingerprintProperties drives the scenario canonical hash over the
+// random scenario generator: permutation invariance (any reordering of the
+// analyses hashes equal) and collision sensitivity (perturbing any one
+// semantic field of any analysis, or the envelope, hashes differently). The
+// trials run across a worker pool so `go test -race` exercises concurrent
+// fingerprinting — schedd hashes requests on concurrent handler goroutines.
+func TestFingerprintProperties(t *testing.T) {
+	const trials = 200
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7000 + g)))
+			for trial := 0; trial < trials/8; trial++ {
+				specs, res := RandScenario(rng, ScenarioConfig{})
+				p := scenario.FromSpecs(specs, res)
+				base := p.Fingerprint()
+
+				// Permutation invariance: shuffled analyses, same hash.
+				q := scenario.FromSpecs(specs, res)
+				rng.Shuffle(len(q.Analyses), func(i, j int) {
+					q.Analyses[i], q.Analyses[j] = q.Analyses[j], q.Analyses[i]
+				})
+				if got := q.Fingerprint(); got != base {
+					t.Errorf("g%d trial %d: shuffle changed hash: %s vs %s", g, trial, got, base)
+					return
+				}
+
+				// Collision sensitivity: every semantic single-field
+				// perturbation must move the hash. Perturbations are chosen to
+				// stay semantic after default normalization (Weight 0 == 1,
+				// MinInterval <= 0 == 1).
+				i := rng.Intn(len(p.Analyses))
+				perturbed := []func(r *scenario.Problem){
+					func(r *scenario.Problem) { r.Analyses[i].Name += "x" },
+					func(r *scenario.Problem) { r.Analyses[i].CTSec += 0.25 },
+					func(r *scenario.Problem) { r.Analyses[i].OTSec += 0.25 },
+					func(r *scenario.Problem) { r.Analyses[i].FTSec += 0.25 },
+					func(r *scenario.Problem) { r.Analyses[i].ITSec += 0.25 },
+					func(r *scenario.Problem) { r.Analyses[i].FMBytes++ },
+					func(r *scenario.Problem) { r.Analyses[i].IMBytes++ },
+					func(r *scenario.Problem) { r.Analyses[i].CMBytes++ },
+					func(r *scenario.Problem) { r.Analyses[i].OMBytes++ },
+					func(r *scenario.Problem) { r.Analyses[i].Weight = normWeight(r.Analyses[i].Weight) + 1 },
+					func(r *scenario.Problem) { r.Analyses[i].MinInterval = normItv(r.Analyses[i].MinInterval) + 1 },
+					func(r *scenario.Problem) { r.Analyses[i].OutputOptional = !r.Analyses[i].OutputOptional },
+					func(r *scenario.Problem) { r.Resources.Steps++ },
+					func(r *scenario.Problem) { r.Resources.TimeSec += 0.25 },
+					func(r *scenario.Problem) { r.Resources.MemBytes++ },
+					func(r *scenario.Problem) { r.Resources.Bandwidth += 1024 },
+				}
+				for k, mutate := range perturbed {
+					r := scenario.FromSpecs(specs, res)
+					mutate(&r)
+					if r.Fingerprint() == base {
+						t.Errorf("g%d trial %d: perturbation %d (analysis %d) did not change hash", g, trial, k, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// normWeight / normItv mirror the fingerprint's default normalization so
+// perturbations land on genuinely different semantic values.
+func normWeight(w float64) float64 {
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+func normItv(itv int) int {
+	if itv <= 0 {
+		return 1
+	}
+	return itv
+}
