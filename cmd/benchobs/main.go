@@ -7,7 +7,7 @@
 //
 //	benchobs run [-quick] [-suite name] [-out dir]
 //	benchobs compare -current dir [-baseline dir] [-slack f] [-json file]
-//	benchobs check [-dir dir] [-min-workers n] [-min-count n]
+//	benchobs check [-dir dir] [-min-workers n] [-min-count n] [-max-fallback-ratio f]
 //	benchobs serve [-addr host:port]
 //	benchobs summarize -ledger run.jsonl
 //	benchobs flightcheck -ledger run.jsonl
@@ -19,8 +19,11 @@
 // relative thresholds recorded in the baseline file and exits 1 when any
 // gated metric regresses. check audits a solver suite file's recorded
 // metadata: every workload carrying a solver_workers metric must have run at
-// least -min-workers wide, and at least -min-count such workloads must exist
-// — so CI fails if the suite silently falls back to the serial search. serve
+// least -min-workers wide, at least -min-count such workloads must exist,
+// and workloads recording warm_solves/fallback_colds must keep their warm
+// fallback fraction at or below -max-fallback-ratio — so CI fails if the
+// suite silently falls back to the serial search or the warm re-solves stop
+// sticking. serve
 // loops the instrumented pipeline workload forever and exposes the live
 // registry at /metrics (Prometheus text), /metrics.json, and the process at
 // /debug/pprof/; it also runs one flight-recorded paper solve at startup so
@@ -219,13 +222,19 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 // without a solver_workers metric (single-solve micro workloads, the scaling
 // sweeps that pin their own widths) are ignored; the rest must have recorded
 // a pool at least -min-workers wide, and at least -min-count of them must
-// exist so the gate cannot pass vacuously.
+// exist so the gate cannot pass vacuously. Workloads that additionally
+// record warm_solves/fallback_colds are audited for warm-resolve health:
+// the fallback fraction fallback_colds/(warm_solves+fallback_colds) must
+// stay at or below -max-fallback-ratio, so CI fails if the dual-simplex
+// warm re-solves silently stop surviving the branching pattern and every
+// node quietly pays a cold solve again.
 func cmdCheck(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchobs check", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", ".", "directory holding the BENCH_<suite>.json files to audit")
 	minWorkers := fs.Float64("min-workers", 2, "minimum recorded solver_workers per workload")
 	minCount := fs.Int("min-count", 1, "minimum number of workloads carrying solver_workers")
+	maxFallback := fs.Float64("max-fallback-ratio", 0.2, "maximum fallback_colds/(warm_solves+fallback_colds) per workload")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -236,6 +245,7 @@ func cmdCheck(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	count, bad := 0, 0
+	warmAudited, coldWarm := 0, 0
 	for _, w := range suite.Workloads {
 		m := w.Metric("solver_workers")
 		if m == nil {
@@ -247,17 +257,34 @@ func cmdCheck(args []string, stdout, stderr io.Writer) int {
 			status = "SERIAL"
 			bad++
 		}
-		fmt.Fprintf(stdout, "  %-40s solver_workers=%g %s\n", w.Name, m.Value, status)
+		line := fmt.Sprintf("  %-40s solver_workers=%g", w.Name, m.Value)
+		if warm, fb := w.Metric("warm_solves"), w.Metric("fallback_colds"); warm != nil && fb != nil {
+			if total := warm.Value + fb.Value; total > 0 {
+				warmAudited++
+				ratio := fb.Value / total
+				line += fmt.Sprintf(" fallback_ratio=%.3f", ratio)
+				if ratio > *maxFallback {
+					status = "COLD"
+					coldWarm++
+				}
+			}
+		}
+		fmt.Fprintf(stdout, "%s %s\n", line, status)
 	}
 	if bad > 0 {
 		fmt.Fprintf(stderr, "benchobs: %d workload(s) in %s ran below %g workers\n", bad, path, *minWorkers)
+		return 1
+	}
+	if coldWarm > 0 {
+		fmt.Fprintf(stderr, "benchobs: %d workload(s) in %s exceed the warm-resolve fallback ratio %g\n", coldWarm, path, *maxFallback)
 		return 1
 	}
 	if count < *minCount {
 		fmt.Fprintf(stderr, "benchobs: only %d workload(s) in %s record solver_workers, want >= %d\n", count, path, *minCount)
 		return 1
 	}
-	fmt.Fprintf(stdout, "benchobs: %s: %d workload(s) at >= %g workers\n", path, count, *minWorkers)
+	fmt.Fprintf(stdout, "benchobs: %s: %d workload(s) at >= %g workers, %d warm-resolve ratio(s) <= %g\n",
+		path, count, *minWorkers, warmAudited, *maxFallback)
 	return 0
 }
 

@@ -291,6 +291,50 @@ func TestCheckGatesOnWorkers(t *testing.T) {
 	}
 }
 
+// TestCheckGatesOnFallbackRatio covers the warm-resolve health gate: a suite
+// whose warm re-solves mostly stick passes, one whose fallback fraction
+// exceeds -max-fallback-ratio fails, and the flag moves the bar.
+func TestCheckGatesOnFallbackRatio(t *testing.T) {
+	dir := t.TempDir()
+	suite := perfbench.Suite{Suite: "solver", Workloads: []perfbench.WorkloadResult{
+		{Name: "sched_warm", Metrics: []perfbench.Metric{
+			{Name: "solver_workers", Value: 8, Unit: "model"},
+			{Name: "warm_solves", Value: 95, Unit: "model"},
+			{Name: "fallback_colds", Value: 5, Unit: "model"},
+		}},
+	}}
+	path := filepath.Join(dir, perfbench.BenchFileName("solver"))
+	if err := suite.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"check", "-dir", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("healthy warm ratio: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fallback_ratio=0.050") {
+		t.Errorf("check output missing fallback ratio:\n%s", stdout.String())
+	}
+
+	suite.Workload("sched_warm").Metric("fallback_colds").Value = 40 // warm starts rotting
+	if err := suite.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"check", "-dir", dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("rotten warm ratio: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "fallback ratio") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+
+	// A raised bar admits the same suite.
+	stderr.Reset()
+	if code := run([]string{"check", "-dir", dir, "-max-fallback-ratio", "0.5"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("raised bar: exit %d, stderr: %s", code, stderr.String())
+	}
+}
+
 // TestCheckCommittedBaseline audits the repo's committed solver baseline the
 // same way CI does: it must already record the parallel pool width.
 func TestCheckCommittedBaseline(t *testing.T) {

@@ -24,6 +24,11 @@ func flightRecord(ev milp.ProgressEvent) obs.SolveProgress {
 		WarmSolves:       ev.WarmSolves,
 		ColdSolves:       ev.ColdSolves,
 		FallbackColds:    ev.FallbackColds,
+		WarmInfeasibles:  ev.WarmInfeasibles,
+		PrimalPivots:     ev.PrimalPivots,
+		DualPivots:       ev.DualPivots,
+		Refactorizations: ev.Refactorizations,
+		EtaPeak:          ev.EtaPeak,
 		PrunedBound:      ev.PrunedBound,
 		PrunedInfeasible: ev.PrunedInfeasible,
 		IntegralNodes:    ev.IntegralNodes,

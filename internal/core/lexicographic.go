@@ -96,6 +96,14 @@ func SolveLexicographic(specs []AnalysisSpec, res Resources, opts SolveOptions) 
 		out.Stats.Workers = rec.Stats.Workers
 		out.Stats.WarmSolves += rec.Stats.WarmSolves
 		out.Stats.ColdSolves += rec.Stats.ColdSolves
+		out.Stats.FallbackColds += rec.Stats.FallbackColds
+		out.Stats.WarmInfeasibles += rec.Stats.WarmInfeasibles
+		out.Stats.PrimalPivots += rec.Stats.PrimalPivots
+		out.Stats.DualPivots += rec.Stats.DualPivots
+		out.Stats.Refactorizations += rec.Stats.Refactorizations
+		if rec.Stats.EtaPeak > out.Stats.EtaPeak {
+			out.Stats.EtaPeak = rec.Stats.EtaPeak
+		}
 		out.Stats.PresolveTightened += rec.Stats.PresolveTightened
 	}
 	out.PeakMemory = exactPeakMemory(norm, res, out.Schedules)

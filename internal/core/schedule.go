@@ -46,29 +46,79 @@ func modeCost(a AnalysisSpec, res Resources, count, outputs int) float64 {
 	return a.FT + a.IT*float64(res.Steps) + a.CT*float64(count) + ot*float64(outputs)
 }
 
-// modePeakMemory walks the concrete schedule and returns the maximum mStart
-// of equations 5–7: fixed fm plus im accumulating every step, cm added at
-// analysis steps, om at output steps, with a reset to fm after each output.
+// modePeakMemory returns the maximum mStart of equations 5–7: fixed fm plus
+// im accumulating every step, cm added at analysis steps, om at output steps,
+// with a reset to fm after each output. Between events memory changes
+// linearly by im per step, so instead of walking all `steps` steps it jumps
+// between the (sorted) analysis/output steps and evaluates each linear
+// stretch at whichever end im makes extremal — O(|C|+|O|) per mode, which is
+// what mode enumeration pays per candidate. Duplicate entries in either list
+// collapse, matching the set semantics of the original per-step walk.
 func modePeakMemory(a AnalysisSpec, steps int, analysisSteps, outputSteps []int) int64 {
-	isA := stepSet(analysisSteps)
-	isO := stepSet(outputSteps)
 	mEnd := a.FM
 	peak := a.FM
-	for j := 1; j <= steps; j++ {
+	prev := 0 // step whose end-of-step memory mEnd currently holds
+	ai, oi := 0, 0
+	for ai < len(analysisSteps) || oi < len(outputSteps) {
+		var e int
+		switch {
+		case ai >= len(analysisSteps):
+			e = outputSteps[oi]
+		case oi >= len(outputSteps):
+			e = analysisSteps[ai]
+		case analysisSteps[ai] < outputSteps[oi]:
+			e = analysisSteps[ai]
+		default:
+			e = outputSteps[oi]
+		}
+		isA := ai < len(analysisSteps) && analysisSteps[ai] == e
+		for ai < len(analysisSteps) && analysisSteps[ai] == e {
+			ai++
+		}
+		isO := oi < len(outputSteps) && outputSteps[oi] == e
+		for oi < len(outputSteps) && outputSteps[oi] == e {
+			oi++
+		}
+		if e < 1 {
+			continue // steps outside [1, steps] are never executed
+		}
+		if e > steps {
+			break
+		}
+		if gap := int64(e - 1 - prev); gap > 0 {
+			if a.IM > 0 {
+				if v := mEnd + a.IM*gap; v > peak {
+					peak = v
+				}
+			} else if v := mEnd + a.IM; v > peak {
+				peak = v
+			}
+			mEnd += a.IM * gap
+		}
 		mStart := mEnd + a.IM
-		if isA[j] {
+		if isA {
 			mStart += a.CM
 		}
-		if isO[j] {
+		if isO {
 			mStart += a.OM
 		}
 		if mStart > peak {
 			peak = mStart
 		}
-		if isO[j] {
+		if isO {
 			mEnd = a.FM
 		} else {
 			mEnd = mStart
+		}
+		prev = e
+	}
+	if gap := int64(steps - prev); gap > 0 {
+		if a.IM > 0 {
+			if v := mEnd + a.IM*gap; v > peak {
+				peak = v
+			}
+		} else if v := mEnd + a.IM; v > peak {
+			peak = v
 		}
 	}
 	return peak

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// modePeakMemoryWalk is the original O(steps) reference recurrence
+// (equations 5–7 walked step by step); the event-jumping implementation in
+// schedule.go must agree with it exactly on every schedule shape.
+func modePeakMemoryWalk(a AnalysisSpec, steps int, analysisSteps, outputSteps []int) int64 {
+	isA := stepSet(analysisSteps)
+	isO := stepSet(outputSteps)
+	mEnd := a.FM
+	peak := a.FM
+	for j := 1; j <= steps; j++ {
+		mStart := mEnd + a.IM
+		if isA[j] {
+			mStart += a.CM
+		}
+		if isO[j] {
+			mStart += a.OM
+		}
+		if mStart > peak {
+			peak = mStart
+		}
+		if isO[j] {
+			mEnd = a.FM
+		} else {
+			mEnd = mStart
+		}
+	}
+	return peak
+}
+
+func TestModePeakMemoryMatchesWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		steps := 1 + rng.Intn(64)
+		a := AnalysisSpec{
+			FM: int64(rng.Intn(1 << 20)),
+			IM: int64(rng.Intn(1 << 10)),
+			CM: int64(rng.Intn(1 << 16)),
+			OM: int64(rng.Intn(1 << 16)),
+		}
+		var as, os []int
+		for i, n := 0, rng.Intn(steps+1); i < n; i++ {
+			as = append(as, 1+rng.Intn(steps))
+		}
+		sort.Ints(as)
+		// Outputs are a subset of analysis steps in real schedules, but the
+		// function must not rely on that; mix subset picks with strays.
+		for _, s := range as {
+			if rng.Intn(3) == 0 {
+				os = append(os, s)
+			}
+		}
+		if rng.Intn(4) == 0 && steps > 1 {
+			os = append(os, 1+rng.Intn(steps))
+		}
+		sort.Ints(os)
+		got := modePeakMemory(a, steps, as, os)
+		want := modePeakMemoryWalk(a, steps, as, os)
+		if got != want {
+			t.Fatalf("trial %d: steps=%d as=%v os=%v spec=%+v: event-jump peak %d, walk peak %d",
+				trial, steps, as, os, a, got, want)
+		}
+	}
+}
+
+func TestModePeakMemoryRealSchedules(t *testing.T) {
+	a := AnalysisSpec{FM: 100 << 20, IM: 1 << 16, CM: 30 << 20, OM: 10 << 20}
+	for _, steps := range []int{100, 1000, 16384} {
+		for _, count := range []int{1, 7, 50, steps / 2} {
+			if count < 1 {
+				continue
+			}
+			as := expandSteps(steps, count)
+			for _, k := range []int{1, 2, 5, count} {
+				os := expandOutputs(as, k)
+				got := modePeakMemory(a, steps, as, os)
+				want := modePeakMemoryWalk(a, steps, as, os)
+				if got != want {
+					t.Fatalf("steps=%d count=%d k=%d: event-jump peak %d, walk peak %d",
+						steps, count, k, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,4 +1,4 @@
-// Package lp provides a dense two-phase primal simplex solver for linear
+// Package lp provides a sparse revised two-phase simplex solver for linear
 // programs. It is the linear-algebra substrate underneath the mixed-integer
 // branch-and-bound solver in package milp, which in turn solves the in-situ
 // analysis scheduling models in package core.
@@ -10,12 +10,18 @@
 //	            lo_j <= x_j <= up_j   for each variable j
 //
 // with finite or infinite bounds. Internally the problem is converted to
-// standard equality form with non-negative variables and solved with a
-// bounded-variable tableau simplex: upper bounds are handled implicitly in
-// the ratio test (nonbasic variables rest at either bound and may
-// bound-flip), so the binary-heavy scheduling MILPs built on top pay no
-// extra rows for their 0-1 variables. Pricing is Dantzig with a
-// Bland's-rule fallback to guarantee termination under degeneracy.
+// standard equality form and solved with a bounded-variable revised simplex
+// over a compressed-sparse-column store, keeping the basis inverse in
+// product form (an eta file with periodic refactorization) so each pivot
+// costs O(nonzeros + factorization fill) instead of the dense tableau's
+// O(rows × columns). Upper bounds are handled implicitly in the ratio test
+// (nonbasic variables rest at either bound and may bound-flip), so the
+// binary-heavy scheduling MILPs built on top pay no extra rows for their
+// 0-1 variables. Pricing is Devex with a Bland's-rule fallback to guarantee
+// termination under degeneracy; warm re-solves under changed bounds (the
+// Solver handle) restore feasibility with a bounded-variable dual simplex.
+// The retired dense tableau kernel remains available as SolveReference, the
+// differential-testing oracle.
 package lp
 
 import (
@@ -234,9 +240,8 @@ func Solve(p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	t := newTableau(p)
-	sol := t.solve()
-	return sol, nil
+	rv := newRevised(p)
+	return rv.solveCold(p.Lower, p.Upper), nil
 }
 
 // Eval returns c·x for the problem's objective at the given point.

@@ -10,10 +10,14 @@ package lp
 //     dual feasible, so Solve restores primal feasibility with a short
 //     bounded-variable dual-simplex run instead of re-running phase 1 from
 //     scratch. Typical branch-and-bound children need a handful of dual
-//     pivots where a cold solve needs dozens of phase-1+phase-2 pivots.
-//   - Buffer reuse. Cold rebuilds recycle the previous tableau's arrays,
-//     eliminating the per-node make([][]float64) storm that dominated the
-//     solver's allocation profile.
+//     pivots where a cold solve needs dozens of phase-1+phase-2 pivots; and
+//     when the dual run proves the child infeasible outright (see
+//     SolverStats.WarmInfeasible) even the cold confirmation solve is
+//     skipped.
+//   - Shared factorization state. All solves run over one CSC column store
+//     and one product-form basis factorization with periodic
+//     refactorization, so neither a warm nor a cold solve re-allocates or
+//     re-scans the matrix.
 //
 // A Solver is not safe for concurrent use; the parallel branch-and-bound
 // driver gives each worker its own. SolveCold is arithmetic-identical to
@@ -21,11 +25,10 @@ package lp
 // lets the serial search keep its byte-exact golden outputs while routing
 // through a Solver.
 type Solver struct {
-	p *Problem
-	t *tableau
+	p  *Problem
+	rv *revised
 
-	hasBasis  bool
-	sinceCold int
+	hasBasis bool
 
 	// Lean skips the diagnostic solution fields (duals, reduced costs, row
 	// activity) that branch and bound never reads.
@@ -34,14 +37,14 @@ type Solver struct {
 	// serial reproduction and for measuring warm-start savings).
 	NoWarm bool
 
-	// Stats counts the solves by path and the simplex iterations spent.
+	// Stats counts the solves by path and the simplex work spent.
 	Stats SolverStats
 }
 
 // SolverStats instruments a Solver's lifetime.
 type SolverStats struct {
 	Warm   int // solves answered from a warm-started basis
-	Cold   int // solves that (re)built the tableau from scratch
+	Cold   int // solves that (re)built the starting basis from scratch
 	Pivots int // simplex iterations (primal and dual) across all solves
 	// FallbackCold counts warm attempts whose basis restoration failed, so
 	// the solve fell through to the cold path. Those solves are counted in
@@ -50,12 +53,25 @@ type SolverStats struct {
 	// rising fallback rate means the warm bases are not surviving the
 	// branching pattern.
 	FallbackCold int
+	// WarmInfeasible counts warm re-solves whose dual simplex certified the
+	// subproblem infeasible directly (an unrepairable violated row), so no
+	// cold phase-1 confirmation was needed. These solves are counted in
+	// Warm as well; the split lets flight/schedd telemetry distinguish a
+	// dual-certified prune from a cold-certified one.
+	WarmInfeasible int
+	// PrimalPivots and DualPivots split the basis-changing pivots by
+	// algorithm (bound flips count as iterations in Pivots but change no
+	// basis). A healthy branch-and-bound run is dual-dominated: children
+	// re-solve with a few dual pivots each.
+	PrimalPivots int
+	DualPivots   int
+	// Refactorizations counts basis refactorizations (scheduled by eta-file
+	// growth or forced by numerical drift), and EtaPeak is the largest
+	// eta-file length (total stored entries) observed — together they
+	// describe how hard the product-form update machinery is working.
+	Refactorizations int
+	EtaPeak          int
 }
-
-// warmRebuildEvery bounds how many consecutive warm re-solves may reuse one
-// factorization before a cold rebuild refreshes it; Gauss-Jordan updates
-// accumulate roundoff, and a periodic rebuild keeps the basis trustworthy.
-const warmRebuildEvery = 64
 
 // NewSolver validates the problem once and returns a reusable solver for it.
 // The problem must not be mutated afterwards; pass per-solve bounds to Solve
@@ -69,41 +85,47 @@ func NewSolver(p *Problem) (*Solver, error) {
 
 // Solve solves the problem under the given bounds, warm-starting from the
 // previous solve's basis when possible, and reports whether the warm path
-// produced the answer. Warm results are only trusted at optimality: an
-// unsuccessful or non-optimal restoration falls back to a cold solve, so
-// infeasibility verdicts always carry a phase-1 certificate. Conflicting
-// bounds (lower above upper) short-circuit to an Infeasible solution.
+// produced the answer. Warm results are trusted at optimality and at
+// dual-certified infeasibility; any other restoration outcome falls back to
+// a cold solve, so every verdict carries either a phase-1 or a Farkas-style
+// certificate. Conflicting bounds (lower above upper) short-circuit to an
+// Infeasible solution.
 func (s *Solver) Solve(lower, upper []float64) (*Solution, bool) {
 	for j := range lower {
 		if lower[j] > upper[j] {
 			return &Solution{Status: Infeasible}, false
 		}
 	}
-	if !s.NoWarm && s.hasBasis && s.sinceCold < warmRebuildEvery {
-		if sol, ok := s.t.resolve(lower, upper); ok {
-			s.sinceCold++
+	if !s.NoWarm && s.hasBasis {
+		s.rv.lean = s.Lean
+		if sol, ok := s.rv.resolve(lower, upper); ok {
 			s.Stats.Warm++
 			s.Stats.Pivots += sol.Iters
+			if sol.Status == Infeasible {
+				s.Stats.WarmInfeasible++
+			}
 			return sol, true
 		}
-		// The failed restoration left the tableau mid-pivot; the cold
-		// rebuild below discards it.
+		// The failed restoration left the basis mid-pivot; the cold solve
+		// below rebuilds from scratch.
 		s.hasBasis = false
 		s.Stats.FallbackCold++
 	}
 	return s.SolveCold(lower, upper), false
 }
 
-// SolveCold rebuilds the tableau for the given bounds (reusing the previous
-// tableau's buffers) and solves from scratch with the two-phase primal
-// simplex — the same arithmetic as Solve(p) on a problem carrying these
-// bounds.
+// SolveCold restarts from the all-slack basis for the given bounds (reusing
+// the column store and factorization buffers) and solves with the two-phase
+// primal simplex — the same arithmetic as Solve(p) on a problem carrying
+// these bounds.
 func (s *Solver) SolveCold(lower, upper []float64) *Solution {
-	s.t = buildTableau(s.p, lower, upper, s.t)
-	s.t.lean = s.Lean
-	sol := s.t.solve()
+	if s.rv == nil {
+		s.rv = newRevised(s.p)
+		s.rv.stats = &s.Stats
+	}
+	s.rv.lean = s.Lean
+	sol := s.rv.solveCold(lower, upper)
 	s.hasBasis = sol.Status == Optimal
-	s.sinceCold = 0
 	s.Stats.Cold++
 	s.Stats.Pivots += sol.Iters
 	return sol

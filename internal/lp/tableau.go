@@ -2,7 +2,8 @@ package lp
 
 import "math"
 
-// tableau is the bounded-variable simplex working representation:
+// tableau is the legacy dense bounded-variable simplex working
+// representation:
 //
 //	maximize  c·y   subject to  A y = b,  lo_j <= y_j <= u_j
 //
@@ -10,15 +11,13 @@ import "math"
 // column per inequality row, and phase-1 artificials. Upper bounds are
 // handled implicitly — nonbasic variables may rest at their lower OR upper
 // bound, and the ratio test admits bound flips — so bounded variables cost
-// no extra rows, which matters for the binary-heavy scheduling MILPs built
-// on top of this solver.
+// no extra rows.
 //
-// A cold build captures shift_j from the build-time lower bounds, so every
-// lo_j starts at zero; a warm re-solve (resolve) keeps the factorized basis
-// and only moves lo/u, which is why the per-column lower bounds exist at
-// all. Buffers are reused across builds via buildTableau's reuse parameter —
-// the branch-and-bound hot path re-solves thousands of times and the
-// make([][]float64) storm used to dominate its allocation profile.
+// The production hot path is the sparse revised simplex in revised.go; this
+// dense kernel is retained only as SolveReference, the independent oracle
+// the solvercheck differential suite pits the revised kernel against. The
+// two implementations share no simplex code beyond the package tolerances,
+// which is what makes agreement between them meaningful.
 type tableau struct {
 	p *Problem
 
@@ -57,16 +56,20 @@ type tableau struct {
 	consSense []Sense
 }
 
-func newTableau(p *Problem) *tableau {
-	return buildTableau(p, p.Lower, p.Upper, nil)
+// SolveReference solves the linear program with the legacy dense tableau
+// simplex. It exists for differential testing only: the solvercheck suite
+// pits it against the production revised-simplex Solve across the seeded
+// corpora and fuzz targets, and any disagreement beyond tolerance is a bug
+// in one of the kernels. Production callers should use Solve.
+func SolveReference(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return newTableau(p).solve(), nil
 }
 
-// buildTableau constructs (or, when reuse matches the problem shape,
-// rebuilds in place) the cold tableau for the given bounds. The arithmetic
-// is identical whether or not buffers are reused — only the allocations
-// differ — so warm-capable callers produce byte-identical solutions to
-// lp.Solve.
-func buildTableau(p *Problem, lower, upper []float64, reuse *tableau) *tableau {
+func newTableau(p *Problem) *tableau {
+	lower, upper := p.Lower, p.Upper
 	nOrig := p.NumVars()
 	m := len(p.Constraints)
 	nSlack := 0
@@ -78,46 +81,25 @@ func buildTableau(p *Problem, lower, upper []float64, reuse *tableau) *tableau {
 	n := nOrig + nSlack
 	width := n + m // room for artificials
 
-	var t *tableau
-	if reuse != nil && reuse.p == p && reuse.m == m && reuse.n == n && reuse.width == width {
-		t = reuse
-		for i := range t.a {
-			row := t.a[i]
-			for j := range row {
-				row[j] = 0
-			}
-		}
-		for j := 0; j < width; j++ {
-			t.c[j] = 0
-			t.lo[j] = 0
-			t.u[j] = 0
-			t.inBasis[j] = false
-			t.atUpper[j] = false
-		}
-		t.cons = 0
-		t.nArt = 0
-		t.iters = 0
-	} else {
-		t = &tableau{p: p, m: m, n: n, width: width}
-		t.a = make([][]float64, m)
-		for i := range t.a {
-			t.a[i] = make([]float64, width)
-		}
-		t.val = make([]float64, m)
-		t.c = make([]float64, width)
-		t.lo = make([]float64, width)
-		t.u = make([]float64, width)
-		t.shift = make([]float64, nOrig)
-		t.curLow = make([]float64, nOrig)
-		t.curUp = make([]float64, nOrig)
-		t.basis = make([]int, m)
-		t.inBasis = make([]bool, width)
-		t.atUpper = make([]bool, width)
-		t.cb = make([]float64, m)
-		t.objScratch = make([]float64, width)
-		t.consSlack = make([]int, m)
-		t.consSense = make([]Sense, m)
+	t := &tableau{p: p, m: m, n: n, width: width}
+	t.a = make([][]float64, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, width)
 	}
+	t.val = make([]float64, m)
+	t.c = make([]float64, width)
+	t.lo = make([]float64, width)
+	t.u = make([]float64, width)
+	t.shift = make([]float64, nOrig)
+	t.curLow = make([]float64, nOrig)
+	t.curUp = make([]float64, nOrig)
+	t.basis = make([]int, m)
+	t.inBasis = make([]bool, width)
+	t.atUpper = make([]bool, width)
+	t.cb = make([]float64, m)
+	t.objScratch = make([]float64, width)
+	t.consSlack = make([]int, m)
+	t.consSense = make([]Sense, m)
 	copy(t.shift, lower)
 	copy(t.curLow, lower)
 	copy(t.curUp, upper)
@@ -287,177 +269,6 @@ func (t *tableau) extract(obj float64) *Solution {
 		RowActivity:  activity,
 		Slacks:       slacks,
 	}
-}
-
-// applyBounds installs new original-space bounds into a previously solved
-// tableau: each column's lo/u move to the new values (still relative to the
-// build-time shift), and nonbasic columns that rest at a moved bound carry
-// their displacement into the basic values. Basic columns just get the new
-// bounds; any violation is what the dual restoration repairs.
-func (t *tableau) applyBounds(lower, upper []float64) {
-	nOrig := t.p.NumVars()
-	for j := 0; j < nOrig; j++ {
-		nlo := lower[j] - t.shift[j]
-		nup := math.Inf(1)
-		if !math.IsInf(upper[j], 1) {
-			nup = upper[j] - t.shift[j]
-		}
-		if t.inBasis[j] {
-			t.lo[j], t.u[j] = nlo, nup
-			continue
-		}
-		oldRest := t.lo[j]
-		if t.atUpper[j] {
-			oldRest = t.u[j]
-		}
-		t.lo[j], t.u[j] = nlo, nup
-		if t.atUpper[j] && math.IsInf(nup, 1) {
-			t.atUpper[j] = false
-		}
-		newRest := t.lo[j]
-		if t.atUpper[j] {
-			newRest = t.u[j]
-		}
-		if delta := newRest - oldRest; delta != 0 {
-			for i := 0; i < t.m; i++ {
-				if aij := t.a[i][j]; aij != 0 {
-					t.val[i] -= aij * delta
-				}
-			}
-		}
-	}
-	copy(t.curLow, lower)
-	copy(t.curUp, upper)
-}
-
-// dualPivTol is the minimum pivot magnitude the dual restoration accepts;
-// smaller pivots are numerically risky, and bailing out just costs one cold
-// solve.
-const dualPivTol = 1e-7
-
-// dualRestore runs the bounded-variable dual simplex until primal
-// feasibility is restored, starting from a dual-feasible (previously
-// optimal) basis whose bounds have moved. It returns false when it finds no
-// admissible pivot or exceeds its iteration budget — the caller must then
-// re-solve cold, which also turns a possible "restoration failed because
-// the subproblem is infeasible" into a phase-1-certified verdict instead of
-// trusting a warm-path conclusion.
-func (t *tableau) dualRestore() bool {
-	maxIter := 50 + 2*(t.m+t.width)
-	ncols := t.n + t.nArt
-	for iter := 0; iter < maxIter; iter++ {
-		// Leaving row: the most-violated basic variable.
-		r := -1
-		above := false
-		worst := feasTol
-		for i := 0; i < t.m; i++ {
-			b := t.basis[i]
-			if v := t.lo[b] - t.val[i]; v > worst {
-				worst, r, above = v, i, false
-			}
-			if v := t.val[i] - t.u[b]; v > worst {
-				worst, r, above = v, i, true
-			}
-		}
-		if r < 0 {
-			return true
-		}
-		t.iters++
-		for i := 0; i < t.m; i++ {
-			t.cb[i] = t.c[t.basis[i]]
-		}
-		// Entering column: among sign-admissible nonbasic columns (those
-		// whose pivot keeps every reduced cost on its feasible side), take
-		// the minimum |d_j|/|a_rj| ratio; ties break on the smallest index
-		// so the restoration is deterministic.
-		enter := -1
-		bestRatio := math.Inf(1)
-		for j := 0; j < ncols; j++ {
-			if t.inBasis[j] || t.u[j]-t.lo[j] < eps {
-				continue // basic, or fixed: cannot move
-			}
-			alpha := t.a[r][j]
-			if math.Abs(alpha) < dualPivTol {
-				continue
-			}
-			// The leaving variable exits at its violated bound; its new
-			// reduced cost is -d_j/alpha, which must be <= 0 when it leaves
-			// at its lower bound and >= 0 at its upper bound. Combined with
-			// the sign of d_j at each resting side, that fixes the
-			// admissible sign of alpha.
-			if !above {
-				if !t.atUpper[j] && alpha > -dualPivTol {
-					continue
-				}
-				if t.atUpper[j] && alpha < dualPivTol {
-					continue
-				}
-			} else {
-				if !t.atUpper[j] && alpha < dualPivTol {
-					continue
-				}
-				if t.atUpper[j] && alpha > -dualPivTol {
-					continue
-				}
-			}
-			d := t.c[j]
-			for i := 0; i < t.m; i++ {
-				if t.cb[i] != 0 {
-					d -= t.cb[i] * t.a[i][j]
-				}
-			}
-			ratio := math.Abs(d) / math.Abs(alpha)
-			if ratio < bestRatio-eps || (ratio < bestRatio+eps && enter >= 0 && j < enter) {
-				bestRatio = ratio
-				enter = j
-			}
-		}
-		if enter < 0 {
-			return false
-		}
-
-		// Step length: move the entering variable until the leaving basic
-		// variable reaches its violated bound.
-		bound := t.lo[t.basis[r]]
-		if above {
-			bound = t.u[t.basis[r]]
-		}
-		alpha := t.a[r][enter]
-		step := (t.val[r] - bound) / alpha
-		rest := t.lo[enter]
-		if t.atUpper[enter] {
-			rest = t.u[enter]
-		}
-		for i := 0; i < t.m; i++ {
-			if aij := t.a[i][enter]; aij != 0 {
-				t.val[i] -= aij * step
-			}
-		}
-		leavingCol := t.basis[r]
-		t.pivot(r, enter, t.atUpper[enter])
-		t.val[r] = rest + step
-		t.inBasis[leavingCol] = false
-		t.atUpper[leavingCol] = above
-	}
-	return false
-}
-
-// resolve warm-starts the previously solved tableau under new bounds: apply
-// the bound deltas, restore primal feasibility with the dual simplex, then
-// let the primal simplex finish (usually zero pivots). The boolean reports
-// success; on false the tableau state is unreliable and the caller must
-// rebuild cold.
-func (t *tableau) resolve(lower, upper []float64) (*Solution, bool) {
-	t.iters = 0
-	t.applyBounds(lower, upper)
-	if !t.dualRestore() {
-		return nil, false
-	}
-	status, obj := t.simplex(t.c)
-	if status != Optimal {
-		return nil, false
-	}
-	return t.extract(obj), true
 }
 
 // reducedCosts returns c_j - z_j for each original variable at the current

@@ -130,6 +130,19 @@ type Stats struct {
 	// failed and fell through to the cold path (a subset of ColdSolves),
 	// summed over the worker solver contexts.
 	FallbackColds int
+	// WarmInfeasibles counts warm re-solves the dual simplex certified
+	// infeasible outright (a subset of WarmSolves): the node was pruned on a
+	// Farkas-style certificate with no cold phase-1 confirmation.
+	WarmInfeasibles int
+	// PrimalPivots and DualPivots split the basis-changing simplex work by
+	// algorithm (Pivots additionally counts bound-flip iterations), and
+	// Refactorizations/EtaPeak describe the basis-factorization machinery —
+	// all summed (EtaPeak: maxed) over the solver contexts, heuristic solver
+	// included. See lp.SolverStats for the per-context semantics.
+	PrimalPivots     int
+	DualPivots       int
+	Refactorizations int
+	EtaPeak          int
 	// Prune-reason taxonomy over explored nodes:
 	// Nodes == PrunedBound + PrunedInfeasible + IntegralNodes + BranchedNodes.
 	PrunedBound      int // relaxation solved but dominated by the incumbent
@@ -341,7 +354,13 @@ func (s *search) finish(sol *Solution, bound float64) *Solution {
 	s.stats.Workers = s.opts.workersWidth()
 	s.stats.Nodes = sol.Nodes
 	s.stats.BestBound = bound
-	s.stats.FallbackColds = s.fallbackColds()
+	t := s.solverTotals()
+	s.stats.FallbackColds = t.FallbackCold
+	s.stats.WarmInfeasibles = t.WarmInfeasible
+	s.stats.PrimalPivots = t.PrimalPivots
+	s.stats.DualPivots = t.DualPivots
+	s.stats.Refactorizations = t.Refactorizations
+	s.stats.EtaPeak = t.EtaPeak
 	s.stats.SolveTime = s.opts.Now().Sub(s.started)
 	sol.Bound = bound
 	sol.Stats = s.stats
@@ -602,11 +621,11 @@ func (s *search) runSerial() (*Solution, error) {
 	}
 	ctx.Lean = true
 	ctx.NoWarm = true
-	s.registerSolvers(ctx)
 	heur, err := newHeurCtx(s.p)
 	if err != nil {
 		return nil, err
 	}
+	s.registerSolvers(ctx, heur.solver)
 	root := &node{
 		lower:     append([]float64(nil), s.p.LP.Lower...),
 		upper:     append([]float64(nil), s.p.LP.Upper...),

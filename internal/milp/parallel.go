@@ -63,11 +63,11 @@ func (s *search) runParallel() (*Solution, error) {
 		ctx.NoWarm = s.opts.NoWarmStart
 		ctxs[g] = ctx
 	}
-	s.registerSolvers(ctxs...)
 	heur, err := newHeurCtx(s.p)
 	if err != nil {
 		return nil, err
 	}
+	s.registerSolvers(append(append([]*lp.Solver(nil), ctxs...), heur.solver)...)
 	root := &node{lower: lower, upper: upper, branchVar: -1}
 	if done, err := s.openRoot(ctxs[0], heur, root); done != nil || err != nil {
 		return done, err

@@ -56,6 +56,15 @@ type ProgressEvent struct {
 	WarmSolves    int
 	ColdSolves    int
 	FallbackColds int
+	// Revised-simplex internals, cumulative across the solver contexts
+	// (matching the Stats fields of the same names): warm re-solves pruned on
+	// a dual infeasibility certificate, the primal/dual pivot split, basis
+	// refactorizations, and the peak eta-file length.
+	WarmInfeasibles  int
+	PrimalPivots     int
+	DualPivots       int
+	Refactorizations int
+	EtaPeak          int
 
 	// Prune-reason taxonomy over explored nodes, cumulative:
 	// Nodes == PrunedBound + PrunedInfeasible + IntegralNodes + BranchedNodes.
@@ -93,16 +102,27 @@ func (o Options) workersWidth() int {
 	return 1
 }
 
-// fallbackColds sums the warm-fallback counters across the node solver
-// contexts (the heuristic solver is always cold, so it never contributes).
-func (s *search) fallbackColds() int {
-	n := 0
+// solverTotals aggregates the lp-level statistics across the registered
+// solver contexts: sums for the counters, max for the eta-file peak. The
+// heuristic solver is registered too — it is always cold, so it never
+// contributes warm fallbacks or dual pivots, but its primal pivots and
+// refactorizations are real work that Stats.Pivots already charges.
+func (s *search) solverTotals() (t lp.SolverStats) {
 	for _, sv := range s.solvers {
-		if sv != nil {
-			n += sv.Stats.FallbackCold
+		if sv == nil {
+			continue
+		}
+		st := &sv.Stats
+		t.FallbackCold += st.FallbackCold
+		t.WarmInfeasible += st.WarmInfeasible
+		t.PrimalPivots += st.PrimalPivots
+		t.DualPivots += st.DualPivots
+		t.Refactorizations += st.Refactorizations
+		if st.EtaPeak > t.EtaPeak {
+			t.EtaPeak = st.EtaPeak
 		}
 	}
-	return n
+	return t
 }
 
 // fill stamps the shared cumulative state onto ev. It must only run on the
@@ -119,7 +139,13 @@ func (s *search) fill(ev *ProgressEvent) {
 	ev.Relaxations = s.stats.Relaxations
 	ev.WarmSolves = s.stats.WarmSolves
 	ev.ColdSolves = s.stats.ColdSolves
-	ev.FallbackColds = s.fallbackColds()
+	t := s.solverTotals()
+	ev.FallbackColds = t.FallbackCold
+	ev.WarmInfeasibles = t.WarmInfeasible
+	ev.PrimalPivots = t.PrimalPivots
+	ev.DualPivots = t.DualPivots
+	ev.Refactorizations = t.Refactorizations
+	ev.EtaPeak = t.EtaPeak
 	ev.PrunedBound = s.stats.PrunedBound
 	ev.PrunedInfeasible = s.stats.PrunedInfeasible
 	ev.IntegralNodes = s.stats.IntegralNodes
@@ -200,6 +226,7 @@ func (s *search) emitEnd(sol *Solution, bound float64) {
 	s.opts.Progress(ev)
 }
 
-// registerSolvers records the node solver contexts so flight events can
-// report warm-fallback totals; it must run before the root solve.
+// registerSolvers records the solver contexts (node solvers plus the
+// heuristic solver) so flight events and the final Stats can report the
+// aggregated lp-level counters; it must run before the root solve.
 func (s *search) registerSolvers(ctxs ...*lp.Solver) { s.solvers = ctxs }

@@ -56,6 +56,17 @@ type SolveProgress struct {
 	ColdSolves    int `json:"cold"`
 	FallbackColds int `json:"fallback_cold,omitempty"`
 
+	// Revised-simplex internals: warm re-solves pruned on a dual
+	// infeasibility certificate, the primal/dual pivot split, basis
+	// refactorizations, and the peak eta-file length. Zero on streams
+	// recorded before solveprog carried them (the schema version is
+	// unchanged: absent args decode to zero).
+	WarmInfeasibles  int `json:"warm_infeasible,omitempty"`
+	PrimalPivots     int `json:"primal_pivots,omitempty"`
+	DualPivots       int `json:"dual_pivots,omitempty"`
+	Refactorizations int `json:"refactorizations,omitempty"`
+	EtaPeak          int `json:"eta_peak,omitempty"`
+
 	PrunedBound      int `json:"prune_bound"`
 	PrunedInfeasible int `json:"prune_infeasible"`
 	IntegralNodes    int `json:"integral"`
@@ -132,6 +143,11 @@ func (p SolveProgress) Event(name string) LedgerEvent {
 		"warm":             float64(p.WarmSolves),
 		"cold":             float64(p.ColdSolves),
 		"fallback_cold":    float64(p.FallbackColds),
+		"warm_infeasible":  float64(p.WarmInfeasibles),
+		"primal_pivots":    float64(p.PrimalPivots),
+		"dual_pivots":      float64(p.DualPivots),
+		"refactorizations": float64(p.Refactorizations),
+		"eta_peak":         float64(p.EtaPeak),
 		"prune_bound":      float64(p.PrunedBound),
 		"prune_infeasible": float64(p.PrunedInfeasible),
 		"integral":         float64(p.IntegralNodes),
@@ -183,6 +199,11 @@ func SolveProgFromEvent(e LedgerEvent) (SolveProgress, bool) {
 		WarmSolves:       int(e.Args["warm"]),
 		ColdSolves:       int(e.Args["cold"]),
 		FallbackColds:    int(e.Args["fallback_cold"]),
+		WarmInfeasibles:  int(e.Args["warm_infeasible"]),
+		PrimalPivots:     int(e.Args["primal_pivots"]),
+		DualPivots:       int(e.Args["dual_pivots"]),
+		Refactorizations: int(e.Args["refactorizations"]),
+		EtaPeak:          int(e.Args["eta_peak"]),
 		PrunedBound:      int(e.Args["prune_bound"]),
 		PrunedInfeasible: int(e.Args["prune_infeasible"]),
 		IntegralNodes:    int(e.Args["integral"]),
@@ -420,8 +441,9 @@ func DeterministicBytes(recs []SolveProgress) []byte {
 		if p.HasBound {
 			fmt.Fprintf(&b, " bound=%.9g", p.Bound)
 		}
-		fmt.Fprintf(&b, " pivots=%d relax=%d warm=%d cold=%d fb=%d prune=%d/%d int=%d branch=%d qprune=%d",
+		fmt.Fprintf(&b, " pivots=%d relax=%d warm=%d cold=%d fb=%d wi=%d pp=%d dp=%d refac=%d eta=%d prune=%d/%d int=%d branch=%d qprune=%d",
 			p.Pivots, p.Relaxations, p.WarmSolves, p.ColdSolves, p.FallbackColds,
+			p.WarmInfeasibles, p.PrimalPivots, p.DualPivots, p.Refactorizations, p.EtaPeak,
 			p.PrunedBound, p.PrunedInfeasible, p.IntegralNodes, p.BranchedNodes, p.QueuePruned)
 		if p.Kind == SolveProgStart {
 			fmt.Fprintf(&b, " vars=%d ints=%d rows=%d", p.Vars, p.IntVars, p.Constraints)
@@ -592,9 +614,17 @@ func WriteGapTimeline(w io.Writer, name string, recs []SolveProgress) error {
 		if gap, ok := end.Gap(); ok {
 			line += fmt.Sprintf(", gap %.4g", gap)
 		}
-		line += fmt.Sprintf(" (%d pivots, %d warm / %d cold solves", end.Pivots, end.WarmSolves, end.ColdSolves)
+		line += fmt.Sprintf(" (%d pivots", end.Pivots)
+		if end.PrimalPivots > 0 || end.DualPivots > 0 {
+			line += fmt.Sprintf(" [%d primal / %d dual, %d refactorization(s), eta peak %d]",
+				end.PrimalPivots, end.DualPivots, end.Refactorizations, end.EtaPeak)
+		}
+		line += fmt.Sprintf(", %d warm / %d cold solves", end.WarmSolves, end.ColdSolves)
 		if end.FallbackColds > 0 {
 			line += fmt.Sprintf(", %d warm fallback(s)", end.FallbackColds)
+		}
+		if end.WarmInfeasibles > 0 {
+			line += fmt.Sprintf(", %d dual-certified prune(s)", end.WarmInfeasibles)
 		}
 		line += fmt.Sprintf("; pruned %d bound / %d infeasible, %d integral, %d branched)",
 			end.PrunedBound, end.PrunedInfeasible, end.IntegralNodes, end.BranchedNodes)

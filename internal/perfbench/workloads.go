@@ -58,9 +58,19 @@ func Workloads(suite string) ([]Workload, error) {
 // metric (any objective drift is a solver behaviour change). Solves run at
 // BenchWorkers width and record it as solver_workers, so the bench gate
 // can prove the suite did not silently fall back to the serial search.
+// Warm-start health is recorded alongside: warm_solves and fallback_colds
+// are deterministic per width and exact-gated (a rising fallback count means
+// the dual-simplex warm re-solves stopped surviving the branching pattern),
+// and `benchobs check` additionally gates their ratio across the suite. The
+// revised-simplex internals (primal/dual pivot split, refactorizations, eta
+// peak) ride along as informational metrics.
 func schedSolve(name string, specs []core.AnalysisSpec, res core.Resources) Workload {
+	return schedSolveOpts(name, specs, res, core.SolveOptions{Workers: BenchWorkers})
+}
+
+func schedSolveOpts(name string, specs []core.AnalysisSpec, res core.Resources, opts core.SolveOptions) Workload {
 	return Workload{Name: name, Run: func() (Sample, error) {
-		rec, err := core.Solve(specs, res, core.SolveOptions{Workers: BenchWorkers})
+		rec, err := core.Solve(specs, res, opts)
 		if err != nil {
 			return Sample{}, err
 		}
@@ -70,9 +80,45 @@ func schedSolve(name string, specs []core.AnalysisSpec, res core.Resources) Work
 			Model: map[string]float64{
 				"objective":      rec.Objective,
 				"solver_workers": float64(rec.Stats.Workers),
+				"warm_solves":    float64(rec.Stats.WarmSolves),
+				"fallback_colds": float64(rec.Stats.FallbackColds),
+			},
+			Info: map[string]float64{
+				"primal_pivots":    float64(rec.Stats.PrimalPivots),
+				"dual_pivots":      float64(rec.Stats.DualPivots),
+				"refactorizations": float64(rec.Stats.Refactorizations),
+				"eta_peak":         float64(rec.Stats.EtaPeak),
 			},
 		}, nil
 	}}
+}
+
+// largeSparseSpecs builds the deterministic synthetic campaign behind
+// sched_large_sparse: n analyses with coarse minimum intervals, so the
+// compact model under a mode cap becomes a few thousand 0-1 columns over a
+// few hundred rows with ~3 nonzeros per column — the large-sparse shape
+// where a dense tableau pays O(rows x columns) per pivot and the revised
+// simplex pays O(column nonzeros).
+func largeSparseSpecs(n int) []core.AnalysisSpec {
+	rng := rand.New(rand.NewSource(271828))
+	specs := make([]core.AnalysisSpec, n)
+	for i := range specs {
+		specs[i] = core.AnalysisSpec{
+			Name:        fmt.Sprintf("a%03d", i),
+			CT:          0.25 + 0.25*float64(rng.Intn(12)),
+			OT:          0.25 * float64(rng.Intn(4)),
+			FM:          int64(rng.Intn(64)) << 20,
+			CM:          int64(rng.Intn(64)) << 20,
+			OM:          int64(rng.Intn(64)) << 20,
+			// Integer weights keep the objective integral, so branch and
+			// bound can use its incumbent+1 pruning fast path; fractional
+			// weights here create a plateau of equal-value schedules that
+			// explodes the node count.
+			Weight:      []float64{1, 1, 2, 3}[rng.Intn(4)],
+			MinInterval: []int{50, 100, 200, 250}[rng.Intn(4)],
+		}
+	}
+	return specs
 }
 
 // solverWorkloads covers the paper's scheduling instances: LAMMPS
@@ -97,6 +143,14 @@ func solverWorkloads() []Workload {
 		schedSolve("sched_flash_f1f3_equal",
 			experiments.FlashSpecs(),
 			core.Resources{Steps: 1000, TimeThreshold: 43.5, MemThreshold: mem}),
+		// sched_large_sparse is the revised-simplex showcase: a synthetic
+		// 220-analysis campaign whose compact model (mode cap 4) is a few
+		// thousand binaries over a few hundred sparse rows — far beyond the
+		// paper instances, and the shape where the dense tableau paid
+		// O(rows x columns) per pivot.
+		schedSolveOpts("sched_large_sparse", largeSparseSpecs(220),
+			core.Resources{Steps: 1000, TimeThreshold: 600, MemThreshold: 12 << 30},
+			core.SolveOptions{Workers: BenchWorkers, MaxCount: 4}),
 	}
 
 	ws = append(ws, Workload{Name: "sched_flash_f1f3_lexicographic", Run: func() (Sample, error) {

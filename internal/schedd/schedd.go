@@ -133,7 +133,11 @@ type ScheduleJSON struct {
 	PeakMemoryBytes  int64   `json:"peak_memory_bytes"`
 }
 
-// SolverInfo summarizes the branch-and-bound search behind a response.
+// SolverInfo summarizes the branch-and-bound search behind a response. The
+// warm/fallback/dual fields expose the revised-simplex warm-start health:
+// WarmSolves counts node re-solves answered from a warm basis (of which
+// WarmInfeasibles were pruned on a dual infeasibility certificate), and
+// FallbackColds counts warm attempts that fell through to a cold solve.
 type SolverInfo struct {
 	Nodes        int     `json:"nodes"`
 	Relaxations  int     `json:"relaxations"`
@@ -141,6 +145,15 @@ type SolverInfo struct {
 	Workers      int     `json:"workers"`
 	SolveTimeSec float64 `json:"solve_time_sec"`
 	Bound        float64 `json:"bound"`
+
+	WarmSolves       int `json:"warm_solves"`
+	ColdSolves       int `json:"cold_solves"`
+	FallbackColds    int `json:"fallback_colds,omitempty"`
+	WarmInfeasibles  int `json:"warm_infeasibles,omitempty"`
+	PrimalPivots     int `json:"primal_pivots,omitempty"`
+	DualPivots       int `json:"dual_pivots,omitempty"`
+	Refactorizations int `json:"refactorizations,omitempty"`
+	EtaPeak          int `json:"eta_peak,omitempty"`
 }
 
 // AttributionJSON is the wire form of one core.Attribution.
@@ -238,6 +251,11 @@ type Server struct {
 	nodesTot  *obs.Counter
 	pivotsTot *obs.Counter
 	coalesced *obs.Counter
+	// Warm-start health of the revised-simplex solver contexts, summed over
+	// all solves: warm vs fallback-cold re-solves and dual-certified prunes.
+	warmTot     *obs.Counter
+	fallbackTot *obs.Counter
+	warmInfTot  *obs.Counter
 }
 
 // New builds a Server; it is ready as soon as it returns.
@@ -259,6 +277,10 @@ func New(cfg Config) *Server {
 		nodesTot:  reg.Counter("schedd_solver_nodes_total", nil),
 		pivotsTot: reg.Counter("schedd_solver_pivots_total", nil),
 		coalesced: reg.Counter("schedd_coalesced_total", nil),
+
+		warmTot:     reg.Counter("schedd_solver_warm_total", nil),
+		fallbackTot: reg.Counter("schedd_solver_warm_fallback_total", nil),
+		warmInfTot:  reg.Counter("schedd_solver_warm_infeasible_total", nil),
 	}
 	return s
 }
@@ -478,6 +500,9 @@ func (s *Server) solve(ctx context.Context, id string, req SolveRequest) (*solve
 	}
 	s.nodesTot.Add(float64(rc.Stats.Nodes))
 	s.pivotsTot.Add(float64(rc.Stats.Pivots))
+	s.warmTot.Add(float64(rc.Stats.WarmSolves))
+	s.fallbackTot.Add(float64(rc.Stats.FallbackColds))
+	s.warmInfTot.Add(float64(rc.Stats.WarmInfeasibles))
 	s.solveDur.Observe(rc.SolveTime.Seconds())
 	s.ledger.Append(obs.LedgerEvent{
 		Type: obs.LedgerSolve, Name: id,
@@ -510,6 +535,15 @@ func (s *Server) buildResponse(id string, val *solved, withExplain bool) *SolveR
 			Workers:      rc.Stats.Workers,
 			SolveTimeSec: rc.SolveTime.Seconds(),
 			Bound:        rc.Stats.BestBound,
+
+			WarmSolves:       rc.Stats.WarmSolves,
+			ColdSolves:       rc.Stats.ColdSolves,
+			FallbackColds:    rc.Stats.FallbackColds,
+			WarmInfeasibles:  rc.Stats.WarmInfeasibles,
+			PrimalPivots:     rc.Stats.PrimalPivots,
+			DualPivots:       rc.Stats.DualPivots,
+			Refactorizations: rc.Stats.Refactorizations,
+			EtaPeak:          rc.Stats.EtaPeak,
 		},
 	}
 	for _, sch := range rc.Schedules {

@@ -3,6 +3,8 @@ package solvercheck
 import (
 	"math/rand"
 	"testing"
+
+	"insitu/internal/lp"
 )
 
 // Native fuzz targets: the fuzzer steers the generator seed and shape knobs,
@@ -35,6 +37,28 @@ func FuzzMILPSolve(f *testing.F) {
 		p := RandBinaryMILP(rng, cfg)
 		if err := CheckMILP(rng, p); err != nil {
 			t.Fatalf("seed %d cfg %+v: %v", seed, cfg, err)
+		}
+	})
+}
+
+func FuzzRevisedSimplex(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(4), uint8(0))
+	f.Add(int64(42), uint8(12), uint8(8), uint8(1))
+	f.Add(int64(-7), uint8(3), uint8(2), uint8(2))
+	f.Add(int64(1<<33), uint8(20), uint8(12), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, vars, cons, kind uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		var p *lp.Problem
+		switch kind % 3 {
+		case 0:
+			p = RandLP(rng, LPConfig{MaxVars: 1 + int(vars%24), MaxCons: 1 + int(cons%16)})
+		case 1:
+			p = RandChainLP(rng, 16+int(vars)%80)
+		default:
+			p = RandNearSingularLP(rng)
+		}
+		if err := CheckRevised(rng, p); err != nil {
+			t.Fatalf("seed %d kind %d: %v", seed, kind%3, err)
 		}
 	})
 }

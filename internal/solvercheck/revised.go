@@ -1,0 +1,184 @@
+package solvercheck
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"insitu/internal/lp"
+)
+
+// This file is the revised-simplex differential oracle: lp.Solve (the sparse
+// revised kernel with product-form factorization, Devex pricing, and dual
+// warm re-solves) against lp.SolveReference (the retired dense tableau,
+// kept as the independent ground truth). Beyond the generic RandLP shapes it
+// carries two pathological generators aimed at the revised kernel's weak
+// spots — long eta chains (factorization update pressure) and near-singular
+// bases (tiny pivots, refactorization rescues).
+
+// CheckRevised cross-checks the revised simplex against the dense reference
+// on one instance: cold solve agreement (status, objective, feasibility of
+// both points), then a short branching-style walk of bound tightenings where
+// every warm re-solve through an lp.Solver must match a dense solve of the
+// same bounds. Failures name the violated property.
+func CheckRevised(rng *rand.Rand, p *lp.Problem) error {
+	ref, err := lp.SolveReference(p)
+	if err != nil {
+		return fmt.Errorf("lp.SolveReference: %v", err)
+	}
+	rev, err := lp.Solve(p)
+	if err != nil {
+		return fmt.Errorf("lp.Solve: %v", err)
+	}
+	if err := compareRevised(ref, rev, p); err != nil {
+		return fmt.Errorf("cold: %v", err)
+	}
+
+	// Branching-style walk: tighten integer bounds a step at a time, warm
+	// re-solving through the Solver handle, and check every answer against a
+	// dense cold solve of the identical bounds.
+	sv, err := lp.NewSolver(p)
+	if err != nil {
+		return fmt.Errorf("lp.NewSolver: %v", err)
+	}
+	lower := append([]float64(nil), p.Lower...)
+	upper := append([]float64(nil), p.Upper...)
+	for round := 0; round < 6; round++ {
+		j := rng.Intn(p.NumVars())
+		switch rng.Intn(3) {
+		case 0:
+			if lower[j] < upper[j] {
+				lower[j]++
+			}
+		case 1:
+			if !math.IsInf(upper[j], 1) && upper[j] > lower[j] {
+				upper[j]--
+			}
+		default:
+			lower[j], upper[j] = p.Lower[j], p.Upper[j] // relax back
+		}
+		wsol, _ := sv.Solve(lower, upper)
+		q := p.Clone()
+		q.Lower = append([]float64(nil), lower...)
+		q.Upper = append([]float64(nil), upper...)
+		dsol, err := lp.SolveReference(q)
+		if err != nil {
+			return fmt.Errorf("round %d: lp.SolveReference: %v", round, err)
+		}
+		if err := compareRevised(dsol, wsol, q); err != nil {
+			return fmt.Errorf("round %d (var %d in [%g,%g]): %v", round, j, lower[j], upper[j], err)
+		}
+	}
+	return nil
+}
+
+// compareRevised checks one dense/revised solution pair over problem p:
+// statuses equal, and at optimality matching objectives with both points
+// feasible (the optimal vertices themselves may differ under degeneracy).
+func compareRevised(dense, revised *lp.Solution, p *lp.Problem) error {
+	if dense.Status != revised.Status {
+		return fmt.Errorf("dense status %v, revised %v", dense.Status, revised.Status)
+	}
+	if dense.Status != lp.Optimal {
+		return nil
+	}
+	if !objClose(dense.Objective, revised.Objective) {
+		return fmt.Errorf("dense objective %g, revised %g", dense.Objective, revised.Objective)
+	}
+	if viol := p.FirstViolation(revised.X, 1e-6); viol != "" {
+		return fmt.Errorf("revised point infeasible: %s", viol)
+	}
+	if viol := p.FirstViolation(dense.X, 1e-6); viol != "" {
+		return fmt.Errorf("dense point infeasible: %s", viol)
+	}
+	if got := p.Eval(revised.X); !objClose(got, revised.Objective) {
+		return fmt.Errorf("revised objective %g disagrees with c·x = %g", revised.Objective, got)
+	}
+	return nil
+}
+
+// RandChainLP generates a long-eta-chain instance: a chain of equality rows
+// x_j - x_{j-1} == d_j whose artificials force a phase-1 drive-out across
+// the whole chain, plus a few coupling inequalities. Basis changes propagate
+// down the chain, so the eta file grows past the refactorization threshold
+// on modest sizes — the shape that stresses the product-form update
+// machinery. Instances are feasible by witness construction.
+func RandChainLP(rng *rand.Rand, length int) *lp.Problem {
+	if length <= 0 {
+		length = 48
+	}
+	p := &lp.Problem{}
+	witness := make([]float64, length)
+	w := float64(2 + rng.Intn(3))
+	for j := 0; j < length; j++ {
+		if j > 0 {
+			step := float64(rng.Intn(3) - 1)
+			if w+step < 0 || w+step > 7 {
+				step = -step
+			}
+			w += step
+		}
+		witness[j] = w
+		p.AddVar(float64(rng.Intn(7)-3), 0, 8, fmt.Sprintf("x%d", j))
+	}
+	for j := 1; j < length; j++ {
+		p.AddConstraint([]int{j, j - 1}, []float64{1, -1}, lp.EQ, witness[j]-witness[j-1], fmt.Sprintf("chain%d", j))
+	}
+	// Coupling rows keep phase 2 from being trivial.
+	for r := 0; r < 2+rng.Intn(3); r++ {
+		nz := 2 + rng.Intn(length/2)
+		idx := rng.Perm(length)[:nz]
+		coef := make([]float64, nz)
+		at := 0.0
+		for k, j := range idx {
+			coef[k] = float64(1 + rng.Intn(3))
+			at += coef[k] * witness[j]
+		}
+		p.AddConstraint(idx, coef, lp.LE, at+float64(rng.Intn(6)), fmt.Sprintf("couple%d", r))
+	}
+	return p
+}
+
+// RandNearSingularLP generates an instance whose constraint rows come in
+// nearly-parallel pairs: the second row of each pair is a scaled copy of the
+// first with one coefficient perturbed by a tiny dyadic amount (1/1024, exact
+// in floating point). Bases containing both rows' slacks are near-singular,
+// which exercises the factorization's partial pivoting, the stale-pivot
+// refactorization rescue, and the dual simplex's small-pivot rejection.
+// Instances are feasible by witness construction.
+func RandNearSingularLP(rng *rand.Rand) *lp.Problem {
+	n := 4 + rng.Intn(5)
+	p := &lp.Problem{}
+	witness := make([]float64, n)
+	for j := 0; j < n; j++ {
+		witness[j] = float64(rng.Intn(5))
+		p.AddVar(float64(rng.Intn(11)-5), 0, 6, fmt.Sprintf("v%d", j))
+	}
+	pairs := 2 + rng.Intn(3)
+	for r := 0; r < pairs; r++ {
+		idx, coef := randRow(rng, n)
+		at := 0.0
+		for k, j := range idx {
+			at += coef[k] * witness[j]
+		}
+		p.AddConstraint(idx, coef, lp.LE, at+float64(rng.Intn(4)), fmt.Sprintf("p%da", r))
+
+		scale := float64(1 + rng.Intn(2))
+		twin := make([]float64, len(coef))
+		for k := range coef {
+			twin[k] = coef[k] * scale
+		}
+		const tiny = 1.0 / 1024
+		twin[rng.Intn(len(twin))] += tiny
+		at2 := 0.0
+		for k, j := range idx {
+			at2 += twin[k] * witness[j]
+		}
+		if rng.Intn(2) == 0 {
+			p.AddConstraint(idx, twin, lp.LE, at2+float64(rng.Intn(3)), fmt.Sprintf("p%db", r))
+		} else {
+			p.AddConstraint(idx, twin, lp.GE, at2-float64(rng.Intn(3)), fmt.Sprintf("p%db", r))
+		}
+	}
+	return p
+}
